@@ -1,0 +1,249 @@
+//! The APEX exploration loop: evaluate candidates in the cost / miss-ratio
+//! space and select the pareto-like frontier (the paper's Figure 3).
+
+use crate::candidates::{generate_candidates, CandidateConfig};
+use crate::extract::classify;
+use mce_appmodel::Workload;
+use mce_memlib::MemoryArchitecture;
+use mce_sim::{simulate, SystemConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration of an APEX run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApexConfig {
+    /// Trace length used for extraction and evaluation.
+    pub trace_len: usize,
+    /// Candidate generation knobs.
+    pub candidates: CandidateConfig,
+    /// Maximum architectures selected for the ConEx stage (the paper
+    /// selects five for compress).
+    pub max_selected: usize,
+}
+
+impl ApexConfig {
+    /// Small and quick, for tests.
+    pub fn fast() -> Self {
+        ApexConfig {
+            trace_len: 15_000,
+            candidates: CandidateConfig::fast(),
+            max_selected: 4,
+        }
+    }
+
+    /// The configuration used by the experiments.
+    pub fn paper() -> Self {
+        ApexConfig {
+            trace_len: 60_000,
+            candidates: CandidateConfig::paper(),
+            max_selected: 5,
+        }
+    }
+}
+
+/// One evaluated memory architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApexPoint {
+    /// The architecture.
+    pub arch: MemoryArchitecture,
+    /// Memory-modules gate cost (Figure 3's X axis).
+    pub cost_gates: u64,
+    /// Overall miss ratio — accesses that had to go off-chip (Figure 3's Y
+    /// axis).
+    pub miss_ratio: f64,
+    /// Average memory latency under the simple shared-bus connectivity.
+    pub avg_latency_cycles: f64,
+}
+
+impl fmt::Display for ApexPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates, miss {:.3}, {:.2} cyc",
+            self.arch.name(),
+            self.cost_gates,
+            self.miss_ratio,
+            self.avg_latency_cycles
+        )
+    }
+}
+
+/// Result of an APEX exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApexResult {
+    points: Vec<ApexPoint>,
+    selected: Vec<usize>,
+}
+
+impl ApexResult {
+    /// Every evaluated design point (the full Figure 3 scatter).
+    pub fn points(&self) -> &[ApexPoint] {
+        &self.points
+    }
+
+    /// The selected pareto architectures, cheapest first (Figure 3's
+    /// labelled points 1..5).
+    pub fn selected_points(&self) -> impl Iterator<Item = &ApexPoint> {
+        self.selected.iter().map(|&i| &self.points[i])
+    }
+
+    /// The selected architectures, cloned for handing to ConEx.
+    pub fn selected(&self) -> Vec<MemoryArchitecture> {
+        self.selected_points().map(|p| p.arch.clone()).collect()
+    }
+}
+
+/// The APEX explorer.
+///
+/// See the crate docs for the three stages; `explore` runs them end to end.
+#[derive(Debug, Clone)]
+pub struct ApexExplorer {
+    config: ApexConfig,
+}
+
+impl ApexExplorer {
+    /// Creates an explorer with the given configuration.
+    pub fn new(config: ApexConfig) -> Self {
+        ApexExplorer { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ApexConfig {
+        &self.config
+    }
+
+    /// Runs extraction, candidate generation, evaluation and selection.
+    pub fn explore(&self, workload: &Workload) -> ApexResult {
+        let reports = classify(workload, self.config.trace_len);
+        let candidates = generate_candidates(workload, &reports, &self.config.candidates);
+        let mut points: Vec<ApexPoint> = candidates
+            .into_iter()
+            .filter_map(|arch| {
+                let sys = SystemConfig::with_shared_bus(workload, arch.clone()).ok()?;
+                let stats = simulate(&sys, workload, self.config.trace_len);
+                Some(ApexPoint {
+                    cost_gates: arch.gate_cost(),
+                    miss_ratio: stats.miss_ratio(),
+                    avg_latency_cycles: stats.avg_latency_cycles,
+                    arch,
+                })
+            })
+            .collect();
+        points.sort_by(|a, b| {
+            a.cost_gates
+                .cmp(&b.cost_gates)
+                .then(a.miss_ratio.total_cmp(&b.miss_ratio))
+        });
+        let pareto = pareto_indices(&points);
+        let selected = downsample(&pareto, self.config.max_selected);
+        ApexResult { points, selected }
+    }
+}
+
+/// Indices of the cost/miss-ratio pareto frontier, assuming `points` sorted
+/// by increasing cost. A design is on the frontier if no other design is
+/// better (strictly, in at least one metric and not worse in the other).
+fn pareto_indices(points: &[ApexPoint]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut best_miss = f64::INFINITY;
+    for (i, p) in points.iter().enumerate() {
+        if p.miss_ratio < best_miss {
+            best_miss = p.miss_ratio;
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Keeps at most `max` indices, always retaining the first and last, evenly
+/// spread otherwise.
+fn downsample(indices: &[usize], max: usize) -> Vec<usize> {
+    if indices.len() <= max || max == 0 {
+        return indices.to_vec();
+    }
+    if max == 1 {
+        return vec![indices[0]];
+    }
+    (0..max)
+        .map(|k| indices[k * (indices.len() - 1) / (max - 1)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_appmodel::benchmarks;
+
+    #[test]
+    fn selected_are_pareto_and_sorted() {
+        let w = benchmarks::compress();
+        let result = ApexExplorer::new(ApexConfig::fast()).explore(&w);
+        let sel: Vec<&ApexPoint> = result.selected_points().collect();
+        assert!(!sel.is_empty());
+        for pair in sel.windows(2) {
+            assert!(pair[0].cost_gates <= pair[1].cost_gates, "sorted by cost");
+            assert!(
+                pair[0].miss_ratio >= pair[1].miss_ratio,
+                "costlier selection must have lower miss ratio"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_respects_cap() {
+        let w = benchmarks::li();
+        let cfg = ApexConfig::fast();
+        let cap = cfg.max_selected;
+        let result = ApexExplorer::new(cfg).explore(&w);
+        assert!(result.selected_points().count() <= cap);
+    }
+
+    #[test]
+    fn augmented_architectures_beat_cache_only_on_compress() {
+        // The point of APEX: pattern-specific modules cut the miss ratio
+        // below what any same-cost cache manages.
+        let w = benchmarks::compress();
+        let result = ApexExplorer::new(ApexConfig::fast()).explore(&w);
+        let best_selected = result
+            .selected_points()
+            .map(|p| p.miss_ratio)
+            .fold(f64::INFINITY, f64::min);
+        let best_cache_only = result
+            .points()
+            .iter()
+            .filter(|p| p.arch.on_chip_modules().count() == 1)
+            .map(|p| p.miss_ratio)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_selected <= best_cache_only,
+            "selected {best_selected} vs cache-only {best_cache_only}"
+        );
+    }
+
+    #[test]
+    fn all_points_costed_and_finite() {
+        let w = benchmarks::vocoder();
+        let result = ApexExplorer::new(ApexConfig::fast()).explore(&w);
+        for p in result.points() {
+            assert!(p.cost_gates > 0);
+            assert!(p.miss_ratio.is_finite());
+            assert!((0.0..=1.0).contains(&p.miss_ratio));
+            assert!(p.avg_latency_cycles >= 0.0);
+        }
+    }
+
+    #[test]
+    fn downsample_keeps_extremes() {
+        let idx = vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+        let d = downsample(&idx, 4);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d[0], 0);
+        assert_eq!(*d.last().unwrap(), 9);
+    }
+
+    #[test]
+    fn downsample_noop_when_small() {
+        let idx = vec![2, 5];
+        assert_eq!(downsample(&idx, 5), idx);
+    }
+}

@@ -1,0 +1,46 @@
+//! # mce-apex — Access Pattern-based Memory Exploration
+//!
+//! The substrate stage the paper builds on (its reference \[12\], Grun/Dutt/
+//! Nicolau, ISSS 2001): starting from the application, APEX
+//!
+//! 1. **extracts** the most active access patterns exhibited by the
+//!    application's data structures ([`extract`]),
+//! 2. **generates** candidate memory-module architectures that match those
+//!    patterns — cache-only baselines plus combinations of SRAMs, stream
+//!    buffers and linked-list (self-indirect) DMAs ([`candidates`]), and
+//! 3. **explores** the candidates in the cost / miss-ratio space under a
+//!    simple connectivity model (one shared system bus), pruning to the
+//!    pareto-like frontier and selecting the most promising architectures
+//!    ([`explore`]) — the labelled points of the paper's Figure 3.
+//!
+//! The selected architectures are the input to the ConEx connectivity
+//! exploration in `mce-conex`.
+//!
+//! ## Example
+//!
+//! ```
+//! use mce_apex::{ApexConfig, ApexExplorer};
+//! use mce_appmodel::benchmarks;
+//!
+//! let workload = benchmarks::vocoder();
+//! let result = ApexExplorer::new(ApexConfig::fast()).explore(&workload);
+//! assert!(!result.selected().is_empty());
+//! // Selected architectures are pareto points: no one dominates another.
+//! for a in result.selected_points() {
+//!     for b in result.selected_points() {
+//!         let dominates = a.cost_gates < b.cost_gates && a.miss_ratio < b.miss_ratio;
+//!         assert!(!dominates);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod explore;
+pub mod extract;
+
+pub use candidates::{generate_candidates, CandidateConfig};
+pub use explore::{ApexConfig, ApexExplorer, ApexPoint, ApexResult};
+pub use extract::{classify, PatternClass, PatternReport};

@@ -1,0 +1,170 @@
+//! Trace interchange: write and read access traces as CSV.
+//!
+//! The synthetic generators stand in for the paper's SHADE tracer, but a
+//! user with *real* traces (from an ISS, an FPGA probe, a DBI tool) can
+//! replay them through the same simulator: export the format below from
+//! their tool and load it with [`read_trace`].
+//!
+//! Format: one access per line, `tick,kind,ds,addr_hex`, e.g.
+//!
+//! ```text
+//! 0,R,0,10000040
+//! 3,W,2,10003008
+//! ```
+
+use crate::access::{AccessKind, MemAccess};
+use crate::address::Addr;
+use crate::data_structure::DsId;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Writes accesses as CSV to `out`.
+///
+/// A mutable reference to any writer works (`&mut Vec<u8>`, `&mut File`).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_trace<W, I>(mut out: W, trace: I) -> std::io::Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = MemAccess>,
+{
+    for acc in trace {
+        writeln!(
+            out,
+            "{},{},{},{:x}",
+            acc.tick,
+            acc.kind,
+            acc.ds.index(),
+            acc.addr.raw()
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV trace from `input`.
+///
+/// Blank lines and lines starting with `#` are ignored.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] naming the first malformed line, or wraps
+/// an I/O error from the reader.
+pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<MemAccess>, Box<dyn Error>> {
+    let mut out = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(trimmed).map_err(|reason| ParseTraceError {
+            line: i + 1,
+            reason,
+        })?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Result<MemAccess, String> {
+    let mut parts = line.split(',');
+    let mut next = |what: &str| {
+        parts
+            .next()
+            .map(str::trim)
+            .ok_or_else(|| format!("missing {what} field"))
+    };
+    let tick: u64 = next("tick")?
+        .parse()
+        .map_err(|e| format!("bad tick: {e}"))?;
+    let kind = match next("kind")? {
+        "R" | "r" => AccessKind::Read,
+        "W" | "w" => AccessKind::Write,
+        other => return Err(format!("bad kind `{other}` (expected R or W)")),
+    };
+    let ds: usize = next("ds")?.parse().map_err(|e| format!("bad ds: {e}"))?;
+    let addr = u64::from_str_radix(next("addr")?, 16).map_err(|e| format!("bad addr: {e}"))?;
+    if parts.next().is_some() {
+        return Err("trailing fields".to_owned());
+    }
+    Ok(MemAccess::new(Addr::new(addr), kind, DsId::new(ds), tick))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let w = benchmarks::vocoder();
+        let original: Vec<MemAccess> = w.trace(500).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, original.iter().copied()).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(original, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n0,R,0,40\n   \n1,W,1,80\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t[0].kind.is_read());
+        assert_eq!(t[1].addr.raw(), 0x80);
+    }
+
+    #[test]
+    fn bad_kind_reports_line() {
+        let text = "0,R,0,40\n1,X,0,44\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("bad kind"), "{msg}");
+    }
+
+    #[test]
+    fn bad_address_rejected() {
+        let err = read_trace("0,R,0,zz\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad addr"));
+    }
+
+    #[test]
+    fn missing_field_rejected() {
+        let err = read_trace("0,R,0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing addr"));
+    }
+
+    #[test]
+    fn trailing_fields_rejected() {
+        let err = read_trace("0,R,0,40,junk\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn lowercase_kinds_accepted() {
+        let t = read_trace("5,w,2,ff\n".as_bytes()).unwrap();
+        assert!(t[0].kind.is_write());
+        assert_eq!(t[0].ds.index(), 2);
+        assert_eq!(t[0].tick, 5);
+    }
+}

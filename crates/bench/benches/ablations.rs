@@ -1,0 +1,111 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! clustering merge order, time-sampling ratio, and Phase-I pruning width.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mce_appmodel::benchmarks;
+use mce_conex::{cluster_levels, Brg, ClusterOrder, ConexConfig, ConexExplorer};
+use mce_memlib::{CacheConfig, MemoryArchitecture};
+use mce_sim::{simulate_sampled, SamplingConfig, SystemConfig};
+
+fn ablation_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_clustering");
+    let w = benchmarks::compress();
+    let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+    let brg = Brg::profile(&w, &mem, 5_000);
+    for (name, order) in [
+        ("lowest_first", ClusterOrder::LowestFirst),
+        ("highest_first", ClusterOrder::HighestFirst),
+        ("random", ClusterOrder::Random(7)),
+    ] {
+        group.bench_function(name, |b| b.iter(|| cluster_levels(&brg, order)));
+    }
+    group.finish();
+}
+
+fn ablation_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sampling");
+    group.sample_size(10);
+    let w = benchmarks::compress();
+    let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+    let sys = SystemConfig::with_shared_bus(&w, mem).expect("valid");
+    for (name, cfg) in [
+        (
+            "full_1_0",
+            SamplingConfig {
+                on_accesses: 500,
+                off_ratio: 0,
+            },
+        ),
+        (
+            "half_1_1",
+            SamplingConfig {
+                on_accesses: 500,
+                off_ratio: 1,
+            },
+        ),
+        ("paper_1_9", SamplingConfig::paper()),
+        (
+            "sparse_1_19",
+            SamplingConfig {
+                on_accesses: 500,
+                off_ratio: 19,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| simulate_sampled(&sys, &w, 20_000, cfg));
+        });
+    }
+    group.finish();
+}
+
+fn ablation_bandwidth_headroom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bandwidth_headroom");
+    group.sample_size(10);
+    let w = benchmarks::compress();
+    let mem = vec![MemoryArchitecture::cache_only(
+        &w,
+        CacheConfig::kilobytes(2),
+    )];
+    for headroom in [0.0f64, 2.0, 8.0] {
+        group.bench_function(format!("headroom_{headroom}"), |b| {
+            let mut cfg = ConexConfig::fast();
+            cfg.trace_len = 5_000;
+            cfg.max_allocations_per_level = 32;
+            cfg.bandwidth_headroom = headroom;
+            let explorer = ConexExplorer::new(cfg);
+            b.iter(|| explorer.explore(&w, mem.clone()));
+        });
+    }
+    group.finish();
+}
+
+fn ablation_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pruning");
+    group.sample_size(10);
+    let w = benchmarks::vocoder();
+    let mem = vec![MemoryArchitecture::cache_only(
+        &w,
+        CacheConfig::kilobytes(2),
+    )];
+    for keep in [2usize, 8, 24] {
+        group.bench_function(format!("local_keep_{keep}"), |b| {
+            let mut cfg = ConexConfig::fast();
+            cfg.trace_len = 5_000;
+            cfg.max_allocations_per_level = 16;
+            cfg.local_keep = keep;
+            let explorer = ConexExplorer::new(cfg);
+            b.iter(|| explorer.explore(&w, mem.clone()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_clustering,
+    ablation_sampling,
+    ablation_bandwidth_headroom,
+    ablation_pruning
+);
+criterion_main!(benches);

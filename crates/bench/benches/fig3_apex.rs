@@ -1,0 +1,33 @@
+//! Figure 3 bench: the APEX memory-modules exploration stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mce_apex::{ApexConfig, ApexExplorer, CandidateConfig};
+use mce_appmodel::benchmarks;
+
+fn bench_config() -> ApexConfig {
+    ApexConfig {
+        trace_len: 6_000,
+        candidates: CandidateConfig {
+            baseline_cache_kib: vec![1, 4],
+            augmented_cache_kib: vec![4],
+            max_augmentations: 2,
+            two_level_kib: Vec::new(),
+        },
+        max_selected: 4,
+    }
+}
+
+fn fig3_apex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_apex");
+    group.sample_size(10);
+    for w in [benchmarks::compress(), benchmarks::vocoder()] {
+        group.bench_function(w.name(), |b| {
+            let explorer = ApexExplorer::new(bench_config());
+            b.iter(|| explorer.explore(&w));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3_apex);
+criterion_main!(benches);

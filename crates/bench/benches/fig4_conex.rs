@@ -1,0 +1,32 @@
+//! Figure 4 bench: the ConEx connectivity-exploration procedure for one
+//! memory architecture, and the full two-phase algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mce_appmodel::benchmarks;
+use mce_conex::{ConexConfig, ConexExplorer};
+use mce_memlib::{CacheConfig, MemoryArchitecture};
+
+fn bench_config() -> ConexConfig {
+    let mut cfg = ConexConfig::fast();
+    cfg.trace_len = 6_000;
+    cfg.max_allocations_per_level = 24;
+    cfg
+}
+
+fn fig4_conex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_conex");
+    group.sample_size(10);
+    let w = benchmarks::compress();
+    let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+    let explorer = ConexExplorer::new(bench_config());
+    group.bench_function("connectivity_exploration_one_arch", |b| {
+        b.iter(|| explorer.connectivity_exploration(&w, &mem));
+    });
+    group.bench_function("two_phase_explore", |b| {
+        b.iter(|| explorer.explore(&w, vec![mem.clone()]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig4_conex);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 6 bench: pareto-front computation and constraint-scenario
+//! selection over a realistic design-point cloud.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mce_conex::{Axis, Metrics, ParetoFront, Scenario};
+
+/// A deterministic synthetic cloud shaped like a ConEx exploration
+/// (cost/latency anti-correlated, energy nearly flat).
+fn cloud(n: usize) -> Vec<Metrics> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            let cost = 150_000 + (i as u64 * 7919) % 700_000;
+            let latency = 3.0 + 70.0 * ((x * 0.7).sin().abs() + 0.1) / (1.0 + x / 200.0);
+            let energy = 9.0 + (x * 1.3).cos();
+            Metrics::new(cost, latency, energy)
+        })
+        .collect()
+}
+
+fn fig6_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_pareto");
+    for n in [100usize, 1000, 3000] {
+        let points = cloud(n);
+        group.bench_function(format!("front_2d_{n}"), |b| {
+            b.iter(|| ParetoFront::of(&points, &[Axis::Cost, Axis::Latency]));
+        });
+        group.bench_function(format!("front_3d_{n}"), |b| {
+            b.iter(|| ParetoFront::of(&points, &Axis::ALL));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6_pareto);
+criterion_main!(benches);
+
+// Scenario selection is cheap relative to fronts; exercised via the
+// `Scenario` tests and here to keep the symbol used.
+#[allow(dead_code)]
+fn scenario_sanity() {
+    let _ = Scenario::PowerConstrained {
+        max_energy_nj: 10.0,
+    };
+}

@@ -1,0 +1,48 @@
+//! Table 2 bench: Pruned vs Neighborhood vs Full exploration cost, plus the
+//! coverage-report computation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mce_appmodel::benchmarks;
+use mce_conex::{ConexConfig, ConexExplorer, CoverageReport, ExplorationStrategy, Metrics};
+use mce_memlib::{CacheConfig, MemoryArchitecture};
+
+fn bench_config(strategy: ExplorationStrategy) -> ConexConfig {
+    let mut cfg = ConexConfig::fast().with_strategy(strategy);
+    cfg.trace_len = 5_000;
+    cfg.max_allocations_per_level = 16;
+    cfg
+}
+
+fn table2_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_coverage");
+    group.sample_size(10);
+    let w = benchmarks::vocoder();
+    let mem = vec![MemoryArchitecture::cache_only(
+        &w,
+        CacheConfig::kilobytes(2),
+    )];
+    for strategy in [
+        ExplorationStrategy::Pruned,
+        ExplorationStrategy::Neighborhood,
+        ExplorationStrategy::Full,
+    ] {
+        group.bench_function(format!("explore_{strategy}"), |b| {
+            let explorer = ConexExplorer::new(bench_config(strategy));
+            b.iter(|| explorer.explore(&w, mem.clone()));
+        });
+    }
+    // The coverage-metric computation on a large front.
+    let reference: Vec<Metrics> = (0..200)
+        .map(|i| Metrics::new(100_000 + i * 1000, 50.0 - i as f64 * 0.2, 9.0))
+        .collect();
+    let found: Vec<Metrics> = (0..400)
+        .map(|i| Metrics::new(100_500 + i * 500, 50.0 - i as f64 * 0.1, 9.0))
+        .collect();
+    group.bench_function("coverage_report", |b| {
+        b.iter(|| CoverageReport::compare(&reference, &found, 0.005));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table2_coverage);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Runs every experiment (Figures 3, 4, 6 and Tables 1, 2) in sequence and
+//! writes all JSON artifacts. Pass `--fast` for a reduced-scale run.
+
+use mce_bench::{fig3, fig4, fig6, table1, table2, write_json_artifact, Scale};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let t = Instant::now();
+
+    let d3 = fig3(scale);
+    println!("{}", d3.render());
+    let _ = write_json_artifact("fig3", &d3);
+
+    let d4 = fig4(scale);
+    println!("{}", d4.render());
+    let _ = write_json_artifact("fig4", &d4);
+
+    let d6 = fig6(scale);
+    println!("{}", d6.render());
+    let _ = write_json_artifact("fig6", &d6);
+
+    let t1 = table1(scale);
+    println!("{}", t1.render());
+    let _ = write_json_artifact("table1", &t1);
+
+    let t2 = table2(scale);
+    println!("{}", t2.render());
+    let _ = write_json_artifact("table2", &t2);
+
+    println!("\nall experiments finished in {:?}", t.elapsed());
+}

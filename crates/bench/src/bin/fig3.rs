@@ -1,0 +1,21 @@
+//! Regenerates the paper's Figure 3 (APEX cost/miss-ratio exploration for
+//! `compress`). Pass `--fast` for a reduced-scale run.
+
+use mce_bench::{fig3, write_dat_artifact, write_json_artifact, Scale};
+
+fn main() {
+    let data = fig3(Scale::from_args());
+    println!("{}", data.render());
+    match write_json_artifact("fig3", &data) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+    let rows: Vec<Vec<f64>> = data
+        .points
+        .iter()
+        .map(|p| vec![p.cost_gates as f64, p.miss_ratio])
+        .collect();
+    if let Ok(path) = write_dat_artifact("fig3", &["cost_gates", "miss_ratio"], &rows) {
+        println!("plot data: {}", path.display());
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates the paper's Figure 4 (ConEx cost/latency exploration cloud
+//! for `compress`). Pass `--fast` for a reduced-scale run.
+
+use mce_bench::{fig4, write_dat_artifact, write_json_artifact, Scale};
+
+fn main() {
+    let data = fig4(Scale::from_args());
+    println!("{}", data.render());
+    match write_json_artifact("fig4", &data) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+    let rows: Vec<Vec<f64>> = data
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.cost_gates as f64,
+                p.latency_cycles,
+                p.energy_nj,
+                if p.on_pareto { 1.0 } else { 0.0 },
+            ]
+        })
+        .collect();
+    if let Ok(path) = write_dat_artifact(
+        "fig4",
+        &["cost_gates", "latency_cycles", "energy_nj", "on_pareto"],
+        &rows,
+    ) {
+        println!("plot data: {}", path.display());
+    }
+}

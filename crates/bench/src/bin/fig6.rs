@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 6 (labelled cost/performance pareto
+//! designs for `compress`). Pass `--fast` for a reduced-scale run.
+
+use mce_bench::{fig6, write_json_artifact, Scale};
+
+fn main() {
+    let data = fig6(Scale::from_args());
+    println!("{}", data.render());
+    match write_json_artifact("fig6", &data) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Table 1 (selected cost/performance designs for
+//! compress, li and vocoder). Pass `--fast` for a reduced-scale run.
+
+use mce_bench::{table1, write_json_artifact, Scale};
+
+fn main() {
+    let data = table1(Scale::from_args());
+    println!("{}", data.render());
+    match write_json_artifact("table1", &data) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's Table 2 (pareto coverage of Pruned vs
+//! Neighborhood vs Full exploration). Pass `--fast` for a reduced-scale
+//! run.
+
+use mce_bench::{table2, write_json_artifact, Scale};
+
+fn main() {
+    let data = table2(Scale::from_args());
+    println!("{}", data.render());
+    match write_json_artifact("table2", &data) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+}

@@ -1,0 +1,165 @@
+//! The connectivity IP library.
+
+use crate::component::{ConnComponent, ConnComponentKind, ConnParams};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A library of connectivity components available to the exploration.
+///
+/// The default [`ConnectivityLibrary::amba`] library contains the six
+/// component classes the paper lists; custom components (e.g. a wider AHB)
+/// can be added with [`ConnectivityLibrary::add`].
+///
+/// ```
+/// use mce_connlib::{ConnComponent, ConnComponentKind, ConnectivityLibrary};
+///
+/// let mut lib = ConnectivityLibrary::amba();
+/// assert_eq!(lib.len(), 8);
+///
+/// // Add a custom 64-bit AHB.
+/// let mut params = ConnComponentKind::AmbaAhb.params();
+/// params.width_bytes = 8;
+/// lib.add(ConnComponent::with_params(ConnComponentKind::AmbaAhb, params));
+/// assert_eq!(lib.len(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectivityLibrary {
+    components: Vec<ConnComponent>,
+}
+
+impl ConnectivityLibrary {
+    /// An empty library.
+    pub const fn new() -> Self {
+        ConnectivityLibrary {
+            components: Vec::new(),
+        }
+    }
+
+    /// The default library: dedicated, MUX, APB, ASB, AHB on-chip, and
+    /// three off-chip bus variants (narrow 8-bit, standard 16-bit, wide
+    /// 32-bit — trading pad count and driver energy for fill bandwidth, the
+    /// paper's "off-chip busses").
+    pub fn amba() -> Self {
+        let mut lib = Self::new();
+        for kind in ConnComponentKind::ON_CHIP {
+            lib.add(ConnComponent::new(kind));
+        }
+        let standard = ConnComponentKind::OffChipBus.params();
+        let narrow = ConnParams {
+            width_bytes: 1,
+            base_gates: 5_500,
+            energy_per_transfer_nj: 0.70,
+            ..standard
+        };
+        let wide = ConnParams {
+            width_bytes: 4,
+            base_gates: 17_000,
+            energy_per_transfer_nj: 1.30,
+            ..standard
+        };
+        lib.add(ConnComponent::with_params(
+            ConnComponentKind::OffChipBus,
+            narrow,
+        ));
+        lib.add(ConnComponent::new(ConnComponentKind::OffChipBus));
+        lib.add(ConnComponent::with_params(
+            ConnComponentKind::OffChipBus,
+            wide,
+        ));
+        lib
+    }
+
+    /// Adds a component.
+    pub fn add(&mut self, component: ConnComponent) {
+        self.components.push(component);
+    }
+
+    /// The first component of the given kind, if present.
+    pub fn component(&self, kind: ConnComponentKind) -> Option<&ConnComponent> {
+        self.components.iter().find(|c| c.kind() == kind)
+    }
+
+    /// All components.
+    pub fn components(&self) -> &[ConnComponent] {
+        &self.components
+    }
+
+    /// Iterator over the on-chip components.
+    pub fn on_chip(&self) -> impl Iterator<Item = &ConnComponent> {
+        self.components.iter().filter(|c| !c.params().off_chip)
+    }
+
+    /// Iterator over the off-chip-capable components.
+    pub fn off_chip(&self) -> impl Iterator<Item = &ConnComponent> {
+        self.components.iter().filter(|c| c.params().off_chip)
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True if the library holds no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl Default for ConnectivityLibrary {
+    fn default() -> Self {
+        Self::amba()
+    }
+}
+
+impl fmt::Display for ConnectivityLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "connectivity library ({} components):", self.len())?;
+        for c in &self.components {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_library_has_all_kinds() {
+        let lib = ConnectivityLibrary::amba();
+        for kind in ConnComponentKind::ON_CHIP {
+            assert!(lib.component(kind).is_some(), "{kind} missing");
+        }
+        assert!(lib.component(ConnComponentKind::OffChipBus).is_some());
+    }
+
+    #[test]
+    fn on_off_chip_partition() {
+        let lib = ConnectivityLibrary::amba();
+        assert_eq!(lib.on_chip().count(), 5);
+        assert_eq!(lib.off_chip().count(), 3);
+        assert_eq!(lib.on_chip().count() + lib.off_chip().count(), lib.len());
+    }
+
+    #[test]
+    fn off_chip_widths_span_range() {
+        let lib = ConnectivityLibrary::amba();
+        let widths: Vec<u32> = lib.off_chip().map(|c| c.params().width_bytes).collect();
+        assert!(widths.contains(&1));
+        assert!(widths.contains(&2));
+        assert!(widths.contains(&4));
+    }
+
+    #[test]
+    fn empty_library() {
+        let lib = ConnectivityLibrary::new();
+        assert!(lib.is_empty());
+        assert!(lib.component(ConnComponentKind::AmbaAhb).is_none());
+    }
+
+    #[test]
+    fn default_trait_is_amba() {
+        assert_eq!(ConnectivityLibrary::default(), ConnectivityLibrary::amba());
+    }
+}

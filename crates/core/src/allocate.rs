@@ -1,0 +1,234 @@
+//! Allocation of logical connections to connectivity components.
+//!
+//! "For each such clustering level, we then explore all feasible
+//! assignments of the clusters to connectivity components from the
+//! library" — a cluster of `k` channels can be carried by any library
+//! component on the right side of the chip boundary with at least `k`
+//! ports. Each assignment instantiates one component per cluster and yields
+//! a complete [`ConnectivityArchitecture`] candidate.
+
+use crate::brg::Brg;
+use crate::cluster::Clustering;
+use mce_connlib::{ChannelId, ConnComponent, ConnectivityArchitecture, ConnectivityLibrary};
+
+/// Enumerates the feasible allocations of `clustering`'s clusters to
+/// `library` components, up to `max` architectures (the cross product is
+/// walked in mixed-radix order and truncated).
+///
+/// Returns an empty vector if some cluster has no feasible component (e.g.
+/// a 3-channel cluster when the library only has dedicated links).
+pub fn enumerate_allocations(
+    brg: &Brg,
+    clustering: &Clustering,
+    library: &ConnectivityLibrary,
+    max: usize,
+) -> Vec<ConnectivityArchitecture> {
+    enumerate_allocations_filtered(brg, clustering, library, max, 0.0)
+}
+
+/// Peak sustained bandwidth of a component, bytes per cycle.
+fn peak_bandwidth(c: &ConnComponent) -> f64 {
+    let p = c.params();
+    p.width_bytes as f64 / p.cycles_per_beat.max(1) as f64
+}
+
+/// Like [`enumerate_allocations`], additionally requiring each component's
+/// peak bandwidth to be at least `min_headroom ×` the cluster's measured
+/// bandwidth requirement — the paper's "map each such cluster to
+/// connectivity modules" *based on the bandwidth requirement*. With
+/// `min_headroom = 0.0` no filtering occurs; values around 2–4 prune
+/// allocations that would saturate (a hot cluster on a narrow APB) before
+/// any simulation is spent on them.
+pub fn enumerate_allocations_filtered(
+    brg: &Brg,
+    clustering: &Clustering,
+    library: &ConnectivityLibrary,
+    max: usize,
+    min_headroom: f64,
+) -> Vec<ConnectivityArchitecture> {
+    // Candidate components per cluster.
+    let candidates: Vec<Vec<&ConnComponent>> = clustering
+        .clusters
+        .iter()
+        .map(|cluster| {
+            library
+                .components()
+                .iter()
+                .filter(|c| {
+                    c.params().off_chip == cluster.off_chip
+                        && c.params().max_ports as usize >= cluster.len()
+                        && (min_headroom <= 0.0
+                            || peak_bandwidth(c) >= cluster.bandwidth * min_headroom)
+                })
+                .collect()
+        })
+        .collect();
+    if candidates.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+
+    let total: usize = candidates
+        .iter()
+        .map(Vec::len)
+        .try_fold(1usize, |acc, n| acc.checked_mul(n))
+        .unwrap_or(usize::MAX);
+    let count = total.min(max);
+
+    let channels: Vec<_> = brg.arcs().iter().map(|a| a.channel.clone()).collect();
+    let mut out = Vec::with_capacity(count);
+    let mut digits = vec![0usize; candidates.len()];
+    for _ in 0..count {
+        // Materialize the architecture for the current digit vector.
+        let mut arch = ConnectivityArchitecture::new(channels.clone());
+        for (ci, cluster) in clustering.clusters.iter().enumerate() {
+            let component = *candidates[ci][digits[ci]];
+            let link = arch.add_link(format!("l{ci}"), component);
+            for &arc in &cluster.arcs {
+                arch.assign(ChannelId::new(arc), link);
+            }
+        }
+        debug_assert!(
+            arch.validate().is_ok(),
+            "enumerated allocation must validate"
+        );
+        out.push(arch);
+
+        // Mixed-radix increment.
+        for (d, c) in digits.iter_mut().zip(&candidates) {
+            *d += 1;
+            if *d < c.len() {
+                break;
+            }
+            *d = 0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{cluster_levels, ClusterOrder};
+    use mce_appmodel::benchmarks;
+    use mce_connlib::ConnComponentKind;
+    use mce_memlib::{CacheConfig, MemoryArchitecture};
+
+    const N: usize = 15_000;
+
+    fn cache_brg() -> Brg {
+        let w = benchmarks::vocoder();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+        Brg::profile(&w, &mem, N)
+    }
+
+    #[test]
+    fn singleton_clusters_get_full_component_choice() {
+        let brg = cache_brg();
+        let levels = cluster_levels(&brg, ClusterOrder::LowestFirst);
+        let lib = ConnectivityLibrary::amba();
+        // Level 0: one on-chip singleton (5 on-chip kinds) × one off-chip
+        // singleton (3 off-chip widths) = 15 allocations.
+        let allocs = enumerate_allocations(&brg, &levels[0], &lib, 1000);
+        assert_eq!(allocs.len(), 15);
+    }
+
+    #[test]
+    fn all_enumerated_allocations_validate() {
+        let brg = cache_brg();
+        let lib = ConnectivityLibrary::amba();
+        for level in cluster_levels(&brg, ClusterOrder::LowestFirst) {
+            for arch in enumerate_allocations(&brg, &level, &lib, 1000) {
+                assert!(arch.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_channel_clusters_exclude_dedicated() {
+        let w = benchmarks::li();
+        let mem = MemoryArchitecture::builder("two")
+            .module(
+                "L1",
+                mce_memlib::MemModuleKind::Cache(CacheConfig::kilobytes(4)),
+            )
+            .module(
+                "dma",
+                mce_memlib::MemModuleKind::SelfIndirectDma {
+                    depth: 16,
+                    element_bytes: 8,
+                },
+            )
+            .map(mce_appmodel::DsId::new(0), 1)
+            .map_rest_to(0)
+            .build(&w)
+            .unwrap();
+        let brg = Brg::profile(&w, &mem, N);
+        let levels = cluster_levels(&brg, ClusterOrder::LowestFirst);
+        let lib = ConnectivityLibrary::amba();
+        let last = levels.last().unwrap(); // fully merged: 2-channel on-chip cluster
+        for arch in enumerate_allocations(&brg, last, &lib, 1000) {
+            for kind in arch.kinds_used() {
+                assert_ne!(
+                    kind,
+                    ConnComponentKind::Dedicated,
+                    "dedicated links cannot carry 2 channels"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let brg = cache_brg();
+        let levels = cluster_levels(&brg, ClusterOrder::LowestFirst);
+        let lib = ConnectivityLibrary::amba();
+        let allocs = enumerate_allocations(&brg, &levels[0], &lib, 3);
+        assert_eq!(allocs.len(), 3);
+    }
+
+    #[test]
+    fn empty_when_no_feasible_component() {
+        let brg = cache_brg();
+        let levels = cluster_levels(&brg, ClusterOrder::LowestFirst);
+        // A library with only on-chip components can't carry off-chip arcs.
+        let mut lib = ConnectivityLibrary::new();
+        lib.add(ConnComponent::new(ConnComponentKind::AmbaAhb));
+        let allocs = enumerate_allocations(&brg, &levels[0], &lib, 1000);
+        assert!(allocs.is_empty());
+    }
+
+    #[test]
+    fn bandwidth_filter_prunes_narrow_components() {
+        // A very hot cluster should lose the narrow components once the
+        // headroom filter is on.
+        let w = benchmarks::compress();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(1));
+        let brg = Brg::profile(&w, &mem, N);
+        let levels = cluster_levels(&brg, ClusterOrder::LowestFirst);
+        let lib = ConnectivityLibrary::amba();
+        let unfiltered = enumerate_allocations(&brg, &levels[0], &lib, 1000);
+        let filtered = enumerate_allocations_filtered(&brg, &levels[0], &lib, 1000, 50.0);
+        assert!(
+            filtered.len() < unfiltered.len(),
+            "{} vs {}",
+            filtered.len(),
+            unfiltered.len()
+        );
+        // Zero headroom is the unfiltered behaviour.
+        let zero = enumerate_allocations_filtered(&brg, &levels[0], &lib, 1000, 0.0);
+        assert_eq!(zero.len(), unfiltered.len());
+    }
+
+    #[test]
+    fn allocations_are_distinct() {
+        let brg = cache_brg();
+        let levels = cluster_levels(&brg, ClusterOrder::LowestFirst);
+        let lib = ConnectivityLibrary::amba();
+        let allocs = enumerate_allocations(&brg, &levels[0], &lib, 1000);
+        for i in 0..allocs.len() {
+            for j in (i + 1)..allocs.len() {
+                assert_ne!(allocs[i], allocs[j], "duplicate allocation {i}/{j}");
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Design points: a complete system configuration with its metrics.
+
+use mce_sim::SystemConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three metrics the exploration trades off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Total gate cost (memory modules + connectivity).
+    pub cost_gates: u64,
+    /// Average memory latency per access, cycles.
+    pub latency_cycles: f64,
+    /// Average energy per access, nJ.
+    pub energy_nj: f64,
+}
+
+impl Metrics {
+    /// Creates a metrics triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if latency or energy is not finite and non-negative.
+    pub fn new(cost_gates: u64, latency_cycles: f64, energy_nj: f64) -> Self {
+        assert!(
+            latency_cycles.is_finite() && latency_cycles >= 0.0,
+            "latency must be finite and non-negative"
+        );
+        assert!(
+            energy_nj.is_finite() && energy_nj >= 0.0,
+            "energy must be finite and non-negative"
+        );
+        Metrics {
+            cost_gates,
+            latency_cycles,
+            energy_nj,
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates, {:.2} cyc, {:.2} nJ",
+            self.cost_gates, self.latency_cycles, self.energy_nj
+        )
+    }
+}
+
+/// A combined memory + connectivity design with its measured (or estimated)
+/// metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The full system configuration (re-simulatable).
+    pub system: SystemConfig,
+    /// The metrics this point was ranked by.
+    pub metrics: Metrics,
+    /// True if `metrics` came from time-sampled estimation (Phase I) rather
+    /// than full simulation (Phase II).
+    pub estimated: bool,
+}
+
+impl DesignPoint {
+    /// Creates a design point.
+    pub fn new(system: SystemConfig, metrics: Metrics, estimated: bool) -> Self {
+        DesignPoint {
+            system,
+            metrics,
+            estimated,
+        }
+    }
+
+    /// One-line architecture description (memory `|` connectivity).
+    pub fn describe(&self) -> String {
+        self.system.describe()
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{} — {}",
+            self.describe(),
+            if self.estimated { " (est.)" } else { "" },
+            self.metrics
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_display() {
+        let m = Metrics::new(1000, 5.5, 12.25);
+        let s = m.to_string();
+        assert!(s.contains("1000"), "{s}");
+        assert!(s.contains("5.50"), "{s}");
+        assert!(s.contains("12.25"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn nan_latency_rejected() {
+        let _ = Metrics::new(1, f64::NAN, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "energy")]
+    fn negative_energy_rejected() {
+        let _ = Metrics::new(1, 0.0, -1.0);
+    }
+}

@@ -1,0 +1,490 @@
+//! The two-phase ConEx algorithm (the paper's Figure 5).
+//!
+//! * `ConnectivityExploration(mem_arch)` — profile, build the BRG, cluster
+//!   hierarchically, enumerate allocations per level (subject to the
+//!   logical-connection cost constraint), and estimate every candidate.
+//! * `ConEx` — Phase I runs the procedure per selected memory architecture
+//!   and keeps the locally most promising points; Phase II fully simulates
+//!   the pooled shortlist and selects the globally most promising combined
+//!   memory + connectivity designs.
+//!
+//! Three strategies reproduce the paper's Table 2 comparison:
+//! [`ExplorationStrategy::Pruned`] (pareto-only shortlists),
+//! [`ExplorationStrategy::Neighborhood`] (pareto plus cost-neighbors), and
+//! [`ExplorationStrategy::Full`] (simulate everything — the reference).
+
+use crate::allocate::enumerate_allocations_filtered;
+use crate::brg::Brg;
+use crate::cluster::{cluster_levels, ClusterOrder};
+use crate::design_point::{DesignPoint, Metrics};
+use crate::estimate::{estimate_candidate, refine_with_full_simulation};
+use crate::par::par_map;
+use crate::pareto::{Axis, ParetoFront};
+use mce_appmodel::Workload;
+use mce_connlib::ConnectivityLibrary;
+use mce_memlib::MemoryArchitecture;
+use mce_sim::SamplingConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How aggressively Phase I prunes before Phase II's full simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ExplorationStrategy {
+    /// Only the locally pareto-promising points are fully simulated (the
+    /// paper's fast default: "2 days" vs the full month for compress).
+    #[default]
+    Pruned,
+    /// The pruned shortlist plus each point's cost-order neighbors —
+    /// better coverage for more simulation time.
+    Neighborhood,
+    /// Fully simulate every estimated candidate: defines the true pareto
+    /// front, "often infeasible" at scale.
+    Full,
+}
+
+impl fmt::Display for ExplorationStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExplorationStrategy::Pruned => "Pruned",
+            ExplorationStrategy::Neighborhood => "Neighborhood",
+            ExplorationStrategy::Full => "Full",
+        })
+    }
+}
+
+/// Configuration of a ConEx run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConexConfig {
+    /// Trace length for estimation and full simulation.
+    pub trace_len: usize,
+    /// Time-sampling configuration for Phase-I estimates.
+    pub sampling: SamplingConfig,
+    /// The paper's "max cost constraint": clustering levels with more
+    /// logical connections than this are skipped.
+    pub max_logical_connections: usize,
+    /// Cap on enumerated allocations per clustering level.
+    pub max_allocations_per_level: usize,
+    /// Merge order of the hierarchical clustering.
+    pub cluster_order: ClusterOrder,
+    /// Pruning strategy.
+    pub strategy: ExplorationStrategy,
+    /// Cap on locally selected points per memory architecture.
+    pub local_keep: usize,
+    /// Worker threads for estimation and full simulation (0 = one per
+    /// available core). Results are identical regardless of thread count.
+    pub threads: usize,
+    /// Bandwidth headroom required of a component over its cluster's
+    /// measured requirement (0.0 = no filtering; see
+    /// [`enumerate_allocations_filtered`] for details).
+    ///
+    /// [`enumerate_allocations_filtered`]: crate::allocate::enumerate_allocations_filtered
+    pub bandwidth_headroom: f64,
+}
+
+impl ConexConfig {
+    /// Small and quick, for tests.
+    pub fn fast() -> Self {
+        ConexConfig {
+            trace_len: 15_000,
+            sampling: SamplingConfig::paper(),
+            max_logical_connections: 8,
+            max_allocations_per_level: 64,
+            cluster_order: ClusterOrder::LowestFirst,
+            strategy: ExplorationStrategy::Pruned,
+            local_keep: 16,
+            threads: 0,
+            bandwidth_headroom: 0.0,
+        }
+    }
+
+    /// The configuration used by the experiments.
+    pub fn paper() -> Self {
+        ConexConfig {
+            trace_len: 60_000,
+            sampling: SamplingConfig::paper(),
+            max_logical_connections: 10,
+            max_allocations_per_level: 256,
+            cluster_order: ClusterOrder::LowestFirst,
+            strategy: ExplorationStrategy::Pruned,
+            local_keep: 48,
+            threads: 0,
+            bandwidth_headroom: 0.0,
+        }
+    }
+
+    /// Returns the same configuration with a different strategy.
+    pub fn with_strategy(mut self, strategy: ExplorationStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+/// The result of a ConEx exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConexResult {
+    workload_name: String,
+    estimated: Vec<DesignPoint>,
+    simulated: Vec<DesignPoint>,
+    elapsed: Duration,
+}
+
+impl ConexResult {
+    /// The workload explored.
+    pub fn workload_name(&self) -> &str {
+        &self.workload_name
+    }
+
+    /// Every Phase-I estimated candidate (the full exploration cloud of
+    /// Figure 4).
+    pub fn estimated(&self) -> &[DesignPoint] {
+        &self.estimated
+    }
+
+    /// The Phase-II fully simulated points.
+    pub fn simulated(&self) -> &[DesignPoint] {
+        &self.simulated
+    }
+
+    /// Wall-clock time of the exploration (Table 2's "Time" row).
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    fn metrics(points: &[DesignPoint]) -> Vec<Metrics> {
+        points.iter().map(|p| p.metrics).collect()
+    }
+
+    fn front(&self, axes: &[Axis]) -> Vec<&DesignPoint> {
+        let m = Self::metrics(&self.simulated);
+        ParetoFront::of(&m, axes)
+            .indices()
+            .iter()
+            .map(|&i| &self.simulated[i])
+            .collect()
+    }
+
+    /// The cost/performance pareto designs (the paper's Table 1 /
+    /// Figure 6 selection), cheapest first.
+    pub fn pareto_cost_latency(&self) -> Vec<&DesignPoint> {
+        self.front(&[Axis::Cost, Axis::Latency])
+    }
+
+    /// The performance/power pareto designs (cost-constrained scenario).
+    pub fn pareto_latency_energy(&self) -> Vec<&DesignPoint> {
+        self.front(&[Axis::Latency, Axis::Energy])
+    }
+
+    /// The cost/power pareto designs (performance-constrained scenario).
+    pub fn pareto_cost_energy(&self) -> Vec<&DesignPoint> {
+        self.front(&[Axis::Cost, Axis::Energy])
+    }
+
+    /// The full 3-D pareto designs.
+    pub fn pareto_3d(&self) -> Vec<&DesignPoint> {
+        self.front(&Axis::ALL)
+    }
+}
+
+/// The ConEx explorer.
+#[derive(Debug, Clone)]
+pub struct ConexExplorer {
+    config: ConexConfig,
+    library: ConnectivityLibrary,
+}
+
+impl ConexExplorer {
+    /// Creates an explorer with the default AMBA-style library.
+    pub fn new(config: ConexConfig) -> Self {
+        Self::with_library(config, ConnectivityLibrary::amba())
+    }
+
+    /// Creates an explorer drawing from a custom connectivity library.
+    pub fn with_library(config: ConexConfig, library: ConnectivityLibrary) -> Self {
+        ConexExplorer { config, library }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ConexConfig {
+        &self.config
+    }
+
+    /// The connectivity library.
+    pub fn library(&self) -> &ConnectivityLibrary {
+        &self.library
+    }
+
+    /// The paper's `Procedure ConnectivityExploration`: estimates every
+    /// feasible connectivity architecture for one memory architecture.
+    ///
+    /// Returns estimated design points, unsorted and unpruned.
+    pub fn connectivity_exploration(
+        &self,
+        workload: &Workload,
+        mem: &MemoryArchitecture,
+    ) -> Vec<DesignPoint> {
+        let brg = Brg::profile(workload, mem, self.config.trace_len);
+        let mut candidates = Vec::new();
+        for level in cluster_levels(&brg, self.config.cluster_order) {
+            // "if number of logical connections <= max cost constraint"
+            if level.len() > self.config.max_logical_connections {
+                continue;
+            }
+            candidates.extend(enumerate_allocations_filtered(
+                &brg,
+                &level,
+                &self.library,
+                self.config.max_allocations_per_level,
+                self.config.bandwidth_headroom,
+            ));
+        }
+        par_map(&candidates, self.config.threads, |conn| {
+            estimate_candidate(
+                workload,
+                mem,
+                conn.clone(),
+                self.config.trace_len,
+                self.config.sampling,
+            )
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Phase-I local selection: the most promising points of one memory
+    /// architecture's estimate cloud, per the configured strategy.
+    fn select_local<'a>(&self, points: &'a [DesignPoint]) -> Vec<&'a DesignPoint> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        if self.config.strategy == ExplorationStrategy::Full {
+            return points.iter().collect();
+        }
+        let metrics: Vec<Metrics> = points.iter().map(|p| p.metrics).collect();
+        // Union of the 2-D cost/latency and cost/energy fronts with the
+        // full 3-D front: the local candidates for every global trade-off
+        // space the designer may select in (Section 5's three scenarios).
+        let mut chosen: Vec<usize> = ParetoFront::of(&metrics, &[Axis::Cost, Axis::Latency])
+            .indices()
+            .to_vec();
+        for front in [
+            ParetoFront::of(&metrics, &[Axis::Cost, Axis::Energy]),
+            ParetoFront::of(&metrics, &Axis::ALL),
+        ] {
+            for &i in front.indices() {
+                if !chosen.contains(&i) {
+                    chosen.push(i);
+                }
+            }
+        }
+        // Cap, keeping the cheapest and the costliest extremes. The capped
+        // set is the Pruned selection.
+        chosen.sort_by_key(|&i| points[i].metrics.cost_gates);
+        let mut kept = downsample(&chosen, self.config.local_keep);
+        if self.config.strategy == ExplorationStrategy::Neighborhood {
+            // Neighborhood = the Pruned selection plus every kept point's
+            // cost-order neighbors in the estimate cloud — always a
+            // superset of Pruned, so its coverage can only improve.
+            let mut by_cost: Vec<usize> = (0..points.len()).collect();
+            by_cost.sort_by_key(|&i| points[i].metrics.cost_gates);
+            let rank_of: Vec<usize> = {
+                let mut r = vec![0; points.len()];
+                for (rank, &i) in by_cost.iter().enumerate() {
+                    r[i] = rank;
+                }
+                r
+            };
+            let mut extra = Vec::new();
+            for &i in &kept {
+                let rank = rank_of[i];
+                if rank > 0 {
+                    extra.push(by_cost[rank - 1]);
+                }
+                if rank + 1 < by_cost.len() {
+                    extra.push(by_cost[rank + 1]);
+                }
+            }
+            for i in extra {
+                if !kept.contains(&i) {
+                    kept.push(i);
+                }
+            }
+        }
+        kept.into_iter().map(|i| &points[i]).collect()
+    }
+
+    /// The full two-phase `Algorithm ConEx`.
+    pub fn explore(&self, workload: &Workload, mem_archs: Vec<MemoryArchitecture>) -> ConexResult {
+        let start = Instant::now();
+        let mut all_estimated = Vec::new();
+        let mut combined: Vec<DesignPoint> = Vec::new();
+        // Phase I.
+        for mem in &mem_archs {
+            let points = self.connectivity_exploration(workload, mem);
+            let selected: Vec<DesignPoint> =
+                self.select_local(&points).into_iter().cloned().collect();
+            combined.extend(selected);
+            all_estimated.extend(points);
+        }
+        // Phase II: full simulation of the combined shortlist.
+        let simulated: Vec<DesignPoint> = par_map(&combined, self.config.threads, |p| {
+            refine_with_full_simulation(p, workload, self.config.trace_len)
+        });
+        ConexResult {
+            workload_name: workload.name().to_owned(),
+            estimated: all_estimated,
+            simulated,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Keeps at most `max` items, always retaining the first and last.
+fn downsample(indices: &[usize], max: usize) -> Vec<usize> {
+    if indices.len() <= max || max == 0 {
+        return indices.to_vec();
+    }
+    if max == 1 {
+        return vec![indices[0]];
+    }
+    let mut out: Vec<usize> = (0..max)
+        .map(|k| indices[k * (indices.len() - 1) / (max - 1)])
+        .collect();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_appmodel::benchmarks;
+    use mce_memlib::CacheConfig;
+
+    fn one_arch(w: &Workload) -> Vec<MemoryArchitecture> {
+        vec![MemoryArchitecture::cache_only(w, CacheConfig::kilobytes(4))]
+    }
+
+    #[test]
+    fn exploration_produces_multiple_candidates() {
+        let w = benchmarks::vocoder();
+        let explorer = ConexExplorer::new(ConexConfig::fast());
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+        let points = explorer.connectivity_exploration(&w, &mem);
+        assert!(points.len() >= 5, "{} candidates", points.len());
+        assert!(points.iter().all(|p| p.estimated));
+    }
+
+    #[test]
+    fn connectivity_choices_spread_cost_and_latency() {
+        let w = benchmarks::compress();
+        let explorer = ConexExplorer::new(ConexConfig::fast());
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8));
+        let points = explorer.connectivity_exploration(&w, &mem);
+        let costs: Vec<u64> = points.iter().map(|p| p.metrics.cost_gates).collect();
+        let lats: Vec<f64> = points.iter().map(|p| p.metrics.latency_cycles).collect();
+        assert!(costs.iter().max() > costs.iter().min());
+        let max_l = lats.iter().cloned().fold(f64::MIN, f64::max);
+        let min_l = lats.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max_l > 1.2 * min_l, "latency spread {min_l}..{max_l}");
+    }
+
+    #[test]
+    fn two_phase_result_is_simulated() {
+        let w = benchmarks::vocoder();
+        let result = ConexExplorer::new(ConexConfig::fast()).explore(&w, one_arch(&w));
+        assert!(!result.simulated().is_empty());
+        assert!(result.simulated().iter().all(|p| !p.estimated));
+        assert!(result.estimated().len() >= result.simulated().len());
+    }
+
+    #[test]
+    fn pruned_simulates_fewer_than_full() {
+        let w = benchmarks::vocoder();
+        let pruned = ConexExplorer::new(ConexConfig::fast()).explore(&w, one_arch(&w));
+        let full = ConexExplorer::new(ConexConfig::fast().with_strategy(ExplorationStrategy::Full))
+            .explore(&w, one_arch(&w));
+        assert!(
+            pruned.simulated().len() < full.simulated().len(),
+            "pruned {} vs full {}",
+            pruned.simulated().len(),
+            full.simulated().len()
+        );
+        assert_eq!(full.simulated().len(), full.estimated().len());
+    }
+
+    #[test]
+    fn neighborhood_between_pruned_and_full() {
+        let w = benchmarks::vocoder();
+        let p = ConexExplorer::new(ConexConfig::fast()).explore(&w, one_arch(&w));
+        let n = ConexExplorer::new(
+            ConexConfig::fast().with_strategy(ExplorationStrategy::Neighborhood),
+        )
+        .explore(&w, one_arch(&w));
+        let f = ConexExplorer::new(ConexConfig::fast().with_strategy(ExplorationStrategy::Full))
+            .explore(&w, one_arch(&w));
+        assert!(p.simulated().len() <= n.simulated().len());
+        assert!(n.simulated().len() <= f.simulated().len());
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated() {
+        let w = benchmarks::vocoder();
+        let result = ConexExplorer::new(ConexConfig::fast()).explore(&w, one_arch(&w));
+        let front = result.pareto_cost_latency();
+        for a in &front {
+            for b in &front {
+                let dominates = a.metrics.cost_gates < b.metrics.cost_gates
+                    && a.metrics.latency_cycles < b.metrics.latency_cycles;
+                assert!(!dominates, "{} dominates {}", a.describe(), b.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn max_logical_connections_limits_levels() {
+        // A multi-module architecture has >2 channels, so constraining the
+        // logical-connection count skips the finer clustering levels.
+        let w = benchmarks::li();
+        let mem = MemoryArchitecture::builder("dma")
+            .module(
+                "L1",
+                mce_memlib::MemModuleKind::Cache(CacheConfig::kilobytes(4)),
+            )
+            .module(
+                "dma",
+                mce_memlib::MemModuleKind::SelfIndirectDma {
+                    depth: 16,
+                    element_bytes: 8,
+                },
+            )
+            .map(mce_appmodel::DsId::new(0), 1)
+            .map_rest_to(0)
+            .build(&w)
+            .unwrap();
+        let mut cfg = ConexConfig::fast();
+        cfg.max_logical_connections = 2; // only the fully merged level
+        let limited = ConexExplorer::new(cfg).connectivity_exploration(&w, &mem);
+        let unlimited = ConexExplorer::new(ConexConfig::fast()).connectivity_exploration(&w, &mem);
+        assert!(
+            limited.len() < unlimited.len(),
+            "{} vs {}",
+            limited.len(),
+            unlimited.len()
+        );
+    }
+
+    #[test]
+    fn downsample_dedups_and_keeps_ends() {
+        assert_eq!(downsample(&[1, 2, 3, 4, 5], 3), vec![1, 3, 5]);
+        assert_eq!(downsample(&[1, 2], 5), vec![1, 2]);
+        assert_eq!(downsample(&[1, 2, 3], 1), vec![1]);
+    }
+
+    #[test]
+    fn elapsed_is_recorded() {
+        let w = benchmarks::vocoder();
+        let result = ConexExplorer::new(ConexConfig::fast()).explore(&w, one_arch(&w));
+        assert!(result.elapsed() > Duration::ZERO);
+    }
+}

@@ -1,0 +1,360 @@
+//! Pareto dominance, fronts, and coverage metrics.
+//!
+//! All three metrics are minimized. "A design is on the pareto curve if
+//! there is no other design which is better in both cost and performance"
+//! (paper, Section 6 footnote) — generalized here to any axis pair and to
+//! the full 3-D space. The coverage and average-distance metrics reproduce
+//! the paper's Table 2 methodology: compare the exploration's findings
+//! against the true front from full search, counting exact matches and the
+//! percentile deviation of the closest substitute for each missed point.
+
+use crate::design_point::Metrics;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A metric axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    /// Gate cost.
+    Cost,
+    /// Average memory latency.
+    Latency,
+    /// Average energy per access.
+    Energy,
+}
+
+impl Axis {
+    /// All three axes.
+    pub const ALL: [Axis; 3] = [Axis::Cost, Axis::Latency, Axis::Energy];
+
+    /// Extracts this axis's value from a metrics triple.
+    pub fn value(self, m: &Metrics) -> f64 {
+        match self {
+            Axis::Cost => m.cost_gates as f64,
+            Axis::Latency => m.latency_cycles,
+            Axis::Energy => m.energy_nj,
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Axis::Cost => "cost",
+            Axis::Latency => "latency",
+            Axis::Energy => "energy",
+        })
+    }
+}
+
+/// True if `a` dominates `b` on `axes`: no worse everywhere and strictly
+/// better somewhere.
+pub fn dominates(a: &Metrics, b: &Metrics, axes: &[Axis]) -> bool {
+    let mut strictly_better = false;
+    for &ax in axes {
+        let (va, vb) = (ax.value(a), ax.value(b));
+        if va > vb {
+            return false;
+        }
+        if va < vb {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// A pareto front over a set of metric triples.
+///
+/// ```
+/// use mce_conex::{Metrics, ParetoFront, Axis};
+/// let points = vec![
+///     Metrics::new(100, 10.0, 5.0),
+///     Metrics::new(200, 5.0, 5.0),
+///     Metrics::new(300, 9.0, 5.0), // dominated by the 200-gate point
+/// ];
+/// let front = ParetoFront::of(&points, &[Axis::Cost, Axis::Latency]);
+/// assert_eq!(front.indices(), &[0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParetoFront {
+    indices: Vec<usize>,
+}
+
+impl ParetoFront {
+    /// Computes the front of `points` on `axes` (O(n²) dominance check —
+    /// exploration sets are small).
+    ///
+    /// Duplicate-metric points: the first occurrence is kept.
+    pub fn of(points: &[Metrics], axes: &[Axis]) -> Self {
+        let mut indices = Vec::new();
+        'outer: for (i, p) in points.iter().enumerate() {
+            for (j, q) in points.iter().enumerate() {
+                if i != j && (dominates(q, p, axes) || (j < i && metrics_eq(q, p, axes))) {
+                    continue 'outer;
+                }
+            }
+            indices.push(i);
+        }
+        // Sort by the first axis for presentation.
+        if let Some(&first) = axes.first() {
+            indices.sort_by(|&a, &b| first.value(&points[a]).total_cmp(&first.value(&points[b])));
+        }
+        ParetoFront { indices }
+    }
+
+    /// Indices (into the original slice) of the front, sorted by the first
+    /// axis.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of points on the front.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True if the front is empty (only for empty input).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The front's metric values, selected from `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is not the slice the front was computed over.
+    pub fn select<'a>(&self, points: &'a [Metrics]) -> Vec<&'a Metrics> {
+        self.indices.iter().map(|&i| &points[i]).collect()
+    }
+}
+
+fn metrics_eq(a: &Metrics, b: &Metrics, axes: &[Axis]) -> bool {
+    axes.iter().all(|&ax| ax.value(a) == ax.value(b))
+}
+
+/// The Table 2 comparison: how well an exploration's points cover a
+/// reference (full-search) pareto front.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Fraction of reference pareto points exactly matched (within
+    /// `tolerance` relative error on every axis), in percent.
+    pub coverage_pct: f64,
+    /// Average percentile cost deviation of the closest substitute for the
+    /// missed points (0 when all covered).
+    pub avg_cost_dist_pct: f64,
+    /// Average percentile latency deviation for missed points.
+    pub avg_perf_dist_pct: f64,
+    /// Average percentile energy deviation for missed points.
+    pub avg_energy_dist_pct: f64,
+}
+
+impl CoverageReport {
+    /// Compares `found` points against the `reference` pareto points.
+    ///
+    /// A reference point counts as covered if some found point matches it
+    /// within `tolerance` relative error on all three axes. For each missed
+    /// reference point, the closest found point (by summed relative error)
+    /// provides the per-axis percentile distances, averaged over the missed
+    /// points — "even though a design point on the pareto curve has not
+    /// been found, another design with very close characteristics is
+    /// provided".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is empty or `found` is empty.
+    pub fn compare(reference: &[Metrics], found: &[Metrics], tolerance: f64) -> Self {
+        assert!(!reference.is_empty(), "reference front must be non-empty");
+        assert!(!found.is_empty(), "found set must be non-empty");
+        let mut covered = 0usize;
+        let mut dist_sums = [0.0f64; 3];
+        let mut missed = 0usize;
+        for r in reference {
+            let is_covered = found.iter().any(|f| {
+                Axis::ALL
+                    .iter()
+                    .all(|&ax| rel_err(ax.value(f), ax.value(r)) <= tolerance)
+            });
+            if is_covered {
+                covered += 1;
+                continue;
+            }
+            missed += 1;
+            let closest = found
+                .iter()
+                .min_by(|a, b| {
+                    let sa: f64 = Axis::ALL
+                        .iter()
+                        .map(|&ax| rel_err(ax.value(a), ax.value(r)))
+                        .sum();
+                    let sb: f64 = Axis::ALL
+                        .iter()
+                        .map(|&ax| rel_err(ax.value(b), ax.value(r)))
+                        .sum();
+                    sa.total_cmp(&sb)
+                })
+                .expect("found set is non-empty");
+            for (k, &ax) in Axis::ALL.iter().enumerate() {
+                dist_sums[k] += rel_err(ax.value(closest), ax.value(r)) * 100.0;
+            }
+        }
+        let denom = missed.max(1) as f64;
+        CoverageReport {
+            coverage_pct: covered as f64 / reference.len() as f64 * 100.0,
+            avg_cost_dist_pct: dist_sums[0] / denom,
+            avg_perf_dist_pct: dist_sums[1] / denom,
+            avg_energy_dist_pct: dist_sums[2] / denom,
+        }
+    }
+}
+
+fn rel_err(found: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if found == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (found - reference).abs() / reference.abs()
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "coverage {:.0}%, avg dist cost {:.2}% / perf {:.2}% / energy {:.2}%",
+            self.coverage_pct,
+            self.avg_cost_dist_pct,
+            self.avg_perf_dist_pct,
+            self.avg_energy_dist_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(c: u64, l: f64, e: f64) -> Metrics {
+        Metrics::new(c, l, e)
+    }
+
+    #[test]
+    fn dominance_basics() {
+        let axes = [Axis::Cost, Axis::Latency];
+        assert!(dominates(&m(1, 1.0, 9.0), &m(2, 2.0, 1.0), &axes));
+        assert!(!dominates(&m(1, 3.0, 0.0), &m(2, 2.0, 0.0), &axes));
+        assert!(
+            !dominates(&m(1, 1.0, 0.0), &m(1, 1.0, 0.0), &axes),
+            "equal never dominates"
+        );
+        // Equal on one axis, better on the other.
+        assert!(dominates(&m(1, 1.0, 0.0), &m(1, 2.0, 0.0), &axes));
+    }
+
+    #[test]
+    fn front_filters_dominated() {
+        let pts = vec![m(100, 10.0, 1.0), m(200, 5.0, 1.0), m(150, 12.0, 1.0)];
+        let f = ParetoFront::of(&pts, &[Axis::Cost, Axis::Latency]);
+        assert_eq!(f.indices(), &[0, 1]);
+    }
+
+    #[test]
+    fn front_sorted_by_first_axis() {
+        let pts = vec![m(300, 1.0, 1.0), m(100, 3.0, 1.0), m(200, 2.0, 1.0)];
+        let f = ParetoFront::of(&pts, &[Axis::Cost, Axis::Latency]);
+        assert_eq!(f.indices(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn duplicates_kept_once() {
+        let pts = vec![m(100, 1.0, 1.0), m(100, 1.0, 1.0)];
+        let f = ParetoFront::of(&pts, &[Axis::Cost, Axis::Latency]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.indices(), &[0]);
+    }
+
+    #[test]
+    fn three_d_front_differs_from_two_d() {
+        // Point 2 is dominated in (cost, latency) but unique best in energy.
+        let pts = vec![m(100, 10.0, 5.0), m(200, 5.0, 5.0), m(250, 9.0, 1.0)];
+        let f2 = ParetoFront::of(&pts, &[Axis::Cost, Axis::Latency]);
+        let f3 = ParetoFront::of(&pts, &Axis::ALL);
+        assert_eq!(f2.len(), 2);
+        assert_eq!(f3.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_empty_front() {
+        let f = ParetoFront::of(&[], &Axis::ALL);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn single_point_is_front() {
+        let pts = vec![m(1, 1.0, 1.0)];
+        let f = ParetoFront::of(&pts, &Axis::ALL);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn full_coverage_when_identical() {
+        let reference = vec![m(100, 10.0, 5.0), m(200, 5.0, 6.0)];
+        let r = CoverageReport::compare(&reference, &reference, 0.001);
+        assert_eq!(r.coverage_pct, 100.0);
+        assert_eq!(r.avg_cost_dist_pct, 0.0);
+    }
+
+    #[test]
+    fn partial_coverage_reports_distance() {
+        let reference = vec![m(100, 10.0, 5.0), m(200, 5.0, 6.0)];
+        let found = vec![m(100, 10.0, 5.0), m(210, 5.2, 6.1)];
+        let r = CoverageReport::compare(&reference, &found, 0.001);
+        assert_eq!(r.coverage_pct, 50.0);
+        assert!(
+            (r.avg_cost_dist_pct - 5.0).abs() < 0.01,
+            "{}",
+            r.avg_cost_dist_pct
+        );
+        assert!(
+            (r.avg_perf_dist_pct - 4.0).abs() < 0.01,
+            "{}",
+            r.avg_perf_dist_pct
+        );
+    }
+
+    #[test]
+    fn tolerance_widens_coverage() {
+        let reference = vec![m(100, 10.0, 5.0)];
+        let found = vec![m(104, 10.2, 5.1)];
+        let tight = CoverageReport::compare(&reference, &found, 0.001);
+        let loose = CoverageReport::compare(&reference, &found, 0.05);
+        assert_eq!(tight.coverage_pct, 0.0);
+        assert_eq!(loose.coverage_pct, 100.0);
+    }
+
+    #[test]
+    fn select_returns_front_metrics() {
+        let pts = vec![m(300, 1.0, 1.0), m(100, 3.0, 1.0)];
+        let f = ParetoFront::of(&pts, &[Axis::Cost, Axis::Latency]);
+        let sel = f.select(&pts);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel[0].cost_gates, 100);
+    }
+
+    #[test]
+    fn axis_display_and_value() {
+        let p = m(10, 2.0, 3.0);
+        assert_eq!(Axis::Cost.value(&p), 10.0);
+        assert_eq!(Axis::Latency.value(&p), 2.0);
+        assert_eq!(Axis::Energy.value(&p), 3.0);
+        assert_eq!(Axis::Energy.to_string(), "energy");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_reference_rejected() {
+        let _ = CoverageReport::compare(&[], &[m(1, 1.0, 1.0)], 0.01);
+    }
+}

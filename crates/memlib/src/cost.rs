@@ -1,0 +1,129 @@
+//! Gate-count cost model for memory modules.
+//!
+//! The paper reports cost "in basic gates", using the area models of
+//! Catthoor et al. for memories. We use synthetic linear models with
+//! constants chosen so that whole-system costs land in the paper's reported
+//! ranges (≈150 k gates for the smallest vocoder system up to ≈900 k for the
+//! richest compress system). Only *relative* cost ordering influences the
+//! exploration, so the constants are documented here once and used
+//! everywhere.
+
+use crate::cache::CacheConfig;
+use crate::module::MemModuleKind;
+
+/// Gates per bit of SRAM storage (6T cell + column overhead).
+pub const GATES_PER_SRAM_BIT: u64 = 4;
+/// Gates per bit of cache data/tag storage (adds comparators/valid bits).
+pub const GATES_PER_CACHE_BIT: u64 = 5;
+/// Fixed control overhead of a cache (state machine, fill buffer).
+pub const CACHE_CONTROL_GATES: u64 = 5_000;
+/// Additional control per way (comparator, mux legs).
+pub const CACHE_WAY_GATES: u64 = 2_000;
+/// Fixed control overhead of a stream buffer (stride detector, tags).
+pub const STREAM_BUFFER_CONTROL_GATES: u64 = 8_000;
+/// Fixed control overhead of a self-indirect DMA (walk engine, address ALU).
+pub const DMA_CONTROL_GATES: u64 = 18_000;
+/// Fixed control overhead of a FIFO write queue (pointers, drain engine).
+pub const FIFO_CONTROL_GATES: u64 = 6_000;
+/// On-chip DRAM controller (the DRAM array itself is off-chip and free).
+pub const DRAM_CONTROLLER_GATES: u64 = 15_000;
+/// Base system cost: CPU bus-interface unit, pads, clocking. Added once per
+/// architecture, not per module.
+pub const SYSTEM_BASE_GATES: u64 = 120_000;
+
+/// Physical address bits assumed for tag sizing.
+const ADDR_BITS: u64 = 32;
+
+/// Gate cost of one cache instance.
+pub fn cache_gates(config: &CacheConfig) -> u64 {
+    let data_bits = config.size_bytes * 8;
+    let sets = config.num_sets();
+    let offset_bits = (config.line_bytes as u64).trailing_zeros() as u64;
+    let index_bits = sets.trailing_zeros() as u64;
+    let tag_bits = ADDR_BITS.saturating_sub(offset_bits + index_bits);
+    let tag_storage_bits = sets * config.ways as u64 * (tag_bits + 2); // +valid +dirty
+    data_bits * GATES_PER_CACHE_BIT
+        + tag_storage_bits * GATES_PER_CACHE_BIT
+        + CACHE_CONTROL_GATES
+        + config.ways as u64 * CACHE_WAY_GATES
+}
+
+/// Gate cost of one module instance.
+pub fn module_gates(kind: MemModuleKind) -> u64 {
+    match kind {
+        MemModuleKind::Cache(cfg) => cache_gates(&cfg),
+        MemModuleKind::Sram { bytes } => bytes * 8 * GATES_PER_SRAM_BIT,
+        MemModuleKind::StreamBuffer {
+            entries,
+            line_bytes,
+        } => {
+            entries as u64 * line_bytes as u64 * 8 * GATES_PER_SRAM_BIT
+                + STREAM_BUFFER_CONTROL_GATES
+        }
+        MemModuleKind::SelfIndirectDma {
+            depth,
+            element_bytes,
+        } => depth as u64 * element_bytes as u64 * 8 * GATES_PER_SRAM_BIT + DMA_CONTROL_GATES,
+        MemModuleKind::Fifo {
+            entries,
+            line_bytes,
+        } => entries as u64 * line_bytes as u64 * 8 * GATES_PER_SRAM_BIT + FIFO_CONTROL_GATES,
+        MemModuleKind::OffChipDram(_) => DRAM_CONTROLLER_GATES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramConfig;
+
+    #[test]
+    fn cache_cost_scales_with_size() {
+        let small = cache_gates(&CacheConfig::kilobytes(1));
+        let big = cache_gates(&CacheConfig::kilobytes(8));
+        assert!(big > 4 * small, "8K cache should cost much more than 1K");
+    }
+
+    #[test]
+    fn cache_cost_in_paper_ballpark() {
+        // An 8 KiB cache plus the base system should land in the paper's
+        // cheapest-compress-architecture range (~480 k gates).
+        let total = cache_gates(&CacheConfig::kilobytes(8)) + SYSTEM_BASE_GATES;
+        assert!((350_000..650_000).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn sram_cheaper_than_cache_same_capacity() {
+        let sram = module_gates(MemModuleKind::Sram { bytes: 4096 });
+        let cache = module_gates(MemModuleKind::Cache(CacheConfig::kilobytes(4)));
+        assert!(sram < cache, "scratchpad has no tags/comparators");
+    }
+
+    #[test]
+    fn dma_dominated_by_control_at_small_depth() {
+        let g = module_gates(MemModuleKind::SelfIndirectDma {
+            depth: 4,
+            element_bytes: 8,
+        });
+        assert!(g >= DMA_CONTROL_GATES);
+        assert!(g < DMA_CONTROL_GATES + 10_000);
+    }
+
+    #[test]
+    fn dram_counts_controller_only() {
+        assert_eq!(
+            module_gates(MemModuleKind::OffChipDram(DramConfig::typical())),
+            DRAM_CONTROLLER_GATES
+        );
+    }
+
+    #[test]
+    fn associativity_costs_gates() {
+        let two_way = cache_gates(&CacheConfig::kilobytes(4));
+        let four_way = cache_gates(&CacheConfig {
+            ways: 4,
+            ..CacheConfig::kilobytes(4)
+        });
+        assert!(four_way > two_way);
+    }
+}

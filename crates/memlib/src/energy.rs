@@ -1,0 +1,95 @@
+//! Per-access energy model for memory modules.
+//!
+//! The paper drives its exploration with the connectivity and memory
+//! power/area estimation models of Catthoor et al. We use synthetic
+//! constants in nanojoules with the same structure: a fixed per-request
+//! term plus a per-byte transfer term, with the off-chip DRAM dominating —
+//! which is what makes the paper's Table 1 energy column nearly flat while
+//! latency varies by an order of magnitude ("the connectivity consumes a
+//! small amount of power compared to the memory modules").
+
+use crate::module::MemModuleKind;
+
+/// Fixed per-access system energy (CPU load/store unit, clock tree, pad
+/// ring) in nJ — sized for the paper's ~0.25 µm era, where this floor is
+/// what keeps average energy per access nearly constant across memory
+/// architectures (Table 1's flat energy column).
+pub const CPU_INTERFACE_NJ: f64 = 4.0;
+/// Fixed energy per DRAM request (row/column decode, sense amps), nJ.
+pub const DRAM_REQUEST_NJ: f64 = 5.0;
+/// Energy per byte moved to/from DRAM, nJ.
+pub const DRAM_PER_BYTE_NJ: f64 = 0.12;
+/// Extra energy when a DRAM request opens a new row, nJ.
+pub const DRAM_ROW_MISS_NJ: f64 = 1.5;
+
+/// On-chip access energy of one module, nJ per access.
+///
+/// Grows gently with storage size (longer bitlines), which is why richer
+/// architectures in Table 1 spend slightly *more* energy per access even as
+/// they are much faster.
+pub fn module_access_nj(kind: MemModuleKind) -> f64 {
+    match kind {
+        MemModuleKind::Cache(cfg) => 0.20 + 0.015 * (cfg.size_bytes as f64 / 1024.0),
+        MemModuleKind::Sram { bytes } => 0.10 + 0.010 * (bytes as f64 / 1024.0),
+        MemModuleKind::StreamBuffer {
+            entries,
+            line_bytes,
+        } => 0.12 + 0.002 * (entries as f64 * line_bytes as f64 / 64.0),
+        MemModuleKind::SelfIndirectDma { .. } => 0.30,
+        MemModuleKind::Fifo {
+            entries,
+            line_bytes,
+        } => 0.10 + 0.002 * (entries as f64 * line_bytes as f64 / 64.0),
+        MemModuleKind::OffChipDram(_) => 0.0, // counted via request/byte terms
+    }
+}
+
+/// Energy of one DRAM transaction of `bytes`, nJ.
+///
+/// `row_miss` marks whether the transaction had to open a new row.
+pub fn dram_transaction_nj(bytes: u64, row_miss: bool) -> f64 {
+    DRAM_REQUEST_NJ
+        + DRAM_PER_BYTE_NJ * bytes as f64
+        + if row_miss { DRAM_ROW_MISS_NJ } else { 0.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::dram::DramConfig;
+
+    #[test]
+    fn dram_dominates_on_chip() {
+        let on_chip = module_access_nj(MemModuleKind::Cache(CacheConfig::kilobytes(8)));
+        let off_chip = dram_transaction_nj(32, true);
+        assert!(off_chip > 10.0 * on_chip, "off-chip must dominate");
+    }
+
+    #[test]
+    fn bigger_storage_costs_more_energy() {
+        let small = module_access_nj(MemModuleKind::Sram { bytes: 1024 });
+        let big = module_access_nj(MemModuleKind::Sram { bytes: 16 * 1024 });
+        assert!(big > small);
+    }
+
+    #[test]
+    fn row_miss_adds_energy() {
+        assert!(dram_transaction_nj(8, true) > dram_transaction_nj(8, false));
+    }
+
+    #[test]
+    fn dram_module_itself_free_per_access() {
+        assert_eq!(
+            module_access_nj(MemModuleKind::OffChipDram(DramConfig::typical())),
+            0.0
+        );
+    }
+
+    #[test]
+    fn per_byte_term_scales() {
+        let small = dram_transaction_nj(8, false);
+        let big = dram_transaction_nj(64, false);
+        assert!((big - small - DRAM_PER_BYTE_NJ * 56.0).abs() < 1e-9);
+    }
+}

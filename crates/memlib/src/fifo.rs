@@ -1,0 +1,204 @@
+//! FIFO (write-queue) module model.
+//!
+//! The paper's connectivity-architecture template (Figure 2) includes a
+//! FIFO between the CPU and the off-chip memory: output streams are
+//! *produced* by the CPU and drained to DRAM in the background, so the CPU
+//! should never stall on them. The model is a write-combining queue:
+//!
+//! * writes hit as long as a slot is free; full lines are drained to DRAM
+//!   as background traffic at line granularity;
+//! * when the queue is full the write becomes a demand transaction (the
+//!   drain engine could not keep up — backpressure);
+//! * reads (rare on an output stream, e.g. re-reading the last code word)
+//!   hit if the data is still queued, else fetch from DRAM.
+
+use crate::module::{ModuleModel, ModuleResponse};
+use mce_appmodel::{AccessKind, Addr};
+
+/// Queue hit latency in cycles.
+pub const FIFO_HIT_CYCLES: u32 = 1;
+/// CPU cycles the drain engine needs per line written back to DRAM.
+pub const FIFO_DRAIN_CYCLES_PER_LINE: u64 = 10;
+
+/// Mutable state of a FIFO write queue.
+#[derive(Debug, Clone)]
+pub struct FifoState {
+    /// Capacity in lines.
+    entries: u32,
+    line_bytes: u32,
+    /// Lines currently queued (newest last).
+    queued: Vec<u64>,
+    /// Fractional drain progress in cycles.
+    drain_progress: u64,
+    last_tick: Option<u64>,
+}
+
+impl FifoState {
+    /// Creates an empty FIFO of `entries` lines of `line_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `line_bytes` is zero.
+    pub fn new(entries: u32, line_bytes: u32) -> Self {
+        assert!(entries > 0, "FIFO needs at least one entry");
+        assert!(line_bytes > 0, "line size must be non-zero");
+        FifoState {
+            entries,
+            line_bytes,
+            queued: Vec::new(),
+            drain_progress: 0,
+            last_tick: None,
+        }
+    }
+
+    /// Lines currently occupying the queue.
+    pub fn occupancy(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Runs the drain engine for `cycles`; returns bytes drained to DRAM.
+    fn drain(&mut self, cycles: u64) -> u64 {
+        self.drain_progress += cycles;
+        let mut drained = 0;
+        while self.drain_progress >= FIFO_DRAIN_CYCLES_PER_LINE && !self.queued.is_empty() {
+            self.drain_progress -= FIFO_DRAIN_CYCLES_PER_LINE;
+            self.queued.remove(0);
+            drained += self.line_bytes as u64;
+        }
+        if self.queued.is_empty() {
+            self.drain_progress = 0;
+        }
+        drained
+    }
+}
+
+impl ModuleModel for FifoState {
+    fn access(&mut self, addr: Addr, kind: AccessKind, tick: u64) -> ModuleResponse {
+        let elapsed = match self.last_tick {
+            Some(prev) => tick.saturating_sub(prev),
+            None => 0,
+        };
+        self.last_tick = Some(tick);
+        let background = self.drain(elapsed);
+        let line = addr.block(self.line_bytes as u64);
+
+        if kind.is_write() {
+            if self.queued.last() == Some(&line) {
+                // Write-combining into the open line.
+                return ModuleResponse::hit(FIFO_HIT_CYCLES).with_background(background);
+            }
+            if (self.queued.len() as u32) < self.entries {
+                self.queued.push(line);
+                ModuleResponse::hit(FIFO_HIT_CYCLES).with_background(background)
+            } else {
+                // Queue full: the line goes straight to DRAM and the CPU
+                // waits for the transaction (backpressure).
+                ModuleResponse::miss(FIFO_HIT_CYCLES, self.line_bytes as u64)
+                    .with_background(background)
+            }
+        } else if self.queued.contains(&line) {
+            // Read of still-queued data (store-to-load forwarding).
+            ModuleResponse::hit(FIFO_HIT_CYCLES).with_background(background)
+        } else {
+            ModuleResponse::miss(FIFO_HIT_CYCLES, self.line_bytes as u64)
+                .with_background(background)
+        }
+    }
+
+    fn reset(&mut self) {
+        self.queued.clear();
+        self.drain_progress = 0;
+        self.last_tick = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_hit_while_queue_has_room() {
+        let mut f = FifoState::new(4, 32);
+        for i in 0..4u64 {
+            let r = f.access(Addr::new(i * 32), AccessKind::Write, i * 50);
+            assert!(r.hit, "write {i} should hit");
+        }
+    }
+
+    #[test]
+    fn write_combining_same_line() {
+        let mut f = FifoState::new(2, 32);
+        assert!(f.access(Addr::new(0), AccessKind::Write, 0).hit);
+        assert!(f.access(Addr::new(4), AccessKind::Write, 1).hit);
+        assert!(f.access(Addr::new(8), AccessKind::Write, 2).hit);
+        assert_eq!(f.occupancy(), 1, "same line must combine");
+    }
+
+    #[test]
+    fn full_queue_backpressures() {
+        let mut f = FifoState::new(2, 32);
+        // Fill the queue with back-to-back distinct lines, no drain time.
+        f.access(Addr::new(0), AccessKind::Write, 0);
+        f.access(Addr::new(32), AccessKind::Write, 0);
+        let r = f.access(Addr::new(64), AccessKind::Write, 0);
+        assert!(!r.hit, "full FIFO must stall");
+        assert_eq!(r.demand_fill_bytes, 32);
+    }
+
+    #[test]
+    fn drain_frees_slots_and_moves_bytes() {
+        let mut f = FifoState::new(2, 32);
+        f.access(Addr::new(0), AccessKind::Write, 0);
+        f.access(Addr::new(32), AccessKind::Write, 1);
+        // 25 cycles later the engine drained 2 lines (10 cycles each).
+        let r = f.access(Addr::new(64), AccessKind::Write, 26);
+        assert!(r.hit);
+        assert_eq!(r.background_bytes, 64, "two lines drained");
+    }
+
+    #[test]
+    fn read_forwards_from_queue() {
+        let mut f = FifoState::new(4, 32);
+        f.access(Addr::new(0), AccessKind::Write, 0);
+        let r = f.access(Addr::new(16), AccessKind::Read, 1);
+        assert!(r.hit, "queued line must forward");
+    }
+
+    #[test]
+    fn read_of_drained_data_misses() {
+        let mut f = FifoState::new(4, 32);
+        f.access(Addr::new(0), AccessKind::Write, 0);
+        // Long idle: line drained.
+        let r = f.access(Addr::new(0), AccessKind::Read, 1000);
+        assert!(!r.hit);
+        assert_eq!(r.demand_fill_bytes, 32);
+    }
+
+    #[test]
+    fn steady_paced_stream_never_stalls() {
+        // One line every 40 cycles: drain (10 cyc/line) keeps up easily.
+        let mut f = FifoState::new(4, 32);
+        let mut stalls = 0;
+        for i in 0..100u64 {
+            if !f.access(Addr::new(i * 32), AccessKind::Write, i * 40).hit {
+                stalls += 1;
+            }
+        }
+        assert_eq!(stalls, 0);
+    }
+
+    #[test]
+    fn reset_empties_queue() {
+        let mut f = FifoState::new(4, 32);
+        f.access(Addr::new(0), AccessKind::Write, 0);
+        f.reset();
+        assert_eq!(f.occupancy(), 0);
+        assert!(!f.access(Addr::new(0), AccessKind::Read, 1).hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = FifoState::new(0, 32);
+    }
+}

@@ -1,0 +1,49 @@
+//! # mce-memlib — memory-module IP library
+//!
+//! Behavioural, cost and energy models for the memory modules the paper's
+//! APEX/ConEx flow draws from its memory IP library: set-associative
+//! **caches**, on-chip **SRAM** scratchpads, **stream buffers**,
+//! **self-indirect (linked-list) DMA** modules, **FIFOs** and the off-chip
+//! **DRAM**. A [`MemoryArchitecture`] combines a set of modules with a
+//! data-structure→module mapping; the system simulator (`mce-sim`) drives the
+//! behavioural models with a trace and the connectivity layer on top.
+//!
+//! The models are deliberately at the same granularity the paper used
+//! (SIMPRESS-style cycle-level behavioural models, gate-count costs from
+//! Catthoor-style area models, per-access energy): accurate *relative*
+//! ordering is what drives the exploration, not absolute silicon numbers.
+//!
+//! ## Example
+//!
+//! ```
+//! use mce_memlib::{CacheConfig, MemoryArchitecture};
+//! use mce_appmodel::benchmarks;
+//!
+//! let workload = benchmarks::compress();
+//! let arch = MemoryArchitecture::cache_only(&workload, CacheConfig::kilobytes(8));
+//! assert!(arch.gate_cost() > 0);
+//! assert!(arch.validate(&workload).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod cache;
+pub mod cost;
+pub mod dma;
+pub mod dram;
+pub mod energy;
+pub mod fifo;
+pub mod module;
+pub mod sram;
+pub mod stream_buffer;
+
+pub use arch::{ArchError, MemoryArchitecture, ModuleId};
+pub use cache::{CacheConfig, CacheState, ReplacementPolicy, WriteMissPolicy, WritePolicy};
+pub use dma::SelfIndirectDmaState;
+pub use dram::{DramConfig, DramState};
+pub use fifo::FifoState;
+pub use module::{MemModule, MemModuleKind, ModuleModel, ModuleResponse};
+pub use sram::SramState;
+pub use stream_buffer::StreamBufferState;

@@ -1,0 +1,187 @@
+//! Stream-buffer model.
+//!
+//! A stream buffer locks onto a constant-stride access stream and prefetches
+//! `entries` lines ahead. Once locked, accesses that continue the stream hit
+//! in the buffer (the prefetcher stays ahead of the CPU); the prefetch
+//! traffic itself still moves over the off-chip channel as background bytes,
+//! so it costs energy and bandwidth but not CPU stall time. A break in the
+//! stride (or the initial cold access) is a demand miss and restarts the
+//! stride-detection state machine.
+
+use crate::module::{ModuleModel, ModuleResponse};
+use mce_appmodel::{AccessKind, Addr};
+
+/// Buffer hit latency in cycles.
+pub const STREAM_HIT_CYCLES: u32 = 1;
+/// Consecutive constant-stride accesses required to lock the prefetcher.
+const LOCK_THRESHOLD: u32 = 2;
+
+/// Mutable state of a stream buffer.
+#[derive(Debug, Clone)]
+pub struct StreamBufferState {
+    entries: u32,
+    line_bytes: u32,
+    last_addr: Option<u64>,
+    stride: i64,
+    streak: u32,
+    /// Blocks already prefetched ahead of the current position.
+    prefetched_ahead: u32,
+}
+
+impl StreamBufferState {
+    /// Creates a cold stream buffer with `entries` slots of `line_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `line_bytes` is zero.
+    pub fn new(entries: u32, line_bytes: u32) -> Self {
+        assert!(entries > 0, "stream buffer needs at least one entry");
+        assert!(line_bytes > 0, "line size must be non-zero");
+        StreamBufferState {
+            entries,
+            line_bytes,
+            last_addr: None,
+            stride: 0,
+            streak: 0,
+            prefetched_ahead: 0,
+        }
+    }
+
+    /// True once the stride detector has locked and prefetch is active.
+    pub fn is_locked(&self) -> bool {
+        self.streak >= LOCK_THRESHOLD
+    }
+}
+
+impl ModuleModel for StreamBufferState {
+    fn access(&mut self, addr: Addr, _kind: AccessKind, _tick: u64) -> ModuleResponse {
+        let raw = addr.raw();
+        let line = self.line_bytes as u64;
+        let response = match self.last_addr {
+            Some(prev) => {
+                let delta = raw as i64 - prev as i64;
+                if delta == self.stride && delta.unsigned_abs() <= line {
+                    self.streak = self.streak.saturating_add(1);
+                } else {
+                    self.stride = delta;
+                    self.streak = 1;
+                    self.prefetched_ahead = 0;
+                }
+                if self.is_locked() {
+                    // Locked: same-line accesses and next-line accesses with
+                    // prefetch credit hit; refill one line in background when
+                    // we cross into a new line.
+                    let crossed = raw / line != prev / line;
+                    if crossed {
+                        if self.prefetched_ahead > 0 {
+                            self.prefetched_ahead -= 1;
+                            ModuleResponse::hit(STREAM_HIT_CYCLES).with_background(line)
+                        } else {
+                            // Prefetcher not warm yet for this line.
+                            self.prefetched_ahead = self.entries - 1;
+                            ModuleResponse::miss(STREAM_HIT_CYCLES, line)
+                                .with_background(line * (self.entries as u64 - 1))
+                        }
+                    } else {
+                        ModuleResponse::hit(STREAM_HIT_CYCLES)
+                    }
+                } else {
+                    // Still detecting: the access goes to DRAM.
+                    ModuleResponse::miss(STREAM_HIT_CYCLES, line)
+                }
+            }
+            None => {
+                self.streak = 0;
+                ModuleResponse::miss(STREAM_HIT_CYCLES, line)
+            }
+        };
+        self.last_addr = Some(raw);
+        response
+    }
+
+    fn reset(&mut self) {
+        self.last_addr = None;
+        self.stride = 0;
+        self.streak = 0;
+        self.prefetched_ahead = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(buf: &mut StreamBufferState, addrs: &[u64]) -> Vec<bool> {
+        addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| buf.access(Addr::new(a), AccessKind::Read, i as u64).hit)
+            .collect()
+    }
+
+    #[test]
+    fn steady_stream_hits_after_warmup() {
+        let mut b = StreamBufferState::new(4, 32);
+        let addrs: Vec<u64> = (0..200).map(|i| i * 4).collect();
+        let hits = run(&mut b, &addrs);
+        let warm_hits = hits[16..].iter().filter(|&&h| h).count();
+        assert!(
+            warm_hits as f64 > 0.95 * (hits.len() - 16) as f64,
+            "warm hit count {warm_hits}"
+        );
+    }
+
+    #[test]
+    fn cold_start_misses() {
+        let mut b = StreamBufferState::new(4, 32);
+        let hits = run(&mut b, &[0, 4, 8]);
+        assert!(!hits[0], "first access must miss");
+    }
+
+    #[test]
+    fn stride_break_resets_lock() {
+        let mut b = StreamBufferState::new(4, 32);
+        run(&mut b, &[0, 4, 8, 12, 16]);
+        assert!(b.is_locked());
+        // Jump far away: lock must drop.
+        b.access(Addr::new(100_000), AccessKind::Read, 10);
+        assert!(!b.is_locked());
+    }
+
+    #[test]
+    fn random_traffic_mostly_misses() {
+        let mut b = StreamBufferState::new(4, 32);
+        // A scattered sequence with no constant stride.
+        let addrs = [7_u64, 991, 13, 4096, 77, 2048, 5, 9999, 123, 777];
+        let hits = run(&mut b, &addrs);
+        assert!(hits.iter().filter(|&&h| h).count() <= 1);
+    }
+
+    #[test]
+    fn prefetch_generates_background_traffic() {
+        let mut b = StreamBufferState::new(4, 32);
+        let addrs: Vec<u64> = (0..100).map(|i| i * 4).collect();
+        let mut background = 0;
+        for (i, &a) in addrs.iter().enumerate() {
+            background += b
+                .access(Addr::new(a), AccessKind::Read, i as u64)
+                .background_bytes;
+        }
+        assert!(background > 0, "prefetching must move off-chip bytes");
+    }
+
+    #[test]
+    fn reset_returns_to_cold() {
+        let mut b = StreamBufferState::new(4, 32);
+        run(&mut b, &[0, 4, 8, 12]);
+        b.reset();
+        assert!(!b.is_locked());
+        assert!(!b.access(Addr::new(16), AccessKind::Read, 0).hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = StreamBufferState::new(0, 32);
+    }
+}

@@ -1,0 +1,677 @@
+//! The trace-replay simulation engine.
+//!
+//! Replays a workload trace through a [`SystemConfig`]: every access goes to
+//! its serving memory module's behavioural model, element transfers move
+//! over the connectivity link carrying the CPU↔module channel, and misses
+//! additionally pay a DRAM transaction over the module↔DRAM channel. Reads
+//! block the CPU (their latency feeds the average-memory-latency metric and
+//! delays subsequent accesses); writes are posted but still occupy links and
+//! energy. Link contention — the paper's "bus multiplexing, or bus
+//! conflicts" — emerges from the reservation tables and arbiters in
+//! `mce-connlib`.
+
+use crate::stats::{ChannelStats, DsLatencyStats, ModuleStats, SimStats};
+use crate::system::SystemConfig;
+use mce_appmodel::{MemAccess, Workload};
+use mce_connlib::{ChannelId, LinkState};
+use mce_memlib::energy::{dram_transaction_nj, module_access_nj, CPU_INTERFACE_NJ};
+use mce_memlib::{DramState, ModuleModel};
+
+/// Backpressure bound: posted (non-blocking) traffic may run at most this
+/// many cycles ahead of the CPU on any link. When a link's backlog exceeds
+/// the bound, the CPU stalls until it drains — modelling the finite write/
+/// prefetch buffering of real systems. This also keeps the reservation
+/// tables bounded, so heavily oversubscribed design points (which the paper
+/// likewise observed as "designs exhibiting very bad performance") simulate
+/// in linear time instead of degenerating.
+pub const BACKPRESSURE_CYCLES: u64 = 256;
+
+/// Mutable state of one simulation run. Create with [`Simulator::new`],
+/// feed accesses in trace order with [`Simulator::step`], and read the
+/// result from [`Simulator::finish`].
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    sys: &'a SystemConfig,
+    workload: &'a Workload,
+    /// Behavioural state per module (None for the DRAM slot — the DRAM is
+    /// modelled by `dram` below so row state is shared by all requesters).
+    modules: Vec<Option<Box<dyn ModuleModel>>>,
+    links: Vec<LinkState>,
+    dram: DramState,
+    /// Master index of each channel within its link (for arbitration).
+    channel_master: Vec<usize>,
+    /// Per-link monotonic ready floor, keeping reservation-table calls in
+    /// nondecreasing order even when posted writes reorder ready times.
+    link_floor: Vec<u64>,
+    now: u64,
+    prev_tick: u64,
+    module_accesses: Vec<u64>,
+    module_hits: Vec<u64>,
+    ds_accesses: Vec<u64>,
+    ds_latency: Vec<u64>,
+    accesses: u64,
+    reads: u64,
+    hits: u64,
+    total_latency: u64,
+    energy_nj: f64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a cold simulation of `sys` for `workload`.
+    pub fn new(sys: &'a SystemConfig, workload: &'a Workload) -> Self {
+        let mem = sys.mem();
+        let dram_id = mem.dram_id();
+        let modules = mem
+            .modules()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                if i == dram_id.index() {
+                    None
+                } else {
+                    Some(m.kind().instantiate())
+                }
+            })
+            .collect();
+        let conn = sys.conn();
+        let links: Vec<LinkState> = conn
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(j, l)| LinkState::new(*l.component(), conn.ports(mce_connlib::LinkId::new(j))))
+            .collect();
+        // Master index = position of the channel among its link's channels.
+        let mut seen_per_link = vec![0usize; links.len()];
+        let channel_master = (0..conn.channels().len())
+            .map(|i| {
+                let link = conn
+                    .link_of(ChannelId::new(i))
+                    .expect("validated system has full assignment");
+                let m = seen_per_link[link.index()];
+                seen_per_link[link.index()] += 1;
+                m
+            })
+            .collect();
+        let n_links = links.len();
+        let n_modules = mem.modules().len();
+        Simulator {
+            sys,
+            workload,
+            modules,
+            links,
+            dram: DramState::new(mem.dram_config()),
+            channel_master,
+            link_floor: vec![0; n_links],
+            now: 0,
+            prev_tick: 0,
+            module_accesses: vec![0; n_modules],
+            module_hits: vec![0; n_modules],
+            ds_accesses: vec![0; workload.len()],
+            ds_latency: vec![0; workload.len()],
+            accesses: 0,
+            reads: 0,
+            hits: 0,
+            total_latency: 0,
+            energy_nj: 0.0,
+        }
+    }
+
+    /// Current simulated time in cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedules `bytes` on the link carrying `channel`, at the earliest
+    /// nondecreasing time ≥ `ready`. Returns the completion cycle.
+    fn link_transfer(&mut self, channel: ChannelId, ready: u64, bytes: u64) -> u64 {
+        let link = self
+            .sys
+            .conn()
+            .link_of(channel)
+            .expect("validated system has full assignment");
+        let floor = &mut self.link_floor[link.index()];
+        let ready = ready.max(*floor);
+        *floor = ready;
+        let master = self.channel_master[channel.index()];
+        self.links[link.index()]
+            .transfer(ready, bytes, master)
+            .complete
+    }
+
+    /// Performs one DRAM transaction and accounts its energy. Returns the
+    /// DRAM-internal cycles.
+    fn dram_transaction(&mut self, addr: mce_appmodel::Addr, bytes: u64) -> u32 {
+        let misses_before = self.dram.row_misses();
+        let cycles = self.dram.access_cycles(addr, bytes);
+        let row_miss = self.dram.row_misses() > misses_before;
+        self.energy_nj += dram_transaction_nj(bytes, row_miss);
+        cycles
+    }
+
+    /// Demand-fetches `bytes` into `module` from its downstream store —
+    /// the next-level cache for backed modules (the multi-level extension),
+    /// or the off-chip DRAM — recursing down the (validated acyclic)
+    /// backing chain on nested misses. Returns the completion cycle.
+    fn fetch_downstream(
+        &mut self,
+        module: mce_memlib::ModuleId,
+        addr: mce_appmodel::Addr,
+        bytes: u64,
+        ready: u64,
+    ) -> u64 {
+        let ch = self
+            .sys
+            .downstream_channel(module)
+            .expect("a missing module always has a downstream channel");
+        match self.sys.mem().backing_of(module) {
+            None => {
+                let dram_cycles = self.dram_transaction(addr, bytes);
+                let bus_done = self.link_transfer(ch, ready, bytes);
+                bus_done + dram_cycles as u64
+            }
+            Some(l2) => {
+                self.energy_nj += module_access_nj(self.sys.mem().module(l2).kind());
+                let resp = self.modules[l2.index()]
+                    .as_mut()
+                    .expect("backing module has a behavioural model")
+                    .access(addr, mce_appmodel::AccessKind::Read, ready);
+                let link_done = self.link_transfer(ch, ready, bytes);
+                let mut done = link_done + resp.service_cycles as u64;
+                if resp.demand_fill_bytes > 0 {
+                    done = self.fetch_downstream(l2, addr, resp.demand_fill_bytes, done);
+                }
+                if resp.background_bytes > 0 {
+                    self.background_downstream(l2, resp.background_bytes, done);
+                }
+                done
+            }
+        }
+    }
+
+    /// Schedules `module`'s posted (non-blocking) downstream traffic —
+    /// prefetches and writebacks. Over an off-chip channel this is a DRAM
+    /// transaction (energy included); over a module↔module channel the
+    /// next-level cache absorbs it (its own evictions surface when it is
+    /// accessed).
+    fn background_downstream(&mut self, module: mce_memlib::ModuleId, bytes: u64, ready: u64) {
+        if let Some(ch) = self.sys.downstream_channel(module) {
+            let _ = self.link_transfer(ch, ready, bytes);
+            if self.sys.mem().backing_of(module).is_none() {
+                self.energy_nj += dram_transaction_nj(bytes, false);
+            }
+        }
+    }
+
+    /// Advances CPU time to the access's issue point (compute gap since the
+    /// previous trace entry), without performing an access. Used by the
+    /// time-sampling estimator for "off" periods.
+    pub fn skip(&mut self, acc: &MemAccess) {
+        self.now += acc.tick.saturating_sub(self.prev_tick);
+        self.prev_tick = acc.tick;
+    }
+
+    /// Simulates one access; returns its memory latency in cycles.
+    pub fn step(&mut self, acc: &MemAccess) -> u64 {
+        self.now += acc.tick.saturating_sub(self.prev_tick);
+        self.prev_tick = acc.tick;
+        let issue = self.now;
+
+        let mem = self.sys.mem();
+        let serving = mem.serving_module(acc.ds);
+        let elem = self.workload.data_structure(acc.ds).element_size();
+        self.energy_nj += CPU_INTERFACE_NJ;
+
+        let (done, on_chip) = if serving == mem.dram_id() {
+            // Direct CPU<->DRAM traffic over the off-chip bus.
+            let ch = self
+                .sys
+                .cpu_dram_channel()
+                .expect("direct mapping implies a CPU<->DRAM channel");
+            let bus_done = self.link_transfer(ch, issue, elem);
+            let dram_cycles = self.dram_transaction(acc.addr, elem);
+            (bus_done + dram_cycles as u64, false)
+        } else {
+            let module = mem.module(serving);
+            self.energy_nj += module_access_nj(module.kind());
+            let resp = self.modules[serving.index()]
+                .as_mut()
+                .expect("on-chip module has a behavioural model")
+                .access(acc.addr, acc.kind, issue);
+
+            // CPU <-> module element transfer.
+            let cpu_ch = self
+                .sys
+                .cpu_channel(serving)
+                .expect("on-chip module has a CPU channel");
+            let cpu_done = self.link_transfer(cpu_ch, issue, elem);
+            let served = cpu_done + resp.service_cycles as u64;
+
+            let mut done = served;
+            if resp.demand_fill_bytes > 0 {
+                done = self.fetch_downstream(serving, acc.addr, resp.demand_fill_bytes, served);
+            }
+            if resp.background_bytes > 0 {
+                self.background_downstream(serving, resp.background_bytes, done);
+            }
+            (done, resp.hit)
+        };
+
+        let latency = done.saturating_sub(issue);
+        self.ds_accesses[acc.ds.index()] += 1;
+        self.ds_latency[acc.ds.index()] += latency;
+        self.module_accesses[serving.index()] += 1;
+        if on_chip {
+            self.module_hits[serving.index()] += 1;
+        }
+        self.accesses += 1;
+        if acc.kind.is_read() {
+            self.reads += 1;
+            // Reads block the CPU.
+            self.now = done;
+        } else {
+            // Writes are posted, but finite buffering applies backpressure:
+            // the CPU stalls once any link's backlog exceeds the bound.
+            let horizon: u64 = self
+                .links
+                .iter()
+                .map(LinkState::last_completion)
+                .max()
+                .unwrap_or(0);
+            if horizon > self.now + BACKPRESSURE_CYCLES {
+                self.now = horizon - BACKPRESSURE_CYCLES;
+            }
+        }
+        if on_chip {
+            self.hits += 1;
+        }
+        self.total_latency += latency;
+        latency
+    }
+
+    /// Finalizes the run and produces the statistics.
+    pub fn finish(self) -> SimStats {
+        let conn = self.sys.conn();
+        let link_energy: f64 = self.links.iter().map(LinkState::energy_nj).sum();
+        let total_energy = self.energy_nj + link_energy;
+        let links = self
+            .links
+            .iter()
+            .enumerate()
+            .map(|(j, l)| ChannelStats {
+                name: conn.links()[j].name().to_owned(),
+                transfers: l.transfers(),
+                bytes: l.bytes(),
+                busy_cycles: l.busy_cycles(),
+            })
+            .collect();
+        let modules = self
+            .sys
+            .mem()
+            .modules()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| ModuleStats {
+                name: m.name().to_owned(),
+                accesses: self.module_accesses[i],
+                hits: self.module_hits[i],
+            })
+            .collect();
+        let data_structures = self
+            .workload
+            .data_structures()
+            .iter()
+            .enumerate()
+            .map(|(i, ds)| DsLatencyStats {
+                name: ds.name().to_owned(),
+                accesses: self.ds_accesses[i],
+                total_latency: self.ds_latency[i],
+            })
+            .collect();
+        SimStats {
+            accesses: self.accesses,
+            reads: self.reads,
+            on_chip_hits: self.hits,
+            avg_latency_cycles: if self.accesses == 0 {
+                0.0
+            } else {
+                self.total_latency as f64 / self.accesses as f64
+            },
+            avg_energy_nj: if self.accesses == 0 {
+                0.0
+            } else {
+                total_energy / self.accesses as f64
+            },
+            total_cycles: self.now,
+            total_energy_nj: total_energy,
+            links,
+            modules,
+            data_structures,
+        }
+    }
+}
+
+/// Fully simulates the first `trace_len` accesses of `workload` on `sys`.
+///
+/// This is the paper's Phase-II full simulation.
+pub fn simulate(sys: &SystemConfig, workload: &Workload, trace_len: usize) -> SimStats {
+    simulate_trace(sys, workload, workload.trace(trace_len))
+}
+
+/// Replays an arbitrary access stream — e.g. one captured externally and
+/// loaded with [`mce_appmodel::trace_io::read_trace`] — through `sys`.
+///
+/// `workload` supplies the data-structure metadata (element sizes, the
+/// DS→module mapping domain); the stream's [`DsId`](mce_appmodel::DsId)s
+/// must refer to it, and ticks must be nondecreasing.
+pub fn simulate_trace<I>(sys: &SystemConfig, workload: &Workload, trace: I) -> SimStats
+where
+    I: IntoIterator<Item = mce_appmodel::MemAccess>,
+{
+    let mut sim = Simulator::new(sys, workload);
+    for acc in trace {
+        sim.step(&acc);
+    }
+    sim.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_appmodel::benchmarks;
+    use mce_connlib::{ChannelId, ConnComponent, ConnComponentKind, ConnectivityArchitecture};
+    use mce_memlib::{CacheConfig, MemModuleKind, MemoryArchitecture};
+
+    const N: usize = 20_000;
+
+    fn shared_bus(w: &Workload, mem: MemoryArchitecture) -> SystemConfig {
+        SystemConfig::with_shared_bus(w, mem).expect("valid")
+    }
+
+    /// A system with dedicated CPU links and AHB off-chip-side sharing.
+    fn fast_conn(w: &Workload, mem: MemoryArchitecture) -> SystemConfig {
+        let channels = crate::system::channels_for(&mem, w);
+        let mut conn = ConnectivityArchitecture::new(channels.clone());
+        let ext = conn.add_link("ext0", ConnComponent::new(ConnComponentKind::OffChipBus));
+        for (i, ch) in channels.iter().enumerate() {
+            if ch.off_chip {
+                conn.assign(ChannelId::new(i), ext);
+            } else {
+                let ded = conn.add_link(
+                    format!("ded{i}"),
+                    ConnComponent::new(ConnComponentKind::Dedicated),
+                );
+                conn.assign(ChannelId::new(i), ded);
+            }
+        }
+        SystemConfig::new(w, mem, conn).expect("valid")
+    }
+
+    #[test]
+    fn bigger_cache_is_faster_on_compress() {
+        let w = benchmarks::compress();
+        let small = simulate(
+            &shared_bus(
+                &w,
+                MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(1)),
+            ),
+            &w,
+            N,
+        );
+        let big = simulate(
+            &shared_bus(
+                &w,
+                MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(32)),
+            ),
+            &w,
+            N,
+        );
+        assert!(
+            big.avg_latency_cycles < small.avg_latency_cycles,
+            "32K {} vs 1K {}",
+            big.avg_latency_cycles,
+            small.avg_latency_cycles
+        );
+        assert!(big.miss_ratio() < small.miss_ratio());
+    }
+
+    #[test]
+    fn dma_slashes_latency_on_pointer_chasing() {
+        let w = benchmarks::li();
+        let cache_only = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8));
+        let with_dma = MemoryArchitecture::builder("dma")
+            .module("L1", MemModuleKind::Cache(CacheConfig::kilobytes(8)))
+            .module(
+                "dma",
+                MemModuleKind::SelfIndirectDma {
+                    depth: 16,
+                    element_bytes: 8,
+                },
+            )
+            .map(mce_appmodel::DsId::new(0), 1) // cons_heap
+            .map_rest_to(0)
+            .build(&w)
+            .unwrap();
+        let base = simulate(&shared_bus(&w, cache_only), &w, N);
+        let dma = simulate(&shared_bus(&w, with_dma), &w, N);
+        assert!(
+            dma.avg_latency_cycles < base.avg_latency_cycles,
+            "dma {} vs cache {}",
+            dma.avg_latency_cycles,
+            base.avg_latency_cycles
+        );
+    }
+
+    #[test]
+    fn connectivity_choice_changes_latency_same_memory() {
+        let w = benchmarks::compress();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8));
+        let slow = simulate(&shared_bus(&w, mem.clone()), &w, N);
+        let fast = simulate(&fast_conn(&w, mem), &w, N);
+        assert!(
+            fast.avg_latency_cycles < slow.avg_latency_cycles,
+            "fast {} vs slow {}",
+            fast.avg_latency_cycles,
+            slow.avg_latency_cycles
+        );
+    }
+
+    #[test]
+    fn energy_dominated_by_memory_not_connectivity() {
+        // The paper: "the connectivity consumes a small amount of power
+        // compared to the memory modules".
+        let w = benchmarks::compress();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8));
+        let sys = shared_bus(&w, mem);
+        let mut sim = Simulator::new(&sys, &w);
+        for acc in w.trace(N) {
+            sim.step(&acc);
+        }
+        let link_energy: f64 = sim.links.iter().map(LinkState::energy_nj).sum();
+        let stats = sim.finish();
+        assert!(
+            link_energy < 0.25 * stats.total_energy_nj,
+            "connectivity {} of total {}",
+            link_energy,
+            stats.total_energy_nj
+        );
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let w = benchmarks::vocoder();
+        let sys = shared_bus(
+            &w,
+            MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4)),
+        );
+        let s = simulate(&sys, &w, N);
+        assert_eq!(s.accesses, N as u64);
+        assert!(s.reads <= s.accesses);
+        assert!(s.on_chip_hits <= s.accesses);
+        assert!(s.total_cycles > 0);
+        assert!(s.avg_latency_cycles >= 1.0);
+        assert!(s.total_energy_nj > 0.0);
+        assert_eq!(s.links.len(), sys.conn().links().len());
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let w = benchmarks::li();
+        let sys = shared_bus(
+            &w,
+            MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4)),
+        );
+        let a = simulate(&sys, &w, 5_000);
+        let b = simulate(&sys, &w, 5_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vocoder_is_faster_than_compress_on_same_system() {
+        // Stream-dominated traffic with small hot state should behave far
+        // better than pointer chasing on an identical memory system.
+        let vw = benchmarks::vocoder();
+        let cw = benchmarks::compress();
+        let v = simulate(
+            &shared_bus(
+                &vw,
+                MemoryArchitecture::cache_only(&vw, CacheConfig::kilobytes(4)),
+            ),
+            &vw,
+            N,
+        );
+        let c = simulate(
+            &shared_bus(
+                &cw,
+                MemoryArchitecture::cache_only(&cw, CacheConfig::kilobytes(4)),
+            ),
+            &cw,
+            N,
+        );
+        assert!(
+            v.avg_latency_cycles < c.avg_latency_cycles,
+            "vocoder {} vs compress {}",
+            v.avg_latency_cycles,
+            c.avg_latency_cycles
+        );
+    }
+
+    #[test]
+    fn direct_dram_mapping_works() {
+        let w = benchmarks::vocoder();
+        let mem = MemoryArchitecture::builder("raw").build(&w).unwrap(); // everything off-chip
+        let sys = shared_bus(&w, mem);
+        let s = simulate(&sys, &w, 2_000);
+        assert_eq!(s.on_chip_hits, 0);
+        assert!((s.miss_ratio() - 1.0).abs() < 1e-12);
+        assert!(s.avg_latency_cycles > 5.0);
+    }
+
+    #[test]
+    fn per_module_stats_split_traffic() {
+        let w = benchmarks::li();
+        let mem = MemoryArchitecture::builder("dma")
+            .module("L1", MemModuleKind::Cache(CacheConfig::kilobytes(8)))
+            .module(
+                "dma",
+                MemModuleKind::SelfIndirectDma {
+                    depth: 16,
+                    element_bytes: 8,
+                },
+            )
+            .map(mce_appmodel::DsId::new(0), 1)
+            .map_rest_to(0)
+            .build(&w)
+            .unwrap();
+        let sys = shared_bus(&w, mem);
+        let s = simulate(&sys, &w, N);
+        let by_name = |n: &str| s.modules.iter().find(|m| m.name == n).unwrap();
+        let l1 = by_name("L1");
+        let dma = by_name("dma");
+        assert!(l1.accesses > 0);
+        assert!(dma.accesses > 0);
+        assert_eq!(
+            s.modules.iter().map(|m| m.accesses).sum::<u64>(),
+            s.accesses,
+            "every access belongs to exactly one module"
+        );
+        assert!(
+            dma.hit_ratio() > l1.hit_ratio(),
+            "DMA should out-hit the cache on li"
+        );
+        assert_eq!(
+            s.modules.iter().map(|m| m.hits).sum::<u64>(),
+            s.on_chip_hits
+        );
+    }
+
+    #[test]
+    fn simulate_trace_matches_simulate() {
+        let w = benchmarks::vocoder();
+        let sys = shared_bus(
+            &w,
+            MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(2)),
+        );
+        let a = simulate(&sys, &w, 5_000);
+        let collected: Vec<_> = w.trace(5_000).collect();
+        let b = simulate_trace(&sys, &w, collected);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn external_trace_round_trips_through_csv() {
+        let w = benchmarks::vocoder();
+        let sys = shared_bus(
+            &w,
+            MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(2)),
+        );
+        let mut csv = Vec::new();
+        mce_appmodel::write_trace(&mut csv, w.trace(3_000)).unwrap();
+        let replayed = mce_appmodel::read_trace(csv.as_slice()).unwrap();
+        let a = simulate(&sys, &w, 3_000);
+        let b = simulate_trace(&sys, &w, replayed);
+        assert_eq!(a, b, "CSV round trip must not change simulation results");
+    }
+
+    #[test]
+    fn per_ds_latency_identifies_the_culprit() {
+        // compress: the self-indirect hash table must show far worse
+        // average latency than the stack-like locals on a cache-only
+        // system.
+        let w = benchmarks::compress();
+        let sys = shared_bus(
+            &w,
+            MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4)),
+        );
+        let s = simulate(&sys, &w, N);
+        let by_name = |n: &str| {
+            s.data_structures
+                .iter()
+                .find(|d| d.name == n)
+                .unwrap_or_else(|| panic!("no ds {n}"))
+        };
+        let htab = by_name("htab");
+        let locals = by_name("locals");
+        assert!(
+            htab.avg_latency() > 2.0 * locals.avg_latency(),
+            "htab {} vs locals {}",
+            htab.avg_latency(),
+            locals.avg_latency()
+        );
+        assert_eq!(
+            s.data_structures.iter().map(|d| d.accesses).sum::<u64>(),
+            s.accesses
+        );
+    }
+
+    #[test]
+    fn zero_length_trace() {
+        let w = benchmarks::vocoder();
+        let sys = shared_bus(
+            &w,
+            MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(2)),
+        );
+        let s = simulate(&sys, &w, 0);
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.avg_latency_cycles, 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: model an application, explore memory + connectivity, print
+//! the pareto designs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use memory_conex::prelude::*;
+
+fn main() {
+    // 1. Model the application: its dominant data structures and access
+    //    patterns. (Or use a built-in model: `benchmarks::compress()` etc.)
+    let workload = WorkloadBuilder::new("sensor_hub")
+        .data_structure(
+            DataStructure::new(
+                "sample_stream",
+                64 * 1024,
+                2,
+                AccessPattern::Stream { stride: 2 },
+            )
+            .with_hotness(10.0)
+            .with_write_fraction(0.0),
+        )
+        .data_structure(
+            DataStructure::new("event_list", 128 * 1024, 8, AccessPattern::SelfIndirect)
+                .with_hotness(6.0),
+        )
+        .data_structure(
+            DataStructure::new(
+                "filter_state",
+                2 * 1024,
+                4,
+                AccessPattern::LoopNest {
+                    working_set: 512,
+                    reuse: 8,
+                },
+            )
+            .with_hotness(8.0),
+        )
+        .seed(42)
+        .build();
+
+    // 2. Stage 1 — APEX: explore memory-module architectures in the
+    //    cost/miss-ratio space and select the pareto points.
+    let apex = ApexExplorer::new(ApexConfig::fast()).explore(&workload);
+    println!(
+        "APEX evaluated {} memory architectures; selected:",
+        apex.points().len()
+    );
+    for p in apex.selected_points() {
+        println!("  {p}");
+    }
+
+    // 3. Stage 2 — ConEx: explore connectivity architectures (busses, MUX
+    //    and dedicated links from the AMBA-style IP library) for the
+    //    selected memory architectures.
+    let conex = ConexExplorer::new(ConexConfig::fast()).explore(&workload, apex.selected());
+    println!(
+        "\nConEx estimated {} candidates, fully simulated {}.",
+        conex.estimated().len(),
+        conex.simulated().len()
+    );
+
+    // 4. The combined cost/performance pareto: pick your trade-off.
+    println!("\nCost/performance pareto designs:");
+    for p in conex.pareto_cost_latency() {
+        println!(
+            "  {:>8} gates  {:>6.2} cyc  {:>5.2} nJ  {}",
+            p.metrics.cost_gates,
+            p.metrics.latency_cycles,
+            p.metrics.energy_nj,
+            p.describe()
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Multi-level hierarchy extension: an L2 cache between the L1 and DRAM,
+//! and what connectivity exploration says about wiring it.
+//!
+//! ```sh
+//! cargo run --release -p memory-conex --example two_level_hierarchy
+//! ```
+
+use memory_conex::appmodel::{AccessPattern, DataStructure, WorkloadBuilder};
+use memory_conex::conex::{ConexConfig, ConexExplorer};
+use memory_conex::memlib::CacheConfig;
+use memory_conex::prelude::*;
+use memory_conex::sim::simulate;
+
+fn main() {
+    // A working set that overflows a small L1 but fits a mid-size L2.
+    let workload = WorkloadBuilder::new("edge_inference")
+        .data_structure(
+            DataStructure::new(
+                "weights_tile",
+                24 * 1024,
+                8,
+                AccessPattern::LoopNest {
+                    working_set: 24 * 1024,
+                    reuse: 6,
+                },
+            )
+            .with_hotness(10.0)
+            .with_write_fraction(0.0),
+        )
+        .data_structure(
+            DataStructure::new(
+                "activations",
+                128 * 1024,
+                4,
+                AccessPattern::Stream { stride: 4 },
+            )
+            .with_hotness(3.0)
+            .with_write_fraction(0.5),
+        )
+        .seed(21)
+        .build();
+
+    let one_level = MemoryArchitecture::cache_only(&workload, CacheConfig::kilobytes(1));
+    let two_level = MemoryArchitecture::builder("l1+l2")
+        .module("L1", MemModuleKind::Cache(CacheConfig::kilobytes(1)))
+        .module("L2", MemModuleKind::Cache(CacheConfig::kilobytes(32)))
+        .map_rest_to(0)
+        .backed_by(0, 1)
+        .build(&workload)
+        .expect("valid two-level architecture");
+
+    let n = 30_000;
+    for (label, mem) in [("L1 only", one_level), ("L1 + L2", two_level.clone())] {
+        let sys = SystemConfig::with_shared_bus(&workload, mem).expect("valid");
+        let stats = simulate(&sys, &workload, n);
+        println!(
+            "{label:<8} (shared bus): {:>8} gates, {:>6.2} cyc, {:>5.2} nJ, miss {:.3}",
+            sys.gate_cost(),
+            stats.avg_latency_cycles,
+            stats.avg_energy_nj,
+            stats.miss_ratio()
+        );
+    }
+
+    // Let ConEx pick the wiring — including the new L1<->L2 channel.
+    println!("\nConEx over the two-level architecture:");
+    let mut cfg = ConexConfig::fast();
+    cfg.trace_len = 10_000;
+    let result = ConexExplorer::new(cfg).explore(&workload, vec![two_level]);
+    for p in result.pareto_cost_latency() {
+        println!(
+            "  {:>8} gates  {:>6.2} cyc  {:>5.2} nJ  {}",
+            p.metrics.cost_gates,
+            p.metrics.latency_cycles,
+            p.metrics.energy_nj,
+            p.system.conn().describe()
+        );
+    }
+    println!(
+        "\nnote how the exploration decides whether the L1<->L2 channel deserves\n\
+         its own connection or can share a bus with the CPU traffic."
+    );
+}

@@ -1,0 +1,277 @@
+//! `mce` — command-line front end for the memory + connectivity explorer.
+//!
+//! ```text
+//! mce benchmarks                               list built-in workload models
+//! mce template                                 print a workload JSON template
+//! mce classify <workload> [--trace N]          APEX pattern extraction
+//! mce simulate <workload> [--cache KIB] [--trace N]
+//!                                              simulate a cache-only baseline
+//! mce explore  <workload> [--scale fast|paper] [--out FILE]
+//!                                              full APEX + ConEx exploration
+//! ```
+//!
+//! `<workload>` is either a built-in name (`compress`, `li`, `vocoder`,
+//! `mix`) or a path to a workload JSON file (see `mce template`).
+
+use memory_conex::apex::{classify, ApexConfig, ApexExplorer};
+use memory_conex::appmodel::{benchmarks, AccessPattern, DataStructure, Workload, WorkloadBuilder};
+use memory_conex::conex::{ConexConfig, ConexExplorer, Scenario};
+use memory_conex::memlib::{CacheConfig, MemoryArchitecture};
+use memory_conex::sim::{simulate, SystemConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mce benchmarks
+  mce template
+  mce classify <workload> [--trace N]
+  mce simulate <workload> [--cache KIB] [--trace N]
+  mce explore  <workload> [--scale fast|paper] [--out FILE]
+
+<workload> = compress | li | vocoder | adpcm | jpeg | mix | path/to/workload.json";
+
+type CliError = Box<dyn std::error::Error>;
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "benchmarks" => cmd_benchmarks(),
+        "template" => cmd_template(),
+        "classify" => cmd_classify(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "explore" => cmd_explore(&args[1..]),
+        other => Err(format!("unknown command `{other}`").into()),
+    }
+}
+
+/// Parses `--flag value` pairs after the positional workload argument.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn load_workload(args: &[String]) -> Result<Workload, CliError> {
+    let name = args.first().ok_or("missing <workload> argument")?;
+    match name.as_str() {
+        "compress" => Ok(benchmarks::compress()),
+        "li" => Ok(benchmarks::li()),
+        "vocoder" => Ok(benchmarks::vocoder()),
+        "adpcm" => Ok(benchmarks::adpcm()),
+        "jpeg" => Ok(benchmarks::jpeg()),
+        "mix" => Ok(benchmarks::synthetic_mix(1)),
+        path => {
+            let body = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read workload file `{path}`: {e}"))?;
+            let w: Workload = serde_json::from_str(&body)
+                .map_err(|e| format!("invalid workload JSON in `{path}`: {e}"))?;
+            Ok(w)
+        }
+    }
+}
+
+fn cmd_benchmarks() -> Result<(), CliError> {
+    for w in benchmarks::all().into_iter().chain(benchmarks::extended()) {
+        println!("{w}");
+    }
+    println!("{}", benchmarks::synthetic_mix(1));
+    Ok(())
+}
+
+fn cmd_template() -> Result<(), CliError> {
+    // A small but representative workload the user can edit.
+    let template = WorkloadBuilder::new("my_app")
+        .data_structure(
+            DataStructure::new("input", 64 * 1024, 2, AccessPattern::Stream { stride: 2 })
+                .with_hotness(5.0)
+                .with_write_fraction(0.0),
+        )
+        .data_structure(
+            DataStructure::new("table", 128 * 1024, 8, AccessPattern::SelfIndirect)
+                .with_hotness(3.0),
+        )
+        .data_structure(
+            DataStructure::new(
+                "state",
+                2 * 1024,
+                4,
+                AccessPattern::LoopNest {
+                    working_set: 512,
+                    reuse: 8,
+                },
+            )
+            .with_hotness(4.0)
+            .with_write_fraction(0.3),
+        )
+        .seed(1)
+        .build();
+    println!("{}", serde_json::to_string_pretty(&template)?);
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), CliError> {
+    let w = load_workload(args)?;
+    let trace: usize = flag_value(args, "--trace").unwrap_or("30000").parse()?;
+    println!(
+        "pattern extraction for `{}` over {trace} accesses:\n",
+        w.name()
+    );
+    for r in classify(&w, trace) {
+        let ds = w.data_structure(r.ds);
+        println!(
+            "  {:<16} {:<14} share {:>5.1}%  stride-reg {:>4.2}  reuse {:>4.2}",
+            ds.name(),
+            r.class.to_string(),
+            r.access_share * 100.0,
+            r.stride_regularity,
+            r.reuse_factor
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
+    let w = load_workload(args)?;
+    let kib: u64 = flag_value(args, "--cache").unwrap_or("8").parse()?;
+    let trace: usize = flag_value(args, "--trace").unwrap_or("30000").parse()?;
+    let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(kib));
+    let sys = SystemConfig::with_shared_bus(&w, mem)?;
+    let stats = simulate(&sys, &w, trace);
+    println!("system: {sys}");
+    println!("cost:   {} gates", sys.gate_cost());
+    println!("result: {stats}");
+    for (i, link) in stats.links.iter().enumerate() {
+        println!(
+            "  link {:<6} {:>8} transfers  {:>10} B  utilization {:>5.1}%",
+            link.name,
+            link.transfers,
+            link.bytes,
+            stats.link_utilization(i) * 100.0
+        );
+    }
+    for m in &stats.modules {
+        println!(
+            "  module {:<6} {:>8} accesses  hit ratio {:>5.1}%",
+            m.name,
+            m.accesses,
+            m.hit_ratio() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explore(args: &[String]) -> Result<(), CliError> {
+    let w = load_workload(args)?;
+    let scale = flag_value(args, "--scale").unwrap_or("fast");
+    let (apex_cfg, conex_cfg) = match scale {
+        "fast" => (ApexConfig::fast(), ConexConfig::fast()),
+        "paper" => (ApexConfig::paper(), ConexConfig::paper()),
+        other => return Err(format!("unknown scale `{other}` (fast|paper)").into()),
+    };
+    eprintln!("exploring `{}` at {scale} scale...", w.name());
+    let apex = ApexExplorer::new(apex_cfg).explore(&w);
+    let conex = ConexExplorer::new(conex_cfg).explore(&w, apex.selected());
+    println!(
+        "estimated {} candidates, fully simulated {} ({:.1}s)\n",
+        conex.estimated().len(),
+        conex.simulated().len(),
+        conex.elapsed().as_secs_f64()
+    );
+    println!("cost/performance pareto:");
+    for p in conex.pareto_cost_latency() {
+        println!(
+            "  {:>8} gates  {:>7.2} cyc  {:>6.2} nJ  {}",
+            p.metrics.cost_gates,
+            p.metrics.latency_cycles,
+            p.metrics.energy_nj,
+            p.describe()
+        );
+    }
+    // A quick power-constrained view at the median energy.
+    let mut energies: Vec<f64> = conex
+        .simulated()
+        .iter()
+        .map(|p| p.metrics.energy_nj)
+        .collect();
+    energies.sort_by(f64::total_cmp);
+    if let Some(&median) = energies.get(energies.len() / 2) {
+        let picks = Scenario::PowerConstrained {
+            max_energy_nj: median,
+        }
+        .select(conex.simulated());
+        println!(
+            "\npower-constrained (≤ median {median:.2} nJ): {} admissible pareto designs",
+            picks.len()
+        );
+    }
+    if let Some(path) = flag_value(args, "--out") {
+        std::fs::write(path, serde_json::to_string_pretty(&conex)?)?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = s(&["vocoder", "--trace", "123", "--cache", "4"]);
+        assert_eq!(flag_value(&args, "--trace"), Some("123"));
+        assert_eq!(flag_value(&args, "--cache"), Some("4"));
+        assert_eq!(flag_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn builtin_workloads_load() {
+        for name in ["compress", "li", "vocoder", "adpcm", "jpeg", "mix"] {
+            assert!(load_workload(&s(&[name])).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let err = load_workload(&s(&["/nonexistent/w.json"])).unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn template_round_trips_through_serde() {
+        let template = WorkloadBuilder::new("t")
+            .data_structure(DataStructure::new("d", 1024, 4, AccessPattern::Random))
+            .build();
+        let json = serde_json::to_string(&template).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(template, back);
+    }
+
+    #[test]
+    fn classify_and_simulate_run() {
+        assert!(cmd_classify(&s(&["vocoder", "--trace", "2000"])).is_ok());
+        assert!(cmd_simulate(&s(&["vocoder", "--cache", "2", "--trace", "2000"])).is_ok());
+    }
+}

@@ -1,0 +1,68 @@
+//! # memory-conex — joint memory-module and connectivity design-space exploration
+//!
+//! A facade crate re-exporting the whole ConEx reproduction workspace
+//! (Grun/Dutt/Nicolau, *Memory System Connectivity Exploration*, DATE 2002)
+//! under one roof. Downstream users depend on this crate; the examples and
+//! integration tests in this repository are written against it.
+//!
+//! ## Crate map
+//!
+//! * [`appmodel`] — synthetic application models and trace generation.
+//! * [`memlib`] — memory-module IP library (caches, SRAMs, stream buffers,
+//!   self-indirect DMAs, off-chip DRAM) with cost and energy models.
+//! * [`connlib`] — connectivity IP library (AMBA AHB/ASB/APB-style busses,
+//!   MUX-based and dedicated connections, off-chip bus), reservation tables
+//!   and arbitration.
+//! * [`sim`] — cycle-level memory + connectivity system simulator, plus the
+//!   time-sampling estimator used for pruning.
+//! * [`apex`] — APEX memory-modules exploration (the paper's input stage).
+//! * [`conex`] — the ConEx connectivity exploration algorithm itself, pareto
+//!   machinery, exploration strategies and constraint scenarios.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use memory_conex::prelude::*;
+//!
+//! // Model an application (or use a built-in benchmark model).
+//! let workload = memory_conex::appmodel::benchmarks::vocoder();
+//!
+//! // Stage 1 — APEX: explore memory-module architectures.
+//! let apex = ApexExplorer::new(ApexConfig::fast()).explore(&workload);
+//!
+//! // Stage 2 — ConEx: explore connectivity for the selected architectures.
+//! let conex = ConexExplorer::new(ConexConfig::fast());
+//! let result = conex.explore(&workload, apex.selected());
+//!
+//! // The pareto-optimal memory+connectivity designs:
+//! for point in result.pareto_cost_latency() {
+//!     println!("{point}");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use mce_apex as apex;
+pub use mce_appmodel as appmodel;
+pub use mce_conex as conex;
+pub use mce_connlib as connlib;
+pub use mce_memlib as memlib;
+pub use mce_sim as sim;
+
+/// Commonly used items for writing explorations end to end.
+pub mod prelude {
+    pub use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
+    pub use mce_appmodel::{
+        AccessKind, AccessPattern, AccessProfile, Addr, DataStructure, DsId, MemAccess, Workload,
+        WorkloadBuilder,
+    };
+    pub use mce_conex::{
+        ConexConfig, ConexExplorer, ConexResult, DesignPoint, ExplorationStrategy, Metrics,
+        ParetoFront, Scenario,
+    };
+    pub use mce_connlib::{
+        ConnComponent, ConnComponentKind, ConnectivityArchitecture, ConnectivityLibrary,
+    };
+    pub use mce_memlib::{MemModule, MemModuleKind, MemoryArchitecture};
+    pub use mce_sim::{SimStats, SystemConfig};
+}

@@ -1,0 +1,102 @@
+//! Robustness: the full pipeline holds its invariants on *random* (but
+//! structurally valid) workloads, not just the curated benchmark models.
+
+use memory_conex::apex::{classify, generate_candidates, CandidateConfig};
+use memory_conex::appmodel::benchmarks::random_workload;
+use memory_conex::conex::{cluster_levels, Brg, ClusterOrder, ConexConfig, ConexExplorer};
+use memory_conex::prelude::*;
+use memory_conex::sim::simulate;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_workloads_generate_and_trace(seed in 0u64..5_000) {
+        let w = random_workload(seed);
+        prop_assert!(w.len() >= 2);
+        let layout = w.layout();
+        for acc in w.trace(300) {
+            prop_assert!(layout[acc.ds.index()].contains(acc.addr));
+        }
+    }
+
+    #[test]
+    fn apex_candidates_always_validate_on_random_workloads(seed in 0u64..2_000) {
+        let w = random_workload(seed);
+        let reports = classify(&w, 4_000);
+        let cfg = CandidateConfig {
+            baseline_cache_kib: vec![1, 4],
+            augmented_cache_kib: vec![2],
+            max_augmentations: 3,
+            two_level_kib: Vec::new(),
+        };
+        let candidates = generate_candidates(&w, &reports, &cfg);
+        prop_assert!(!candidates.is_empty());
+        for c in &candidates {
+            prop_assert!(c.validate(&w).is_ok(), "{}: {}", w.name(), c.name());
+        }
+    }
+
+    #[test]
+    fn brg_partitions_and_clusterings_hold(seed in 0u64..2_000) {
+        let w = random_workload(seed);
+        let mem = MemoryArchitecture::cache_only(
+            &w,
+            memory_conex::memlib::CacheConfig::kilobytes(4),
+        );
+        let brg = Brg::profile(&w, &mem, 4_000);
+        prop_assert!(brg.total_bytes() > 0);
+        for level in cluster_levels(&brg, ClusterOrder::LowestFirst) {
+            let mut seen: Vec<usize> =
+                level.clusters.iter().flat_map(|c| c.arcs.clone()).collect();
+            seen.sort_unstable();
+            let expect: Vec<usize> = (0..brg.arcs().len()).collect();
+            prop_assert_eq!(seen, expect);
+        }
+    }
+
+    #[test]
+    fn simulation_invariants_on_random_workloads(seed in 0u64..2_000) {
+        let w = random_workload(seed);
+        let mem = MemoryArchitecture::cache_only(
+            &w,
+            memory_conex::memlib::CacheConfig::kilobytes(2),
+        );
+        let sys = SystemConfig::with_shared_bus(&w, mem).expect("valid system");
+        let n = 3_000;
+        let s = simulate(&sys, &w, n);
+        prop_assert_eq!(s.accesses, n as u64);
+        prop_assert!(s.on_chip_hits <= s.accesses);
+        prop_assert!(s.avg_latency_cycles >= 1.0);
+        prop_assert!(s.avg_energy_nj > 0.0);
+        prop_assert!((0.0..=1.0).contains(&s.miss_ratio()));
+        prop_assert_eq!(
+            s.modules.iter().map(|m| m.accesses).sum::<u64>(),
+            s.accesses
+        );
+    }
+}
+
+#[test]
+fn conex_explores_a_random_workload_end_to_end() {
+    // One full exploration on a random workload (not proptest-looped — it
+    // is the expensive path).
+    let w = random_workload(42);
+    let apex = ApexExplorer::new(ApexConfig::fast()).explore(&w);
+    let mut cfg = ConexConfig::fast();
+    cfg.trace_len = 6_000;
+    cfg.max_allocations_per_level = 16;
+    let result = ConexExplorer::new(cfg).explore(&w, apex.selected());
+    assert!(!result.simulated().is_empty());
+    let front = result.pareto_cost_latency();
+    assert!(!front.is_empty());
+    for a in &front {
+        for b in &front {
+            assert!(
+                !(a.metrics.cost_gates < b.metrics.cost_gates
+                    && a.metrics.latency_cycles < b.metrics.latency_cycles)
+            );
+        }
+    }
+}

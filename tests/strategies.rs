@@ -1,0 +1,120 @@
+//! Exploration-strategy integration tests: the Pruned / Neighborhood /
+//! Full comparison that Table 2 quantifies.
+
+use memory_conex::appmodel::benchmarks;
+use memory_conex::conex::{
+    Axis, ConexConfig, ConexExplorer, CoverageReport, ExplorationStrategy, Metrics, ParetoFront,
+};
+use memory_conex::prelude::*;
+
+fn explore(strategy: ExplorationStrategy) -> ConexResult {
+    let w = benchmarks::vocoder();
+    let apex = ApexExplorer::new(ApexConfig::fast()).explore(&w);
+    ConexExplorer::new(ConexConfig::fast().with_strategy(strategy)).explore(&w, apex.selected())
+}
+
+#[test]
+fn strategy_simulation_counts_are_ordered() {
+    let pruned = explore(ExplorationStrategy::Pruned);
+    let neighborhood = explore(ExplorationStrategy::Neighborhood);
+    let full = explore(ExplorationStrategy::Full);
+    assert!(pruned.simulated().len() <= neighborhood.simulated().len());
+    assert!(neighborhood.simulated().len() <= full.simulated().len());
+    assert_eq!(full.simulated().len(), full.estimated().len());
+}
+
+#[test]
+fn pruned_coverage_is_high_with_small_distance() {
+    // The paper's claim: the Pruned search finds most of the true pareto
+    // or close substitutes (sub-few-percent average distance).
+    let pruned = explore(ExplorationStrategy::Pruned);
+    let full = explore(ExplorationStrategy::Full);
+    let full_metrics: Vec<Metrics> = full.simulated().iter().map(|p| p.metrics).collect();
+    let reference: Vec<Metrics> = ParetoFront::of(&full_metrics, &Axis::ALL)
+        .indices()
+        .iter()
+        .map(|&i| full_metrics[i])
+        .collect();
+    let found: Vec<Metrics> = pruned.simulated().iter().map(|p| p.metrics).collect();
+    let report = CoverageReport::compare(&reference, &found, 0.005);
+    assert!(
+        report.coverage_pct >= 30.0,
+        "pruned coverage too low: {}",
+        report.coverage_pct
+    );
+    assert!(
+        report.avg_cost_dist_pct < 25.0,
+        "cost distance too large: {}",
+        report.avg_cost_dist_pct
+    );
+    assert!(
+        report.avg_perf_dist_pct < 50.0,
+        "perf distance too large: {}",
+        report.avg_perf_dist_pct
+    );
+}
+
+#[test]
+fn neighborhood_covers_at_least_as_much_as_pruned() {
+    let pruned = explore(ExplorationStrategy::Pruned);
+    let neighborhood = explore(ExplorationStrategy::Neighborhood);
+    let full = explore(ExplorationStrategy::Full);
+    let full_metrics: Vec<Metrics> = full.simulated().iter().map(|p| p.metrics).collect();
+    let reference: Vec<Metrics> = ParetoFront::of(&full_metrics, &Axis::ALL)
+        .indices()
+        .iter()
+        .map(|&i| full_metrics[i])
+        .collect();
+    let cover = |r: &ConexResult| {
+        let found: Vec<Metrics> = r.simulated().iter().map(|p| p.metrics).collect();
+        CoverageReport::compare(&reference, &found, 0.005).coverage_pct
+    };
+    assert!(cover(&neighborhood) >= cover(&pruned) - 1e-9);
+}
+
+#[test]
+fn full_strategy_defines_its_own_reference() {
+    let full = explore(ExplorationStrategy::Full);
+    let metrics: Vec<Metrics> = full.simulated().iter().map(|p| p.metrics).collect();
+    let reference: Vec<Metrics> = ParetoFront::of(&metrics, &Axis::ALL)
+        .indices()
+        .iter()
+        .map(|&i| metrics[i])
+        .collect();
+    let report = CoverageReport::compare(&reference, &metrics, 1e-9);
+    assert!((report.coverage_pct - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn estimates_rank_like_full_simulation_on_the_shortlist() {
+    // Fidelity contract of the Phase-I estimator: estimated and simulated
+    // metrics must correlate strongly enough that pruning is sound.
+    // Spearman-style check: among simulated points, higher estimated
+    // latency should mostly mean higher simulated latency.
+    let w = benchmarks::vocoder();
+    let apex = ApexExplorer::new(ApexConfig::fast()).explore(&w);
+    let explorer = ConexExplorer::new(ConexConfig::fast());
+    let mem = apex.selected().remove(0);
+    let estimates = explorer.connectivity_exploration(&w, &mem);
+    let mut agree = 0;
+    let mut total = 0;
+    let refined: Vec<f64> = estimates
+        .iter()
+        .map(|p| memory_conex::sim::simulate(&p.system, &w, 15_000).avg_latency_cycles)
+        .collect();
+    for i in 0..estimates.len() {
+        for j in (i + 1)..estimates.len() {
+            let est = estimates[i].metrics.latency_cycles < estimates[j].metrics.latency_cycles;
+            let full = refined[i] < refined[j];
+            total += 1;
+            if est == full {
+                agree += 1;
+            }
+        }
+    }
+    let concordance = agree as f64 / total as f64;
+    assert!(
+        concordance > 0.7,
+        "estimator concordance too weak: {concordance:.2}"
+    );
+}

@@ -1,0 +1,238 @@
+//! Multi-level memory hierarchies (the backed-module extension): an L2
+//! cache between the L1 and the DRAM, wired through a module↔module
+//! channel.
+
+use memory_conex::appmodel::{AccessPattern, DataStructure, WorkloadBuilder};
+use memory_conex::memlib::CacheConfig;
+use memory_conex::prelude::*;
+use memory_conex::sim::simulate;
+use memory_conex::sim::system::{channel_endpoints, ChannelEndpoint};
+
+/// A workload whose hot working set overflows a small L1 but fits a
+/// mid-size L2: the canonical case where a second level pays off.
+fn l2_friendly_workload() -> Workload {
+    WorkloadBuilder::new("l2_friendly")
+        .data_structure(
+            DataStructure::new(
+                "mid_set",
+                24 * 1024,
+                8,
+                AccessPattern::LoopNest {
+                    working_set: 24 * 1024,
+                    reuse: 6,
+                },
+            )
+            .with_hotness(10.0)
+            .with_write_fraction(0.1),
+        )
+        .data_structure(
+            DataStructure::new("stream", 128 * 1024, 4, AccessPattern::Stream { stride: 4 })
+                .with_hotness(2.0)
+                .with_write_fraction(0.0),
+        )
+        .seed(9)
+        .build()
+}
+
+fn one_level(w: &Workload) -> MemoryArchitecture {
+    MemoryArchitecture::cache_only(w, CacheConfig::kilobytes(1))
+}
+
+fn two_level(w: &Workload) -> MemoryArchitecture {
+    MemoryArchitecture::builder("l1_l2")
+        .module("L1", MemModuleKind::Cache(CacheConfig::kilobytes(1)))
+        .module("L2", MemModuleKind::Cache(CacheConfig::kilobytes(32)))
+        .map_rest_to(0)
+        .backed_by(0, 1)
+        .build(w)
+        .expect("valid two-level architecture")
+}
+
+#[test]
+fn two_level_channel_topology() {
+    let w = l2_friendly_workload();
+    let mem = two_level(&w);
+    let eps = channel_endpoints(&mem, &w);
+    let l1 = mce_memlib_id(0);
+    let l2 = mce_memlib_id(1);
+    assert!(eps.contains(&ChannelEndpoint::CpuToModule(l1)));
+    assert!(eps.contains(&ChannelEndpoint::ModuleToModule(l1, l2)));
+    assert!(eps.contains(&ChannelEndpoint::ModuleToDram(l2)));
+    assert!(
+        !eps.contains(&ChannelEndpoint::CpuToModule(l2)),
+        "a pure L2 has no CPU channel"
+    );
+    assert!(
+        !eps.contains(&ChannelEndpoint::ModuleToDram(l1)),
+        "a backed L1 does not talk to DRAM directly"
+    );
+    // The L1<->L2 channel is on-chip.
+    let i = eps
+        .iter()
+        .position(|e| *e == ChannelEndpoint::ModuleToModule(l1, l2))
+        .unwrap();
+    assert!(!eps[i].is_off_chip());
+}
+
+fn mce_memlib_id(i: usize) -> memory_conex::memlib::ModuleId {
+    memory_conex::memlib::ModuleId::new(i)
+}
+
+/// Wires every on-chip channel to its own MUX connection and every
+/// off-chip channel to the standard off-chip bus, so hierarchy effects are
+/// not confounded by bus contention.
+fn private_links(w: &Workload, mem: MemoryArchitecture) -> SystemConfig {
+    use memory_conex::connlib::{
+        Channel, ChannelId, ConnComponent, ConnComponentKind, ConnectivityArchitecture,
+    };
+    let channels: Vec<Channel> = memory_conex::sim::system::channels_for(&mem, w);
+    let mut conn = ConnectivityArchitecture::new(channels.clone());
+    for (i, ch) in channels.iter().enumerate() {
+        let link = if ch.off_chip {
+            conn.add_link(
+                format!("ext{i}"),
+                ConnComponent::new(ConnComponentKind::OffChipBus),
+            )
+        } else {
+            conn.add_link(
+                format!("mux{i}"),
+                ConnComponent::new(ConnComponentKind::Mux),
+            )
+        };
+        conn.assign(ChannelId::new(i), link);
+    }
+    SystemConfig::new(w, mem, conn).expect("valid system")
+}
+
+#[test]
+fn l2_improves_latency_when_working_set_fits() {
+    let w = l2_friendly_workload();
+    let n = 20_000;
+    let single = simulate(&private_links(&w, one_level(&w)), &w, n);
+    let double = simulate(&private_links(&w, two_level(&w)), &w, n);
+    assert!(
+        double.avg_latency_cycles < single.avg_latency_cycles,
+        "L2 {} vs L1-only {}",
+        double.avg_latency_cycles,
+        single.avg_latency_cycles
+    );
+    // And it costs more gates, as it should.
+    assert!(two_level(&w).gate_cost() > one_level(&w).gate_cost());
+}
+
+#[test]
+fn l2_under_one_shared_bus_is_not_automatically_better() {
+    // The paper's central argument, seen through the extension: the same
+    // two-level memory architecture that wins with private links can lose
+    // its advantage when all on-chip channels share one ASB, because L1
+    // fills contend with CPU traffic. Connectivity choice matters as much
+    // as the module choice.
+    let w = l2_friendly_workload();
+    let n = 20_000;
+    let shared = simulate(
+        &SystemConfig::with_shared_bus(&w, two_level(&w)).unwrap(),
+        &w,
+        n,
+    );
+    let private = simulate(&private_links(&w, two_level(&w)), &w, n);
+    assert!(
+        private.avg_latency_cycles < shared.avg_latency_cycles,
+        "private {} vs shared {}",
+        private.avg_latency_cycles,
+        shared.avg_latency_cycles
+    );
+}
+
+#[test]
+fn l2_reduces_offchip_traffic() {
+    let w = l2_friendly_workload();
+    let n = 20_000;
+    let single_sys = SystemConfig::with_shared_bus(&w, one_level(&w)).unwrap();
+    let double_sys = SystemConfig::with_shared_bus(&w, two_level(&w)).unwrap();
+    let single = simulate(&single_sys, &w, n);
+    let double = simulate(&double_sys, &w, n);
+    let off_chip_bytes = |s: &SimStats, sys: &SystemConfig| -> u64 {
+        sys.conn()
+            .links()
+            .iter()
+            .zip(&s.links)
+            .filter(|(l, _)| l.component().params().off_chip)
+            .map(|(_, cs)| cs.bytes)
+            .sum()
+    };
+    assert!(
+        off_chip_bytes(&double, &double_sys) < off_chip_bytes(&single, &single_sys),
+        "L2 must absorb off-chip traffic"
+    );
+}
+
+#[test]
+fn two_level_system_explorable_by_conex() {
+    // The exploration machinery treats the L1<->L2 channel like any other
+    // on-chip channel: clustering, allocation and estimation just work.
+    let w = l2_friendly_workload();
+    let mem = two_level(&w);
+    let mut cfg = memory_conex::conex::ConexConfig::fast();
+    cfg.trace_len = 6_000;
+    cfg.max_allocations_per_level = 16;
+    let explorer = memory_conex::conex::ConexExplorer::new(cfg);
+    let points = explorer.connectivity_exploration(&w, &mem);
+    assert!(points.len() >= 5, "{} points", points.len());
+    let result = explorer.explore(&w, vec![mem]);
+    assert!(!result.pareto_cost_latency().is_empty());
+}
+
+#[test]
+fn three_level_chain_works() {
+    let w = l2_friendly_workload();
+    let mem = MemoryArchitecture::builder("l1_l2_l3")
+        .module("L1", MemModuleKind::Cache(CacheConfig::kilobytes(1)))
+        .module("L2", MemModuleKind::Cache(CacheConfig::kilobytes(8)))
+        .module("L3", MemModuleKind::Cache(CacheConfig::kilobytes(64)))
+        .map_rest_to(0)
+        .backed_by(0, 1)
+        .backed_by(1, 2)
+        .build(&w)
+        .expect("three levels validate");
+    let sys = SystemConfig::with_shared_bus(&w, mem).unwrap();
+    let s = simulate(&sys, &w, 5_000);
+    assert_eq!(s.accesses, 5_000);
+    assert!(s.avg_latency_cycles > 0.0);
+}
+
+#[test]
+fn backed_dma_works_too() {
+    // Backing is not cache-exclusive on the front side: a DMA's fills can
+    // land in a shared L2.
+    let w = WorkloadBuilder::new("chase")
+        .data_structure(
+            DataStructure::new("list", 64 * 1024, 8, AccessPattern::SelfIndirect).with_hotness(5.0),
+        )
+        .data_structure(DataStructure::new(
+            "misc",
+            8 * 1024,
+            4,
+            AccessPattern::Random,
+        ))
+        .seed(4)
+        .build();
+    let mem = MemoryArchitecture::builder("dma_l2")
+        .module("L1", MemModuleKind::Cache(CacheConfig::kilobytes(2)))
+        .module(
+            "dma",
+            MemModuleKind::SelfIndirectDma {
+                depth: 8,
+                element_bytes: 8,
+            },
+        )
+        .module("L2", MemModuleKind::Cache(CacheConfig::kilobytes(32)))
+        .map(memory_conex::appmodel::DsId::new(0), 1)
+        .map_rest_to(0)
+        .backed_by(0, 2)
+        .backed_by(1, 2)
+        .build(&w)
+        .expect("valid");
+    let sys = SystemConfig::with_shared_bus(&w, mem).unwrap();
+    let s = simulate(&sys, &w, 5_000);
+    assert_eq!(s.accesses, 5_000);
+}
