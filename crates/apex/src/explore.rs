@@ -5,6 +5,7 @@ use crate::candidates::{generate_candidates, CandidateConfig};
 use crate::extract::classify;
 use mce_appmodel::Workload;
 use mce_memlib::MemoryArchitecture;
+use mce_obs as obs;
 use mce_sim::{simulate, SystemConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -114,28 +115,48 @@ impl ApexExplorer {
 
     /// Runs extraction, candidate generation, evaluation and selection.
     pub fn explore(&self, workload: &Workload) -> ApexResult {
-        let reports = classify(workload, self.config.trace_len);
-        let candidates = generate_candidates(workload, &reports, &self.config.candidates);
-        let mut points: Vec<ApexPoint> = candidates
-            .into_iter()
-            .filter_map(|arch| {
-                let sys = SystemConfig::with_shared_bus(workload, arch.clone()).ok()?;
-                let stats = simulate(&sys, workload, self.config.trace_len);
-                Some(ApexPoint {
-                    cost_gates: arch.gate_cost(),
-                    miss_ratio: stats.miss_ratio(),
-                    avg_latency_cycles: stats.avg_latency_cycles,
-                    arch,
+        let _run = obs::span("apex.explore");
+        obs::info(|| format!("apex: exploring memory architectures for `{}`", workload.name()));
+        let reports = {
+            let _s = obs::span("apex.classify");
+            classify(workload, self.config.trace_len)
+        };
+        let candidates = {
+            let _s = obs::span("apex.generate");
+            generate_candidates(workload, &reports, &self.config.candidates)
+        };
+        obs::counter_add("apex.candidates_generated", candidates.len() as u64);
+        let mut points: Vec<ApexPoint> = {
+            let _s = obs::span("apex.evaluate");
+            candidates
+                .into_iter()
+                .filter_map(|arch| {
+                    let sys = SystemConfig::with_shared_bus(workload, arch.clone()).ok()?;
+                    let stats = simulate(&sys, workload, self.config.trace_len);
+                    Some(ApexPoint {
+                        cost_gates: arch.gate_cost(),
+                        miss_ratio: stats.miss_ratio(),
+                        avg_latency_cycles: stats.avg_latency_cycles,
+                        arch,
+                    })
                 })
-            })
-            .collect();
-        points.sort_by(|a, b| {
-            a.cost_gates
-                .cmp(&b.cost_gates)
-                .then(a.miss_ratio.total_cmp(&b.miss_ratio))
-        });
-        let pareto = pareto_indices(&points);
-        let selected = downsample(&pareto, self.config.max_selected);
+                .collect()
+        };
+        obs::counter_add("apex.candidates_evaluated", points.len() as u64);
+        let (pareto, selected) = {
+            let _s = obs::span("apex.select");
+            points.sort_by(|a, b| {
+                a.cost_gates
+                    .cmp(&b.cost_gates)
+                    .then(a.miss_ratio.total_cmp(&b.miss_ratio))
+            });
+            let pareto = pareto_indices(&points);
+            let selected = downsample(&pareto, self.config.max_selected);
+            (pareto, selected)
+        };
+        obs::gauge_max("apex.pareto_front_size", pareto.len() as u64);
+        obs::counter_add("apex.selected", selected.len() as u64);
+        obs::snapshot_counters();
         ApexResult { points, selected }
     }
 }

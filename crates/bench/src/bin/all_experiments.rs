@@ -2,9 +2,11 @@
 //! writes all JSON artifacts. Pass `--fast` for a reduced-scale run.
 
 use mce_bench::{fig3, fig4, fig6, table1, table2, write_json_artifact, Scale};
+use mce_obs as obs;
 use std::time::Instant;
 
 fn main() {
+    mce_bench::init_obs();
     let scale = Scale::from_args();
     let t = Instant::now();
 
@@ -28,5 +30,5 @@ fn main() {
     println!("{}", t2.render());
     let _ = write_json_artifact("table2", &t2);
 
-    println!("\nall experiments finished in {:?}", t.elapsed());
+    obs::info(|| format!("all experiments finished in {:?}", t.elapsed()));
 }

@@ -2,13 +2,15 @@
 //! `compress`). Pass `--fast` for a reduced-scale run.
 
 use mce_bench::{fig3, write_dat_artifact, write_json_artifact, Scale};
+use mce_obs as obs;
 
 fn main() {
+    mce_bench::init_obs();
     let data = fig3(Scale::from_args());
     println!("{}", data.render());
     match write_json_artifact("fig3", &data) {
-        Ok(path) => println!("artifact: {}", path.display()),
-        Err(e) => eprintln!("artifact write failed: {e}"),
+        Ok(path) => obs::info(|| format!("artifact: {}", path.display())),
+        Err(e) => obs::info(|| format!("artifact write failed: {e}")),
     }
     let rows: Vec<Vec<f64>> = data
         .points
@@ -16,6 +18,6 @@ fn main() {
         .map(|p| vec![p.cost_gates as f64, p.miss_ratio])
         .collect();
     if let Ok(path) = write_dat_artifact("fig3", &["cost_gates", "miss_ratio"], &rows) {
-        println!("plot data: {}", path.display());
+        obs::info(|| format!("plot data: {}", path.display()));
     }
 }

@@ -2,13 +2,15 @@
 //! for `compress`). Pass `--fast` for a reduced-scale run.
 
 use mce_bench::{fig4, write_dat_artifact, write_json_artifact, Scale};
+use mce_obs as obs;
 
 fn main() {
+    mce_bench::init_obs();
     let data = fig4(Scale::from_args());
     println!("{}", data.render());
     match write_json_artifact("fig4", &data) {
-        Ok(path) => println!("artifact: {}", path.display()),
-        Err(e) => eprintln!("artifact write failed: {e}"),
+        Ok(path) => obs::info(|| format!("artifact: {}", path.display())),
+        Err(e) => obs::info(|| format!("artifact write failed: {e}")),
     }
     let rows: Vec<Vec<f64>> = data
         .points
@@ -27,6 +29,6 @@ fn main() {
         &["cost_gates", "latency_cycles", "energy_nj", "on_pareto"],
         &rows,
     ) {
-        println!("plot data: {}", path.display());
+        obs::info(|| format!("plot data: {}", path.display()));
     }
 }

@@ -2,12 +2,14 @@
 //! designs for `compress`). Pass `--fast` for a reduced-scale run.
 
 use mce_bench::{fig6, write_json_artifact, Scale};
+use mce_obs as obs;
 
 fn main() {
+    mce_bench::init_obs();
     let data = fig6(Scale::from_args());
     println!("{}", data.render());
     match write_json_artifact("fig6", &data) {
-        Ok(path) => println!("artifact: {}", path.display()),
-        Err(e) => eprintln!("artifact write failed: {e}"),
+        Ok(path) => obs::info(|| format!("artifact: {}", path.display())),
+        Err(e) => obs::info(|| format!("artifact write failed: {e}")),
     }
 }

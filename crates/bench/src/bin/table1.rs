@@ -2,12 +2,14 @@
 //! compress, li and vocoder). Pass `--fast` for a reduced-scale run.
 
 use mce_bench::{table1, write_json_artifact, Scale};
+use mce_obs as obs;
 
 fn main() {
+    mce_bench::init_obs();
     let data = table1(Scale::from_args());
     println!("{}", data.render());
     match write_json_artifact("table1", &data) {
-        Ok(path) => println!("artifact: {}", path.display()),
-        Err(e) => eprintln!("artifact write failed: {e}"),
+        Ok(path) => obs::info(|| format!("artifact: {}", path.display())),
+        Err(e) => obs::info(|| format!("artifact write failed: {e}")),
     }
 }

@@ -3,12 +3,14 @@
 //! run.
 
 use mce_bench::{table2, write_json_artifact, Scale};
+use mce_obs as obs;
 
 fn main() {
+    mce_bench::init_obs();
     let data = table2(Scale::from_args());
     println!("{}", data.render());
     match write_json_artifact("table2", &data) {
-        Ok(path) => println!("artifact: {}", path.display()),
-        Err(e) => eprintln!("artifact write failed: {e}"),
+        Ok(path) => obs::info(|| format!("artifact: {}", path.display())),
+        Err(e) => obs::info(|| format!("artifact write failed: {e}")),
     }
 }

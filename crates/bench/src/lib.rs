@@ -27,3 +27,14 @@ pub use experiments::{
     fig3, fig4, fig6, table1, table2, Fig3Data, Fig4Data, Fig6Data, Scale, Table1Data, Table2Data,
 };
 pub use report::{render_scatter, render_table, write_dat_artifact, write_json_artifact};
+
+/// Wires the experiment binaries into `mce-obs`: installs a stderr
+/// [`ProgressReporter`](mce_obs::ProgressReporter) (honouring `MCE_LOG`)
+/// so phase messages and progress land on stderr while stdout stays
+/// reserved for the rendered tables and artifact data.
+pub fn init_obs() {
+    mce_obs::init_level_from_env();
+    mce_obs::install(std::sync::Arc::new(mce_obs::ProgressReporter::new(
+        std::time::Duration::from_millis(200),
+    )));
+}

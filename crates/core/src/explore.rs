@@ -18,8 +18,9 @@ use crate::brg::Brg;
 use crate::cluster::{cluster_levels, ClusterOrder};
 use crate::design_point::{DesignPoint, Metrics};
 use crate::estimate::{estimate_candidate, refine_with_full_simulation};
-use crate::par::par_map;
+use crate::par::par_map_named;
 use crate::pareto::{Axis, ParetoFront};
+use mce_obs as obs;
 use mce_appmodel::Workload;
 use mce_connlib::ConnectivityLibrary;
 use mce_memlib::MemoryArchitecture;
@@ -223,33 +224,66 @@ impl ConexExplorer {
         workload: &Workload,
         mem: &MemoryArchitecture,
     ) -> Vec<DesignPoint> {
-        let brg = Brg::profile(workload, mem, self.config.trace_len);
+        let _span = obs::span("conex.connectivity_exploration");
+        // `Brg::profile` replays the trace and builds the block reference
+        // graph in one pass, so one span covers both paper steps.
+        let brg = {
+            let _s = obs::span("conex.profile");
+            Brg::profile(workload, mem, self.config.trace_len)
+        };
+        let levels = {
+            let _s = obs::span("conex.cluster");
+            cluster_levels(&brg, self.config.cluster_order)
+        };
         let mut candidates = Vec::new();
-        for level in cluster_levels(&brg, self.config.cluster_order) {
-            // "if number of logical connections <= max cost constraint"
-            if level.len() > self.config.max_logical_connections {
-                continue;
+        {
+            let _s = obs::span("conex.enumerate");
+            for level in levels {
+                // "if number of logical connections <= max cost constraint"
+                if level.len() > self.config.max_logical_connections {
+                    obs::counter_add("conex.levels_skipped", 1);
+                    continue;
+                }
+                obs::counter_add("conex.levels_explored", 1);
+                candidates.extend(enumerate_allocations_filtered(
+                    &brg,
+                    &level,
+                    &self.library,
+                    self.config.max_allocations_per_level,
+                    self.config.bandwidth_headroom,
+                ));
             }
-            candidates.extend(enumerate_allocations_filtered(
-                &brg,
-                &level,
-                &self.library,
-                self.config.max_allocations_per_level,
-                self.config.bandwidth_headroom,
-            ));
         }
-        par_map(&candidates, self.config.threads, |conn| {
-            estimate_candidate(
-                workload,
-                mem,
-                conn.clone(),
-                self.config.trace_len,
-                self.config.sampling,
+        obs::counter_add("conex.candidates_enumerated", candidates.len() as u64);
+        obs::debug(|| {
+            format!(
+                "conex: memory arch `{}`: {} candidate allocations to estimate",
+                mem.name(),
+                candidates.len()
             )
-        })
-        .into_iter()
-        .flatten()
-        .collect()
+        });
+        let estimated: Vec<DesignPoint> = {
+            let _s = obs::span("conex.estimate");
+            par_map_named("conex.estimate", &candidates, self.config.threads, |conn| {
+                estimate_candidate(
+                    workload,
+                    mem,
+                    conn.clone(),
+                    self.config.trace_len,
+                    self.config.sampling,
+                )
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        // Funnel reconciliation: estimated == enumerated − infeasible.
+        obs::counter_add(
+            "conex.candidates_infeasible",
+            (candidates.len() - estimated.len()) as u64,
+        );
+        obs::counter_add("conex.candidates_estimated", estimated.len() as u64);
+        estimated
     }
 
     /// Phase-I local selection: the most promising points of one memory
@@ -311,26 +345,61 @@ impl ConexExplorer {
                 }
             }
         }
+        // The union of the per-scenario fronts is this architecture's
+        // local pareto shortlist; its size is the per-level front gauge.
+        obs::gauge_max("conex.local_front_max", kept.len() as u64);
         kept.into_iter().map(|i| &points[i]).collect()
     }
 
     /// The full two-phase `Algorithm ConEx`.
     pub fn explore(&self, workload: &Workload, mem_archs: Vec<MemoryArchitecture>) -> ConexResult {
         let start = Instant::now();
+        let _run = obs::span("conex.explore");
+        obs::info(|| {
+            format!(
+                "conex: exploring `{}` across {} memory architectures ({} strategy)",
+                workload.name(),
+                mem_archs.len(),
+                self.config.strategy
+            )
+        });
         let mut all_estimated = Vec::new();
         let mut combined: Vec<DesignPoint> = Vec::new();
         // Phase I.
-        for mem in &mem_archs {
-            let points = self.connectivity_exploration(workload, mem);
-            let selected: Vec<DesignPoint> =
-                self.select_local(&points).into_iter().cloned().collect();
-            combined.extend(selected);
-            all_estimated.extend(points);
+        {
+            let _phase1 = obs::span("conex.phase1");
+            for mem in &mem_archs {
+                let points = self.connectivity_exploration(workload, mem);
+                let selected: Vec<DesignPoint> =
+                    self.select_local(&points).into_iter().cloned().collect();
+                obs::counter_add(
+                    "conex.candidates_pruned",
+                    (points.len() - selected.len()) as u64,
+                );
+                combined.extend(selected);
+                all_estimated.extend(points);
+            }
+            obs::counter_add("conex.shortlist", combined.len() as u64);
+            // Workers have joined; totals are deterministic here.
+            obs::snapshot_counters();
         }
-        // Phase II: full simulation of the combined shortlist.
-        let simulated: Vec<DesignPoint> = par_map(&combined, self.config.threads, |p| {
-            refine_with_full_simulation(p, workload, self.config.trace_len)
+        obs::info(|| {
+            format!(
+                "conex: phase I kept {} of {} estimated candidates for full simulation",
+                combined.len(),
+                all_estimated.len()
+            )
         });
+        // Phase II: full simulation of the combined shortlist.
+        let simulated: Vec<DesignPoint> = {
+            let _phase2 = obs::span("conex.phase2");
+            par_map_named("conex.simulate", &combined, self.config.threads, |p| {
+                refine_with_full_simulation(p, workload, self.config.trace_len)
+            })
+        };
+        // Phase II simulates exactly the shortlist: simulated == shortlist.
+        obs::counter_add("conex.simulated", simulated.len() as u64);
+        obs::snapshot_counters();
         ConexResult {
             workload_name: workload.name().to_owned(),
             estimated: all_estimated,

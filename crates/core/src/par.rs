@@ -6,8 +6,10 @@
 //! from a shared atomic cursor, which keeps them busy even when per-item
 //! cost varies.
 
+use mce_obs as obs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Maps `f` over `items` using up to `threads` OS threads (0 = one per
 /// available core), returning outputs in input order.
@@ -20,33 +22,124 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_named("par_map", items, threads, f)
+}
+
+/// Per-worker execution record, gathered while the scope runs and emitted
+/// as worker-lane events only after all workers have joined, so lane
+/// events always appear in worker order.
+struct LaneStats {
+    start_us: u64,
+    end_us: u64,
+    busy_us: u64,
+    items: u64,
+}
+
+/// [`par_map`] with a region name for observability: when a `mce-obs` sink
+/// is installed, the region emits rate-limited progress ticks and one
+/// worker-lane span per thread (lanes are 1-based; the serial fallback
+/// emits progress only). When tracing is disabled the extra cost is one
+/// relaxed atomic load up front.
+pub fn par_map_named<T, R, F>(name: &'static str, items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let threads = effective_threads(threads, items.len());
+    let tracing = obs::tracing_enabled();
+    let total = items.len() as u64;
+    // ~50 ticks per region regardless of size keeps progress readable and
+    // the event stream small.
+    let step = (items.len() / 50).max(1) as u64;
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let r = f(item);
+                if tracing {
+                    let done = i as u64 + 1;
+                    if done % step == 0 || done == total {
+                        obs::progress(name, done, total);
+                    }
+                }
+                r
+            })
+            .collect();
     }
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut lanes: Vec<Option<LaneStats>> = (0..threads).map(|_| None).collect();
     {
         // One mutex per output slot over disjoint mutable borrows: the
         // atomic cursor hands each index to exactly one worker, so every
         // lock is uncontended — it only exists to satisfy the borrow
         // checker without `unsafe` (which this crate forbids).
         let cells: Vec<Mutex<&mut Option<R>>> = slots.iter_mut().map(Mutex::new).collect();
+        let lane_cells: Vec<Mutex<&mut Option<LaneStats>>> =
+            lanes.iter_mut().map(Mutex::new).collect();
         let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..threads {
+            for w in 0..threads {
                 let f = &f;
                 let next = &next;
+                let done = &done;
                 let cells = &cells;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+                let lane_cells = &lane_cells;
+                scope.spawn(move || {
+                    let start_us = if tracing { obs::now_us() } else { 0 };
+                    let mut busy_us = 0u64;
+                    let mut n_items = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let r = if tracing {
+                            let t0 = Instant::now();
+                            let r = f(&items[i]);
+                            busy_us += t0.elapsed().as_micros() as u64;
+                            r
+                        } else {
+                            f(&items[i])
+                        };
+                        **cells[i].lock().expect("slot mutex never poisoned") = Some(r);
+                        n_items += 1;
+                        if tracing {
+                            let d = done.fetch_add(1, Ordering::Relaxed) as u64 + 1;
+                            if d % step == 0 || d == total {
+                                obs::progress(name, d, total);
+                            }
+                        }
                     }
-                    let r = f(&items[i]);
-                    **cells[i].lock().expect("slot mutex never poisoned") = Some(r);
+                    if tracing {
+                        let end_us = obs::now_us();
+                        **lane_cells[w].lock().expect("lane mutex never poisoned") =
+                            Some(LaneStats {
+                                start_us,
+                                end_us,
+                                busy_us,
+                                items: n_items,
+                            });
+                    }
                 });
             }
         });
+    }
+    if tracing {
+        for (w, lane) in lanes.iter().enumerate() {
+            if let Some(stats) = lane {
+                obs::worker_span(
+                    name,
+                    (w + 1) as u32,
+                    stats.start_us,
+                    stats.end_us.saturating_sub(stats.start_us),
+                    stats.busy_us,
+                    stats.items,
+                );
+            }
+        }
     }
     slots
         .into_iter()
@@ -109,6 +202,35 @@ mod tests {
             x
         });
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn named_region_emits_worker_lanes_and_progress() {
+        // The only test in this crate touching the process-global recorder,
+        // so no cross-test serialization is needed here.
+        let sink = std::sync::Arc::new(mce_obs::MemorySink::new());
+        mce_obs::install(sink.clone());
+        let items: Vec<u64> = (0..200).collect();
+        let out = par_map_named("test.region", &items, 4, |x| x + 1);
+        mce_obs::uninstall();
+        let expect: Vec<u64> = items.iter().map(|x| x + 1).collect();
+        assert_eq!(out, expect);
+        let events = sink.take();
+        let lane_items: u64 = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                mce_obs::EventKind::Worker { items, .. } => Some(items),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(lane_items, 200, "worker lanes account for every item");
+        assert!(
+            events.iter().any(|e| matches!(
+                e.kind,
+                mce_obs::EventKind::Progress { done, total, .. } if done == total
+            )),
+            "a final progress tick reports completion"
+        );
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! # mce-obs — structured tracing, counters and progress reporting
+//!
+//! The observability substrate of the exploration pipeline: a
+//! zero-dependency structured-event layer that makes a whole `ConEx` run —
+//! profile, BRG build, clustering, allocation enumeration, Phase-I
+//! estimation, Phase-II full simulation — visible as spans, counters and
+//! per-worker lanes, without perturbing results.
+//!
+//! ## Model
+//!
+//! * **Spans** ([`span`]) are phase-scoped timers opened on the
+//!   coordinating thread; they nest lexically and emit begin/end events.
+//! * **Counters** ([`counter_add`]) and **gauges** ([`gauge_max`]) are
+//!   named atomic totals (funnel sizes, accesses replayed, stall cycles).
+//!   Worker threads may bump them concurrently; [`snapshot_counters`]
+//!   emits the totals as events at phase boundaries, where they are
+//!   deterministic.
+//! * **Worker lanes** ([`worker_span`]) and **progress ticks**
+//!   ([`progress`]) describe parallel execution; they are the only
+//!   [schedule-dependent](Event::schedule_dependent) events.
+//!
+//! Events go to a process-global [`Sink`] installed with [`install`]. With
+//! no sink installed (the default), every instrumentation call
+//! short-circuits on one relaxed atomic load — the pipeline's hot paths
+//! pay effectively nothing, and results are bit-identical with tracing on
+//! or off because instrumentation never branches the computation.
+//!
+//! ## Sinks
+//!
+//! * [`MemorySink`] — in-memory buffer (tests, programmatic inspection).
+//! * [`JsonLinesSink`] — machine-readable JSON-lines event log.
+//! * [`ChromeTraceSink`] — Chrome trace-event JSON; open the file in
+//!   `chrome://tracing` or <https://ui.perfetto.dev> to see the run as a
+//!   flame chart with per-worker lanes.
+//! * [`ProgressReporter`] — human-readable progress lines (rate + ETA) on
+//!   stderr.
+//! * [`MultiSink`] — fan-out to several of the above.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(mce_obs::MemorySink::new());
+//! mce_obs::install(sink.clone());
+//! {
+//!     let _phase = mce_obs::span("demo.phase");
+//!     mce_obs::counter_add("demo.items", 3);
+//! }
+//! mce_obs::snapshot_counters();
+//! mce_obs::uninstall();
+//!
+//! let events = sink.take();
+//! let ids: Vec<String> = events.iter().map(|e| e.identity()).collect();
+//! assert_eq!(
+//!     ids,
+//!     ["span_begin:demo.phase", "span_end:demo.phase", "counter:demo.items=3"]
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod recorder;
+pub mod sink;
+
+pub use event::{escape_json, Event, EventKind, Level};
+pub use recorder::{
+    counter_add, counter_value, debug, emit, gauge_max, gauge_value, info, init_level_from_env,
+    install, level_enabled, message, now_us, progress, reset_counters, set_level,
+    snapshot_counters, span, tracing_enabled, uninstall, worker_span, SpanGuard,
+};
+pub use sink::{
+    render_chrome_trace, ChromeTraceSink, JsonLinesSink, MemorySink, MultiSink, ProgressReporter,
+    Sink,
+};

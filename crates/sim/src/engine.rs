@@ -16,6 +16,7 @@ use mce_appmodel::{MemAccess, Workload};
 use mce_connlib::{ChannelId, LinkState};
 use mce_memlib::energy::{dram_transaction_nj, module_access_nj, CPU_INTERFACE_NJ};
 use mce_memlib::{DramState, ModuleModel};
+use mce_obs as obs;
 
 /// Backpressure bound: posted (non-blocking) traffic may run at most this
 /// many cycles ahead of the CPU on any link. When a link's backlog exceeds
@@ -54,6 +55,11 @@ pub struct Simulator<'a> {
     hits: u64,
     total_latency: u64,
     energy_nj: f64,
+    /// Observability tallies, kept as plain fields on the hot path and
+    /// flushed to the `mce-obs` counters once, in [`Simulator::finish`].
+    stall_events: u64,
+    stall_cycles: u64,
+    backlog_highwater: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -113,6 +119,9 @@ impl<'a> Simulator<'a> {
             hits: 0,
             total_latency: 0,
             energy_nj: 0.0,
+            stall_events: 0,
+            stall_cycles: 0,
+            backlog_highwater: 0,
         }
     }
 
@@ -277,7 +286,13 @@ impl<'a> Simulator<'a> {
                 .map(LinkState::last_completion)
                 .max()
                 .unwrap_or(0);
+            let backlog = horizon.saturating_sub(self.now);
+            if backlog > self.backlog_highwater {
+                self.backlog_highwater = backlog;
+            }
             if horizon > self.now + BACKPRESSURE_CYCLES {
+                self.stall_events += 1;
+                self.stall_cycles += horizon - BACKPRESSURE_CYCLES - self.now;
                 self.now = horizon - BACKPRESSURE_CYCLES;
             }
         }
@@ -290,6 +305,12 @@ impl<'a> Simulator<'a> {
 
     /// Finalizes the run and produces the statistics.
     pub fn finish(self) -> SimStats {
+        // Flush the run's observability tallies in one go (each call is a
+        // no-op relaxed load when no sink is installed).
+        obs::counter_add("sim.accesses_replayed", self.accesses);
+        obs::counter_add("sim.backpressure_stalls", self.stall_events);
+        obs::counter_add("sim.backpressure_stall_cycles", self.stall_cycles);
+        obs::gauge_max("sim.posted_backlog_highwater", self.backlog_highwater);
         let conn = self.sys.conn();
         let link_energy: f64 = self.links.iter().map(LinkState::energy_nj).sum();
         let total_energy = self.energy_nj + link_energy;

@@ -6,19 +6,28 @@
 //! mce classify <workload> [--trace N]          APEX pattern extraction
 //! mce simulate <workload> [--cache KIB] [--trace N]
 //!                                              simulate a cache-only baseline
-//! mce explore  <workload> [--scale fast|paper] [--out FILE]
+//! mce explore  <workload> [--scale fast|paper] [--out FILE] [--threads N]
+//!              [--trace-out FILE] [--progress]
 //!                                              full APEX + ConEx exploration
 //! ```
 //!
 //! `<workload>` is either a built-in name (`compress`, `li`, `vocoder`,
 //! `mix`) or a path to a workload JSON file (see `mce template`).
+//!
+//! `--trace-out FILE` writes a Chrome trace-event JSON of the run (open it
+//! in `chrome://tracing` or <https://ui.perfetto.dev>); `--progress` prints
+//! live phase/progress lines to stderr, with `MCE_LOG=debug` raising the
+//! message verbosity. Tracing never changes exploration results.
 
 use memory_conex::apex::{classify, ApexConfig, ApexExplorer};
 use memory_conex::appmodel::{benchmarks, AccessPattern, DataStructure, Workload, WorkloadBuilder};
 use memory_conex::conex::{ConexConfig, ConexExplorer, Scenario};
 use memory_conex::memlib::{CacheConfig, MemoryArchitecture};
+use memory_conex::obs;
 use memory_conex::sim::{simulate, SystemConfig};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,9 +47,18 @@ const USAGE: &str = "usage:
   mce template
   mce classify <workload> [--trace N]
   mce simulate <workload> [--cache KIB] [--trace N]
-  mce explore  <workload> [--scale fast|paper] [--out FILE]
+  mce explore  <workload> [--scale fast|paper] [--out FILE] [--threads N]
+               [--trace-out FILE] [--progress]
 
-<workload> = compress | li | vocoder | adpcm | jpeg | mix | path/to/workload.json";
+<workload> = compress | li | vocoder | adpcm | jpeg | mix | path/to/workload.json
+
+explore options:
+  --threads N      worker threads for estimation and simulation
+                   (0 = one per core; results are identical for any N)
+  --trace-out FILE write a Chrome trace-event JSON of the run
+                   (open in chrome://tracing or https://ui.perfetto.dev)
+  --progress       print live progress lines to stderr (MCE_LOG=debug
+                   for more detail)";
 
 type CliError = Box<dyn std::error::Error>;
 
@@ -173,17 +191,74 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The CLI's observability wiring: builds the sink stack requested by
+/// `--trace-out` / `--progress`, installs it for the duration of the
+/// exploration, and writes the trace file on `finish`.
+struct ObsSession {
+    chrome: Option<(Arc<obs::ChromeTraceSink>, String)>,
+    installed: bool,
+}
+
+impl ObsSession {
+    fn start(trace_out: Option<&str>, progress: bool) -> Self {
+        let chrome =
+            trace_out.map(|path| (Arc::new(obs::ChromeTraceSink::new()), path.to_owned()));
+        let mut sinks: Vec<Arc<dyn obs::Sink>> = Vec::new();
+        if let Some((sink, _)) = &chrome {
+            sinks.push(sink.clone());
+        }
+        if progress {
+            sinks.push(Arc::new(obs::ProgressReporter::new(Duration::from_millis(
+                200,
+            ))));
+        }
+        let installed = !sinks.is_empty();
+        if installed {
+            obs::init_level_from_env();
+            let sink: Arc<dyn obs::Sink> = if sinks.len() == 1 {
+                sinks.pop().expect("one sink")
+            } else {
+                Arc::new(obs::MultiSink::new(sinks))
+            };
+            obs::install(sink);
+        }
+        ObsSession { chrome, installed }
+    }
+
+    fn finish(self) -> Result<(), CliError> {
+        if self.installed {
+            obs::uninstall();
+        }
+        if let Some((sink, path)) = self.chrome {
+            sink.write_to_file(std::path::Path::new(&path))
+                .map_err(|e| format!("cannot write trace file `{path}`: {e}"))?;
+            eprintln!("wrote trace {path}");
+        }
+        Ok(())
+    }
+}
+
 fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     let w = load_workload(args)?;
     let scale = flag_value(args, "--scale").unwrap_or("fast");
-    let (apex_cfg, conex_cfg) = match scale {
+    let (apex_cfg, mut conex_cfg) = match scale {
         "fast" => (ApexConfig::fast(), ConexConfig::fast()),
         "paper" => (ApexConfig::paper(), ConexConfig::paper()),
         other => return Err(format!("unknown scale `{other}` (fast|paper)").into()),
     };
+    if let Some(t) = flag_value(args, "--threads") {
+        conex_cfg.threads = t
+            .parse()
+            .map_err(|e| format!("invalid --threads value `{t}`: {e}"))?;
+    }
+    let session = ObsSession::start(
+        flag_value(args, "--trace-out"),
+        args.iter().any(|a| a == "--progress"),
+    );
     eprintln!("exploring `{}` at {scale} scale...", w.name());
     let apex = ApexExplorer::new(apex_cfg).explore(&w);
     let conex = ConexExplorer::new(conex_cfg).explore(&w, apex.selected());
+    session.finish()?;
     println!(
         "estimated {} candidates, fully simulated {} ({:.1}s)\n",
         conex.estimated().len(),
@@ -267,6 +342,12 @@ mod tests {
         let json = serde_json::to_string(&template).unwrap();
         let back: Workload = serde_json::from_str(&json).unwrap();
         assert_eq!(template, back);
+    }
+
+    #[test]
+    fn explore_rejects_bad_threads() {
+        let err = cmd_explore(&s(&["vocoder", "--threads", "abc"])).unwrap_err();
+        assert!(err.to_string().contains("--threads"), "{err}");
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`apex`] — APEX memory-modules exploration (the paper's input stage).
 //! * [`conex`] — the ConEx connectivity exploration algorithm itself, pareto
 //!   machinery, exploration strategies and constraint scenarios.
+//! * [`obs`] — structured tracing, counters and progress reporting across
+//!   the whole pipeline (spans, worker lanes, Chrome-trace export).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use mce_appmodel as appmodel;
 pub use mce_conex as conex;
 pub use mce_connlib as connlib;
 pub use mce_memlib as memlib;
+pub use mce_obs as obs;
 pub use mce_sim as sim;
 
 /// Commonly used items for writing explorations end to end.

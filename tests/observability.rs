@@ -1,0 +1,208 @@
+//! Observability integration: phase spans, funnel-counter reconciliation,
+//! event-stream determinism across thread counts, and bit-identical
+//! exploration results with tracing on or off.
+
+use memory_conex::appmodel::benchmarks;
+use memory_conex::memlib::CacheConfig;
+use memory_conex::obs;
+use memory_conex::prelude::*;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The recorder is process-global, so every test that installs a sink
+/// serializes on this lock.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs a fast ConEx exploration with a memory sink installed and returns
+/// the recorded events plus the exploration result.
+fn record_explore(threads: usize) -> (Vec<obs::Event>, ConexResult) {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let sink = Arc::new(obs::MemorySink::new());
+    obs::install(sink.clone());
+    obs::set_level(obs::Level::Info);
+    let w = benchmarks::vocoder();
+    let mut cfg = ConexConfig::fast();
+    cfg.threads = threads;
+    let mem = vec![MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4))];
+    let result = ConexExplorer::new(cfg).explore(&w, mem);
+    obs::uninstall();
+    (sink.take(), result)
+}
+
+fn identities(events: &[obs::Event]) -> Vec<String> {
+    events.iter().map(obs::Event::identity).collect()
+}
+
+/// The last snapshot value of a named counter.
+fn final_counter(events: &[obs::Event], name: &str) -> u64 {
+    events
+        .iter()
+        .rev()
+        .find_map(|e| match &e.kind {
+            obs::EventKind::Counter { name: n, value } if *n == name => Some(*value),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no counter `{name}` in the event stream"))
+}
+
+#[test]
+fn phase_spans_cover_the_pipeline() {
+    let (events, _) = record_explore(1);
+    let ids = identities(&events);
+    for name in [
+        "conex.explore",
+        "conex.phase1",
+        "conex.connectivity_exploration",
+        "conex.profile",
+        "conex.cluster",
+        "conex.enumerate",
+        "conex.estimate",
+        "conex.phase2",
+    ] {
+        let begin = ids.iter().position(|i| i == &format!("span_begin:{name}"));
+        let end = ids.iter().position(|i| i == &format!("span_end:{name}"));
+        assert!(begin.is_some(), "missing span_begin:{name}");
+        assert!(end.is_some(), "missing span_end:{name}");
+        assert!(begin < end, "span {name} closes before it opens");
+    }
+}
+
+#[test]
+fn funnel_counters_reconcile() {
+    let (events, result) = record_explore(1);
+    let enumerated = final_counter(&events, "conex.candidates_enumerated");
+    let infeasible = final_counter(&events, "conex.candidates_infeasible");
+    let estimated = final_counter(&events, "conex.candidates_estimated");
+    let shortlist = final_counter(&events, "conex.shortlist");
+    let simulated = final_counter(&events, "conex.simulated");
+    assert_eq!(
+        estimated,
+        enumerated - infeasible,
+        "estimated must equal enumerated minus constraint-filtered"
+    );
+    assert_eq!(
+        simulated, shortlist,
+        "Phase II simulates exactly the pooled shortlist"
+    );
+    assert_eq!(estimated, result.estimated().len() as u64);
+    assert_eq!(simulated, result.simulated().len() as u64);
+    assert!(
+        final_counter(&events, "sim.accesses_replayed") > 0,
+        "the simulator reports replayed accesses"
+    );
+}
+
+#[test]
+fn deterministic_events_identical_serial_vs_parallel() {
+    let (serial, _) = record_explore(1);
+    let (parallel, _) = record_explore(4);
+    let filter = |events: &[obs::Event]| -> Vec<String> {
+        events
+            .iter()
+            .filter(|e| !e.schedule_dependent())
+            .map(obs::Event::identity)
+            .collect()
+    };
+    assert_eq!(
+        filter(&serial),
+        filter(&parallel),
+        "non-timing event stream must not depend on the thread count"
+    );
+}
+
+#[test]
+fn worker_lanes_account_for_all_estimates() {
+    let (events, _) = record_explore(4);
+    let estimate_items: u64 = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            obs::EventKind::Worker {
+                name: "conex.estimate",
+                items,
+                ..
+            } => Some(items),
+            _ => None,
+        })
+        .sum();
+    let enumerated = final_counter(&events, "conex.candidates_enumerated");
+    assert_eq!(
+        estimate_items, enumerated,
+        "worker lanes must account for every enumerated candidate"
+    );
+    let lanes: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            obs::EventKind::Worker { lane, .. } => Some(lane),
+            _ => None,
+        })
+        .collect();
+    assert!(!lanes.is_empty(), "a 4-thread run must emit worker lanes");
+    assert!(lanes.iter().all(|&l| l >= 1), "lane 0 is the coordinator");
+}
+
+#[test]
+fn results_are_bit_identical_with_tracing_on_and_off() {
+    let run = |traced: bool| -> ConexResult {
+        let _guard = RECORDER_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let sink = Arc::new(obs::MemorySink::new());
+        if traced {
+            obs::install(sink.clone());
+        } else {
+            obs::uninstall();
+        }
+        let w = benchmarks::vocoder();
+        let mem = vec![MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4))];
+        let result = ConexExplorer::new(ConexConfig::fast()).explore(&w, mem);
+        obs::uninstall();
+        result
+    };
+    let traced = run(true);
+    let untraced = run(false);
+    assert_eq!(traced.estimated(), untraced.estimated());
+    assert_eq!(traced.simulated(), untraced.simulated());
+}
+
+#[test]
+fn recorded_run_renders_a_valid_chrome_trace() {
+    let (events, _) = record_explore(4);
+    let json = obs::render_chrome_trace(&events);
+    let doc = obs::json::parse(&json).expect("chrome trace is valid JSON");
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!trace_events.is_empty());
+    let phases: Vec<&str> = trace_events
+        .iter()
+        .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+        .collect();
+    assert!(phases.contains(&"B"), "phase spans present");
+    assert!(phases.contains(&"E"), "phase spans close");
+    assert!(phases.contains(&"X"), "worker lanes present");
+    assert!(phases.contains(&"C"), "counters present");
+}
+
+#[test]
+fn apex_spans_and_counters_recorded() {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let sink = Arc::new(obs::MemorySink::new());
+    obs::install(sink.clone());
+    let w = benchmarks::vocoder();
+    let result = ApexExplorer::new(ApexConfig::fast()).explore(&w);
+    obs::uninstall();
+    let events = sink.take();
+    let ids = identities(&events);
+    for name in ["apex.explore", "apex.classify", "apex.generate", "apex.evaluate", "apex.select"] {
+        assert!(
+            ids.contains(&format!("span_begin:{name}")),
+            "missing span {name}"
+        );
+    }
+    assert_eq!(
+        final_counter(&events, "apex.candidates_evaluated"),
+        result.points().len() as u64
+    );
+    assert_eq!(
+        final_counter(&events, "apex.selected"),
+        result.selected_points().count() as u64
+    );
+}
