@@ -3,10 +3,10 @@
 
 use crate::candidates::{generate_candidates, CandidateConfig};
 use crate::extract::classify;
-use mce_appmodel::Workload;
+use mce_appmodel::{TraceBlocks, Workload};
 use mce_memlib::MemoryArchitecture;
 use mce_obs as obs;
-use mce_sim::{simulate, SystemConfig};
+use mce_sim::{simulate_blocks, Preset, SystemConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -23,22 +23,34 @@ pub struct ApexConfig {
 }
 
 impl ApexConfig {
-    /// Small and quick, for tests.
-    pub fn fast() -> Self {
-        ApexConfig {
-            trace_len: 15_000,
-            candidates: CandidateConfig::fast(),
-            max_selected: 4,
+    /// The configuration for a [`Preset`]: [`Preset::Fast`] is small and
+    /// quick for tests, [`Preset::Paper`] is the configuration used by
+    /// the experiments.
+    pub fn preset(preset: Preset) -> Self {
+        match preset {
+            Preset::Fast => ApexConfig {
+                trace_len: 15_000,
+                candidates: CandidateConfig::fast(),
+                max_selected: 4,
+            },
+            Preset::Paper => ApexConfig {
+                trace_len: 60_000,
+                candidates: CandidateConfig::paper(),
+                max_selected: 5,
+            },
         }
     }
 
+    /// Small and quick, for tests.
+    #[deprecated(note = "use `ApexConfig::preset(Preset::Fast)`")]
+    pub fn fast() -> Self {
+        Self::preset(Preset::Fast)
+    }
+
     /// The configuration used by the experiments.
+    #[deprecated(note = "use `ApexConfig::preset(Preset::Paper)`")]
     pub fn paper() -> Self {
-        ApexConfig {
-            trace_len: 60_000,
-            candidates: CandidateConfig::paper(),
-            max_selected: 5,
-        }
+        Self::preset(Preset::Paper)
     }
 }
 
@@ -114,7 +126,19 @@ impl ApexExplorer {
     }
 
     /// Runs extraction, candidate generation, evaluation and selection.
+    ///
+    /// Compiles the trace once for the run; use
+    /// [`ApexExplorer::explore_with_blocks`] to share an already-compiled
+    /// trace (e.g. with a subsequent ConEx stage).
     pub fn explore(&self, workload: &Workload) -> ApexResult {
+        let blocks = TraceBlocks::compile(workload, self.config.trace_len);
+        self.explore_with_blocks(workload, &blocks)
+    }
+
+    /// [`ApexExplorer::explore`] over pre-compiled trace blocks, which
+    /// must cover at least [`ApexConfig::trace_len`] accesses of
+    /// `workload`. Bit-identical to [`ApexExplorer::explore`].
+    pub fn explore_with_blocks(&self, workload: &Workload, blocks: &TraceBlocks) -> ApexResult {
         let _run = obs::span("apex.explore");
         obs::info(|| format!("apex: exploring memory architectures for `{}`", workload.name()));
         let reports = {
@@ -132,7 +156,7 @@ impl ApexExplorer {
                 .into_iter()
                 .filter_map(|arch| {
                     let sys = SystemConfig::with_shared_bus(workload, arch.clone()).ok()?;
-                    let stats = simulate(&sys, workload, self.config.trace_len);
+                    let stats = simulate_blocks(&sys, workload, blocks, self.config.trace_len);
                     Some(ApexPoint {
                         cost_gates: arch.gate_cost(),
                         miss_ratio: stats.miss_ratio(),
@@ -198,7 +222,7 @@ mod tests {
     #[test]
     fn selected_are_pareto_and_sorted() {
         let w = benchmarks::compress();
-        let result = ApexExplorer::new(ApexConfig::fast()).explore(&w);
+        let result = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
         let sel: Vec<&ApexPoint> = result.selected_points().collect();
         assert!(!sel.is_empty());
         for pair in sel.windows(2) {
@@ -213,7 +237,7 @@ mod tests {
     #[test]
     fn selection_respects_cap() {
         let w = benchmarks::li();
-        let cfg = ApexConfig::fast();
+        let cfg = ApexConfig::preset(Preset::Fast);
         let cap = cfg.max_selected;
         let result = ApexExplorer::new(cfg).explore(&w);
         assert!(result.selected_points().count() <= cap);
@@ -224,7 +248,7 @@ mod tests {
         // The point of APEX: pattern-specific modules cut the miss ratio
         // below what any same-cost cache manages.
         let w = benchmarks::compress();
-        let result = ApexExplorer::new(ApexConfig::fast()).explore(&w);
+        let result = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
         let best_selected = result
             .selected_points()
             .map(|p| p.miss_ratio)
@@ -244,7 +268,7 @@ mod tests {
     #[test]
     fn all_points_costed_and_finite() {
         let w = benchmarks::vocoder();
-        let result = ApexExplorer::new(ApexConfig::fast()).explore(&w);
+        let result = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
         for p in result.points() {
             assert!(p.cost_gates > 0);
             assert!(p.miss_ratio.is_finite());

@@ -21,9 +21,10 @@
 //! ```
 //! use mce_apex::{ApexConfig, ApexExplorer};
 //! use mce_appmodel::benchmarks;
+//! use mce_sim::Preset;
 //!
 //! let workload = benchmarks::vocoder();
-//! let result = ApexExplorer::new(ApexConfig::fast()).explore(&workload);
+//! let result = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&workload);
 //! assert!(!result.selected().is_empty());
 //! // Selected architectures are pareto points: no one dominates another.
 //! for a in result.selected_points() {

@@ -39,6 +39,7 @@ pub mod benchmarks;
 pub mod data_structure;
 pub mod pattern;
 pub mod profile;
+pub mod trace_blocks;
 pub mod trace_io;
 pub mod workload;
 
@@ -47,5 +48,6 @@ pub use address::{Addr, AddrRange};
 pub use data_structure::{DataStructure, DsId};
 pub use pattern::AccessPattern;
 pub use profile::{AccessProfile, DsStats};
-pub use trace_io::{read_trace, write_trace, ParseTraceError};
+pub use trace_blocks::{TraceBlocks, BLOCK_LEN};
+pub use trace_io::{load_trace, read_trace, write_trace, ParseTraceError};
 pub use workload::{Phase, Trace, Workload, WorkloadBuilder};

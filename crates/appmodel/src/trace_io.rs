@@ -15,9 +15,11 @@
 use crate::access::{AccessKind, MemAccess};
 use crate::address::Addr;
 use crate::data_structure::DsId;
+use mce_error::MceError;
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, Write};
+use std::path::Path;
 
 /// A malformed trace line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +37,15 @@ impl fmt::Display for ParseTraceError {
 }
 
 impl Error for ParseTraceError {}
+
+impl From<ParseTraceError> for MceError {
+    fn from(e: ParseTraceError) -> Self {
+        MceError::TraceParse {
+            line: e.line,
+            reason: e.reason,
+        }
+    }
+}
 
 /// Writes accesses as CSV to `out`.
 ///
@@ -67,12 +78,12 @@ where
 ///
 /// # Errors
 ///
-/// Returns a [`ParseTraceError`] naming the first malformed line, or wraps
-/// an I/O error from the reader.
-pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<MemAccess>, Box<dyn Error>> {
+/// Returns [`MceError::TraceParse`] naming the first malformed line, or
+/// [`MceError::Io`] wrapping an I/O error from the reader.
+pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<MemAccess>, MceError> {
     let mut out = Vec::new();
     for (i, line) in input.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(|e| MceError::io("reading trace", e))?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -83,6 +94,19 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<MemAccess>, Box<dyn Error>
         })?);
     }
     Ok(out)
+}
+
+/// Reads a CSV trace from a file at `path`.
+///
+/// # Errors
+///
+/// Returns [`MceError::Io`] if the file cannot be opened or read, and
+/// [`MceError::TraceParse`] for the first malformed line.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<Vec<MemAccess>, MceError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)
+        .map_err(|e| MceError::io(format!("opening trace file `{}`", path.display()), e))?;
+    read_trace(std::io::BufReader::new(file))
 }
 
 fn parse_line(line: &str) -> Result<MemAccess, String> {
@@ -158,6 +182,19 @@ mod tests {
     fn trailing_fields_rejected() {
         let err = read_trace("0,R,0,40,junk\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn parse_error_converts_to_mce_error() {
+        let err = read_trace("0,X,0,40\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, MceError::TraceParse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn load_trace_missing_file_is_io_error() {
+        let err = load_trace("/nonexistent/trace.csv").unwrap_err();
+        assert!(matches!(err, MceError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("opening trace file"));
     }
 
     #[test]

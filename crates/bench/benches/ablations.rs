@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mce_appmodel::benchmarks;
 use mce_conex::{cluster_levels, Brg, ClusterOrder, ConexConfig, ConexExplorer};
 use mce_memlib::{CacheConfig, MemoryArchitecture};
-use mce_sim::{simulate_sampled, SamplingConfig, SystemConfig};
+use mce_sim::{simulate_sampled, Preset, SamplingConfig, SystemConfig};
 
 fn ablation_clustering(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_clustering");
@@ -69,7 +69,7 @@ fn ablation_bandwidth_headroom(c: &mut Criterion) {
     )];
     for headroom in [0.0f64, 2.0, 8.0] {
         group.bench_function(format!("headroom_{headroom}"), |b| {
-            let mut cfg = ConexConfig::fast();
+            let mut cfg = ConexConfig::preset(Preset::Fast);
             cfg.trace_len = 5_000;
             cfg.max_allocations_per_level = 32;
             cfg.bandwidth_headroom = headroom;
@@ -90,7 +90,7 @@ fn ablation_pruning(c: &mut Criterion) {
     )];
     for keep in [2usize, 8, 24] {
         group.bench_function(format!("local_keep_{keep}"), |b| {
-            let mut cfg = ConexConfig::fast();
+            let mut cfg = ConexConfig::preset(Preset::Fast);
             cfg.trace_len = 5_000;
             cfg.max_allocations_per_level = 16;
             cfg.local_keep = keep;

@@ -1,0 +1,82 @@
+//! Evaluation-engine micro-bench: block-compiled trace replay
+//! ([`mce_sim::simulate_blocks`]) against per-access generator dispatch
+//! ([`mce_sim::simulate`]) on the vocoder workload.
+//!
+//! Besides the criterion groups, the bench writes a `BENCH_eval.json`
+//! summary (median wall time per path and the replay speedup) so the
+//! comparison can be archived next to the experiment outputs.
+
+use criterion::{criterion_group, Criterion};
+use mce_appmodel::{benchmarks, TraceBlocks};
+use mce_memlib::{CacheConfig, MemoryArchitecture};
+use mce_sim::{simulate, simulate_blocks, SystemConfig};
+use std::time::Instant;
+
+const TRACE_LEN: usize = 30_000;
+
+fn setup() -> (mce_appmodel::Workload, SystemConfig, TraceBlocks) {
+    let w = benchmarks::vocoder();
+    let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8));
+    let sys = SystemConfig::with_shared_bus(&w, mem).expect("feasible baseline");
+    let blocks = TraceBlocks::compile(&w, TRACE_LEN);
+    (w, sys, blocks)
+}
+
+fn eval_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_replay");
+    group.sample_size(20);
+    let (w, sys, blocks) = setup();
+    group.bench_function("per_access_dispatch", |b| {
+        b.iter(|| simulate(&sys, &w, TRACE_LEN));
+    });
+    group.bench_function("block_replay", |b| {
+        b.iter(|| simulate_blocks(&sys, &w, &blocks, TRACE_LEN));
+    });
+    group.finish();
+}
+
+/// Median wall time of `reps` runs of `f`, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn write_summary() {
+    let (w, sys, blocks) = setup();
+    // Warm up both paths once, then take medians.
+    simulate(&sys, &w, TRACE_LEN);
+    simulate_blocks(&sys, &w, &blocks, TRACE_LEN);
+    let per_access = median_ns(9, || {
+        simulate(&sys, &w, TRACE_LEN);
+    });
+    let block = median_ns(9, || {
+        simulate_blocks(&sys, &w, &blocks, TRACE_LEN);
+    });
+    let speedup = per_access as f64 / block as f64;
+    let json = format!(
+        "{{\n  \"workload\": \"{}\",\n  \"trace_len\": {TRACE_LEN},\n  \
+         \"per_access_dispatch_ns\": {per_access},\n  \"block_replay_ns\": {block},\n  \
+         \"block_replay_speedup\": {speedup:.3}\n}}\n",
+        w.name()
+    );
+    std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
+    eprintln!(
+        "BENCH_eval.json: per-access {per_access} ns, block replay {block} ns \
+         ({speedup:.2}x)"
+    );
+}
+
+criterion_group!(benches, eval_replay);
+
+fn main() {
+    write_summary();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

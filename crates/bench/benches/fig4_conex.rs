@@ -4,10 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mce_appmodel::benchmarks;
 use mce_conex::{ConexConfig, ConexExplorer};
+use mce_sim::Preset;
 use mce_memlib::{CacheConfig, MemoryArchitecture};
 
 fn bench_config() -> ConexConfig {
-    let mut cfg = ConexConfig::fast();
+    let mut cfg = ConexConfig::preset(Preset::Fast);
     cfg.trace_len = 6_000;
     cfg.max_allocations_per_level = 24;
     cfg

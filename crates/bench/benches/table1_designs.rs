@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mce_apex::{ApexConfig, CandidateConfig};
 use mce_appmodel::benchmarks;
 use mce_conex::{ConexConfig, MemorEx};
+use mce_sim::Preset;
 
 fn pipeline() -> MemorEx {
     let apex = ApexConfig {
@@ -17,7 +18,7 @@ fn pipeline() -> MemorEx {
         },
         max_selected: 3,
     };
-    let mut conex = ConexConfig::fast();
+    let mut conex = ConexConfig::preset(Preset::Fast);
     conex.trace_len = 5_000;
     conex.max_allocations_per_level = 16;
     MemorEx::new(apex, conex)

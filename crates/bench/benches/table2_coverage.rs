@@ -4,10 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mce_appmodel::benchmarks;
 use mce_conex::{ConexConfig, ConexExplorer, CoverageReport, ExplorationStrategy, Metrics};
+use mce_sim::Preset;
 use mce_memlib::{CacheConfig, MemoryArchitecture};
 
 fn bench_config(strategy: ExplorationStrategy) -> ConexConfig {
-    let mut cfg = ConexConfig::fast().with_strategy(strategy);
+    let mut cfg = ConexConfig::preset(Preset::Fast).with_strategy(strategy);
     cfg.trace_len = 5_000;
     cfg.max_allocations_per_level = 16;
     cfg

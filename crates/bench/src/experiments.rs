@@ -7,6 +7,7 @@
 
 use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
 use mce_appmodel::{benchmarks, Workload};
+use mce_sim::Preset;
 use mce_conex::{
     Axis, ConexConfig, ConexExplorer, ConexResult, CoverageReport, DesignPoint,
     ExplorationStrategy, Metrics, ParetoFront,
@@ -38,16 +39,16 @@ impl Scale {
     /// The APEX configuration for this scale.
     pub fn apex_config(self) -> ApexConfig {
         match self {
-            Scale::Fast => ApexConfig::fast(),
-            Scale::Paper => ApexConfig::paper(),
+            Scale::Fast => ApexConfig::preset(Preset::Fast),
+            Scale::Paper => ApexConfig::preset(Preset::Paper),
         }
     }
 
     /// The ConEx configuration for this scale.
     pub fn conex_config(self) -> ConexConfig {
         match self {
-            Scale::Fast => ConexConfig::fast(),
-            Scale::Paper => ConexConfig::paper(),
+            Scale::Fast => ConexConfig::preset(Preset::Fast),
+            Scale::Paper => ConexConfig::preset(Preset::Paper),
         }
     }
 }

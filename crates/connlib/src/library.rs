@@ -1,8 +1,10 @@
 //! The connectivity IP library.
 
 use crate::component::{ConnComponent, ConnComponentKind, ConnParams};
+use mce_error::MceError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::Path;
 
 /// A library of connectivity components available to the exploration.
 ///
@@ -103,6 +105,80 @@ impl ConnectivityLibrary {
     pub fn is_empty(&self) -> bool {
         self.components.is_empty()
     }
+
+    /// Parses a library from its JSON form (the same shape `serde_json`
+    /// produces for a [`ConnectivityLibrary`]) and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::Json`] on malformed JSON and
+    /// [`MceError::Library`] when the parsed library violates a structural
+    /// invariant (see [`ConnectivityLibrary::validate`]).
+    pub fn from_json(text: &str) -> Result<Self, MceError> {
+        let lib: ConnectivityLibrary = serde_json::from_str(text)
+            .map_err(|e| MceError::json("parsing connectivity library", e))?;
+        lib.validate()?;
+        Ok(lib)
+    }
+
+    /// Loads and validates a library from a JSON file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::Io`] if the file cannot be read, plus the
+    /// [`ConnectivityLibrary::from_json`] errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, MceError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            MceError::io(
+                format!("reading connectivity library `{}`", path.display()),
+                e,
+            )
+        })?;
+        Self::from_json(&text)
+    }
+
+    /// Checks the structural invariants the exploration relies on: the
+    /// library is non-empty, every component can serve at least one port,
+    /// is at least a byte wide, needs at least one cycle per beat, and has
+    /// finite non-negative energy coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::Library`] naming the first violated invariant.
+    pub fn validate(&self) -> Result<(), MceError> {
+        if self.is_empty() {
+            return Err(MceError::library("library has no components"));
+        }
+        for (i, c) in self.components.iter().enumerate() {
+            let p = c.params();
+            let fail = |what: &str| {
+                Err(MceError::library(format!(
+                    "component {i} ({}): {what}",
+                    c.kind()
+                )))
+            };
+            if p.width_bytes == 0 {
+                return fail("width_bytes must be at least 1");
+            }
+            if p.cycles_per_beat == 0 {
+                return fail("cycles_per_beat must be at least 1");
+            }
+            if p.max_ports == 0 {
+                return fail("max_ports must be at least 1");
+            }
+            if p.outstanding == 0 {
+                return fail("outstanding must be at least 1");
+            }
+            if !(p.energy_per_transfer_nj.is_finite() && p.energy_per_transfer_nj >= 0.0) {
+                return fail("energy_per_transfer_nj must be finite and non-negative");
+            }
+            if !(p.energy_per_byte_nj.is_finite() && p.energy_per_byte_nj >= 0.0) {
+                return fail("energy_per_byte_nj must be finite and non-negative");
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for ConnectivityLibrary {
@@ -161,5 +237,43 @@ mod tests {
     #[test]
     fn default_trait_is_amba() {
         assert_eq!(ConnectivityLibrary::default(), ConnectivityLibrary::amba());
+    }
+
+    #[test]
+    fn json_round_trip_validates() {
+        let lib = ConnectivityLibrary::amba();
+        let json = serde_json::to_string(&lib).unwrap();
+        let back = ConnectivityLibrary::from_json(&json).unwrap();
+        assert_eq!(lib, back);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_panic() {
+        let err = ConnectivityLibrary::from_json("{not json").unwrap_err();
+        assert!(matches!(err, MceError::Json { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_library_fails_validation() {
+        let err = ConnectivityLibrary::from_json(r#"{"components":[]}"#).unwrap_err();
+        assert!(matches!(err, MceError::Library { .. }), "{err}");
+        assert!(err.to_string().contains("no components"), "{err}");
+    }
+
+    #[test]
+    fn zero_width_component_rejected() {
+        let mut lib = ConnectivityLibrary::new();
+        let mut params = ConnComponentKind::AmbaAhb.params();
+        params.width_bytes = 0;
+        lib.add(ConnComponent::with_params(ConnComponentKind::AmbaAhb, params));
+        let json = serde_json::to_string(&lib).unwrap();
+        let err = ConnectivityLibrary::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("width_bytes"), "{err}");
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = ConnectivityLibrary::load("/nonexistent/lib.json").unwrap_err();
+        assert!(matches!(err, MceError::Io { .. }), "{err}");
     }
 }

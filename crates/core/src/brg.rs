@@ -11,7 +11,7 @@
 //! channel must carry: element transfers on the CPU↔module channels, demand
 //! fills plus prefetch/writeback traffic on the module↔DRAM channels.
 
-use mce_appmodel::Workload;
+use mce_appmodel::{MemAccess, TraceBlocks, Workload};
 use mce_connlib::Channel;
 use mce_memlib::{MemoryArchitecture, ModuleModel};
 use mce_sim::system::{channel_endpoints, channels_for, ChannelEndpoint};
@@ -69,6 +69,31 @@ impl Brg {
     ///
     /// Panics if the memory architecture is invalid for the workload.
     pub fn profile(workload: &Workload, mem: &MemoryArchitecture, trace_len: usize) -> Self {
+        Self::profile_accesses(workload, mem, workload.trace(trace_len))
+    }
+
+    /// [`Brg::profile`] over pre-compiled trace blocks: replays the first
+    /// `trace_len` compiled accesses instead of running the generator.
+    /// Bit-identical to [`Brg::profile`] with the same `trace_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory architecture is invalid for the workload or
+    /// `trace_len` exceeds the compiled length.
+    pub fn profile_blocks(
+        workload: &Workload,
+        mem: &MemoryArchitecture,
+        blocks: &TraceBlocks,
+        trace_len: usize,
+    ) -> Self {
+        Self::profile_accesses(workload, mem, blocks.replay(trace_len))
+    }
+
+    fn profile_accesses(
+        workload: &Workload,
+        mem: &MemoryArchitecture,
+        accesses: impl Iterator<Item = MemAccess>,
+    ) -> Self {
         mem.validate(workload)
             .expect("memory architecture must be valid");
         let endpoints = channel_endpoints(mem, workload);
@@ -92,7 +117,7 @@ impl Brg {
 
         let idx_of = |e: ChannelEndpoint| endpoints.iter().position(|x| *x == e);
         let mut last_tick = 0;
-        for acc in workload.trace(trace_len) {
+        for acc in accesses {
             last_tick = acc.tick;
             let serving = mem.serving_module(acc.ds);
             let elem = workload.data_structure(acc.ds).element_size();
@@ -286,6 +311,23 @@ mod tests {
             let expect = arc.bytes as f64 / brg.elapsed_cycles() as f64;
             assert!((arc.bandwidth - expect).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn profile_blocks_matches_generator_profile() {
+        let w = benchmarks::compress();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+        let blocks = TraceBlocks::compile(&w, N);
+        assert_eq!(
+            Brg::profile(&w, &mem, N),
+            Brg::profile_blocks(&w, &mem, &blocks, N)
+        );
+        // A longer compilation serves shorter profiling windows too.
+        let short = N / 4;
+        assert_eq!(
+            Brg::profile(&w, &mem, short),
+            Brg::profile_blocks(&w, &mem, &blocks, short)
+        );
     }
 
     #[test]

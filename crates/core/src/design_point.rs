@@ -1,6 +1,35 @@
-//! Design points: a complete system configuration with its metrics.
+//! Design points: a complete system configuration with its metrics, and
+//! the canonical structural hashing that identifies a design point for
+//! cross-scenario memoization.
+//!
+//! ## Canonical hashing
+//!
+//! The evaluation engine caches metrics under a [`CanonKey`]: a 128-bit
+//! structural digest of *(workload, memory architecture, connectivity
+//! architecture, trace length, evaluation mode)*. The digest is
+//! **canonical**: it covers exactly the structure that determines the
+//! simulated metrics and nothing else —
+//!
+//! * memory-architecture and connectivity names are excluded (they label
+//!   reports, never timing, energy or gate cost);
+//! * connectivity links are hashed as an unordered set of
+//!   (component, assigned-channel-indices) fingerprints, so two
+//!   architectures that differ only in link declaration order or link
+//!   names collide deliberately — they describe the same hardware. (For
+//!   such permuted twins the simulator's link-order energy summation can
+//!   differ in the last ulp; the cache canonically returns the
+//!   first-evaluated metrics for both.)
+//!
+//! The hash is a hand-rolled dual-lane FNV-1a over the structural fields
+//! (no serialization framework in the loop), so it is stable across runs,
+//! platforms and serde versions.
 
-use mce_sim::SystemConfig;
+use mce_appmodel::{AccessPattern, Workload};
+use mce_connlib::{ConnComponent, ConnectivityArchitecture, LinkId};
+use mce_memlib::{
+    MemModuleKind, MemoryArchitecture, ReplacementPolicy, WriteMissPolicy, WritePolicy,
+};
+use mce_sim::{SamplingConfig, SystemConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -89,6 +118,354 @@ impl fmt::Display for DesignPoint {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Canonical structural hashing
+// ---------------------------------------------------------------------------
+
+/// A 128-bit canonical digest identifying one evaluation of one design
+/// point (see the module docs for what it covers and deliberately omits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonKey {
+    /// High 64 bits (standard FNV-1a lane).
+    pub hi: u64,
+    /// Low 64 bits (second, decorrelated lane).
+    pub lo: u64,
+}
+
+impl CanonKey {
+    /// Renders the key as 32 lowercase hex digits (the spill-file form).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses the [`CanonKey::to_hex`] form.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(CanonKey { hi, lo })
+    }
+}
+
+impl fmt::Display for CanonKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Which evaluation a cache entry holds: Phase-I time-sampled estimation
+/// (keyed by its sampling window) or Phase-II full simulation. The two
+/// never alias — a sampled estimate must not satisfy a full-simulation
+/// lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Time-sampled estimation with the given windows.
+    Estimated(SamplingConfig),
+    /// Full simulation of the whole trace prefix.
+    Full,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Second lane: offset from the upper half of the 128-bit FNV basis; the
+/// multiplier is any odd constant decorrelated from the FNV prime.
+const LANE2_OFFSET: u64 = 0x6c62_272e_07bb_0142;
+const LANE2_PRIME: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Dual-lane FNV-1a over structural fields. Each lane mixes every input
+/// byte; the two lanes differ in offset and multiplier, giving an
+/// effectively 128-bit key from two cheap 64-bit streams.
+struct CanonHasher {
+    a: u64,
+    b: u64,
+}
+
+impl CanonHasher {
+    fn new(domain: &str) -> Self {
+        let mut h = CanonHasher {
+            a: FNV_OFFSET,
+            b: LANE2_OFFSET,
+        };
+        h.str(domain);
+        h
+    }
+
+    fn byte(&mut self, x: u8) {
+        self.a = (self.a ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+        self.b = (self.b ^ u64::from(x)).wrapping_mul(LANE2_PRIME);
+    }
+
+    fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn u32(&mut self, x: u32) {
+        self.u64(u64::from(x));
+    }
+
+    fn bool(&mut self, x: bool) {
+        self.byte(u8::from(x));
+    }
+
+    /// Bit-exact: distinguishes every f64 payload, including -0.0 vs 0.0.
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    /// Length-prefixed, so consecutive strings cannot alias.
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+
+    fn key(&self) -> CanonKey {
+        CanonKey {
+            hi: self.a,
+            lo: self.b,
+        }
+    }
+}
+
+/// Digest of everything that determines the generated trace: the seed, the
+/// compute gap, every data structure's shape and the phase schedule.
+/// Workload *names* are included — distinct workloads must never collide,
+/// and over-distinguishing only costs cache hits, never correctness.
+pub fn workload_digest(workload: &Workload) -> CanonKey {
+    let mut h = CanonHasher::new("mce.workload.v1");
+    h.str(workload.name());
+    h.u64(workload.seed());
+    h.u64(workload.compute_gap());
+    h.u64(workload.len() as u64);
+    for ds in workload.data_structures() {
+        h.str(ds.name());
+        h.u64(ds.footprint());
+        h.u64(ds.element_size());
+        hash_pattern(&mut h, ds.pattern());
+        h.f64(ds.hotness());
+        h.f64(ds.write_fraction());
+    }
+    h.u64(workload.phases().len() as u64);
+    for phase in workload.phases() {
+        h.str(phase.name());
+        h.u64(phase.accesses());
+        h.u64(phase.hotness_scale().len() as u64);
+        for &s in phase.hotness_scale() {
+            h.f64(s);
+        }
+    }
+    h.key()
+}
+
+fn hash_pattern(h: &mut CanonHasher, p: AccessPattern) {
+    match p {
+        AccessPattern::Stream { stride } => {
+            h.byte(0);
+            h.u64(stride);
+        }
+        AccessPattern::SelfIndirect => h.byte(1),
+        AccessPattern::Indexed { index_stride } => {
+            h.byte(2);
+            h.u64(index_stride);
+        }
+        AccessPattern::LoopNest { working_set, reuse } => {
+            h.byte(3);
+            h.u64(working_set);
+            h.u32(reuse);
+        }
+        AccessPattern::Random => h.byte(4),
+        AccessPattern::Stack => h.byte(5),
+    }
+}
+
+/// Digest of a memory architecture's structure: module kinds and
+/// parameters in order (module order is semantic — the DS mapping and
+/// backing chains refer to module indices), the DS→module mapping and the
+/// backing topology. Module and architecture names are excluded.
+///
+/// `workload` supplies the mapping domain (one entry per data structure).
+pub fn mem_digest(mem: &MemoryArchitecture, workload: &Workload) -> CanonKey {
+    let mut h = CanonHasher::new("mce.mem.v1");
+    h.u64(mem.modules().len() as u64);
+    for m in mem.modules() {
+        hash_module_kind(&mut h, m.kind());
+    }
+    h.u64(mem.dram_id().index() as u64);
+    for (i, _) in mem.modules().iter().enumerate() {
+        match mem.backing_of(mce_memlib::ModuleId::new(i)) {
+            Some(l2) => h.u64(l2.index() as u64),
+            None => h.u64(u64::MAX),
+        }
+    }
+    h.u64(workload.len() as u64);
+    for i in 0..workload.len() {
+        h.u64(mem.serving_module(mce_appmodel::DsId::new(i)).index() as u64);
+    }
+    h.key()
+}
+
+fn hash_module_kind(h: &mut CanonHasher, kind: MemModuleKind) {
+    match kind {
+        MemModuleKind::Cache(c) => {
+            h.byte(0);
+            h.u64(c.size_bytes);
+            h.u32(c.line_bytes);
+            h.u32(c.ways);
+            h.byte(match c.replacement {
+                ReplacementPolicy::Lru => 0,
+                ReplacementPolicy::Fifo => 1,
+            });
+            h.byte(match c.write {
+                WritePolicy::WriteBack => 0,
+                WritePolicy::WriteThrough => 1,
+            });
+            h.byte(match c.write_miss {
+                WriteMissPolicy::WriteAllocate => 0,
+                WriteMissPolicy::WriteAround => 1,
+            });
+            h.u32(c.hit_cycles);
+        }
+        MemModuleKind::Sram { bytes } => {
+            h.byte(1);
+            h.u64(bytes);
+        }
+        MemModuleKind::StreamBuffer {
+            entries,
+            line_bytes,
+        } => {
+            h.byte(2);
+            h.u32(entries);
+            h.u32(line_bytes);
+        }
+        MemModuleKind::SelfIndirectDma {
+            depth,
+            element_bytes,
+        } => {
+            h.byte(3);
+            h.u32(depth);
+            h.u32(element_bytes);
+        }
+        MemModuleKind::Fifo {
+            entries,
+            line_bytes,
+        } => {
+            h.byte(4);
+            h.u32(entries);
+            h.u32(line_bytes);
+        }
+        MemModuleKind::OffChipDram(d) => {
+            h.byte(5);
+            h.u64(d.row_bytes);
+            h.u32(d.row_miss_cycles);
+            h.u32(d.cas_cycles);
+            h.u32(d.burst_bytes);
+            h.u32(d.beat_cycles);
+        }
+    }
+}
+
+/// Digest of a connectivity architecture's structure: the channel sequence
+/// (chip-boundary flags; channel order is semantic — it defines each
+/// master's position on its link) and the **unordered set** of link
+/// fingerprints. Link order and all names are excluded; see the module
+/// docs for why that is the canonical choice.
+pub fn conn_digest(conn: &ConnectivityArchitecture) -> CanonKey {
+    let mut h = CanonHasher::new("mce.conn.v1");
+    h.u64(conn.channels().len() as u64);
+    for ch in conn.channels() {
+        h.bool(ch.off_chip);
+    }
+    let mut links: Vec<CanonKey> = conn
+        .links()
+        .iter()
+        .enumerate()
+        .map(|(j, link)| {
+            let mut lh = CanonHasher::new("mce.link.v1");
+            hash_component(&mut lh, link.component());
+            // Assigned channel indices, ascending by construction (the
+            // assignment table is scanned in channel order).
+            for ci in 0..conn.channels().len() {
+                if conn.link_of(mce_connlib::ChannelId::new(ci)) == Some(LinkId::new(j)) {
+                    lh.u64(ci as u64);
+                }
+            }
+            lh.key()
+        })
+        .collect();
+    links.sort_unstable();
+    h.u64(links.len() as u64);
+    for k in links {
+        h.u64(k.hi);
+        h.u64(k.lo);
+    }
+    h.key()
+}
+
+fn hash_component(h: &mut CanonHasher, component: &ConnComponent) {
+    use mce_connlib::ConnComponentKind as K;
+    h.byte(match component.kind() {
+        K::Dedicated => 0,
+        K::Mux => 1,
+        K::AmbaApb => 2,
+        K::AmbaAsb => 3,
+        K::AmbaAhb => 4,
+        K::OffChipBus => 5,
+    });
+    let p = component.params();
+    h.u32(p.width_bytes);
+    h.u32(p.cycles_per_beat);
+    h.u32(p.arbitration_cycles);
+    h.bool(p.pipelined);
+    h.bool(p.split_transaction);
+    h.u32(p.max_ports);
+    h.u32(p.outstanding);
+    h.u64(p.base_gates);
+    h.u64(p.gates_per_port);
+    h.u64(p.wire_gates_per_bit);
+    h.f64(p.energy_per_transfer_nj);
+    h.f64(p.energy_per_byte_nj);
+    h.bool(p.off_chip);
+    match p.arbiter {
+        mce_connlib::ArbiterKind::FixedPriority => h.byte(0),
+        mce_connlib::ArbiterKind::RoundRobin => h.byte(1),
+        mce_connlib::ArbiterKind::Tdma { slot_cycles } => {
+            h.byte(2);
+            h.u64(u64::from(slot_cycles));
+        }
+    }
+}
+
+/// Combines the three structural digests with the evaluation parameters
+/// into the final cache key.
+pub fn eval_key(
+    workload: CanonKey,
+    mem: CanonKey,
+    conn: CanonKey,
+    trace_len: usize,
+    mode: EvalMode,
+) -> CanonKey {
+    let mut h = CanonHasher::new("mce.eval.v1");
+    for part in [workload, mem, conn] {
+        h.u64(part.hi);
+        h.u64(part.lo);
+    }
+    h.u64(trace_len as u64);
+    match mode {
+        EvalMode::Estimated(s) => {
+            h.byte(0);
+            h.u32(s.on_accesses);
+            h.u32(s.off_ratio);
+        }
+        EvalMode::Full => h.byte(1),
+    }
+    h.key()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +489,118 @@ mod tests {
     #[should_panic(expected = "energy")]
     fn negative_energy_rejected() {
         let _ = Metrics::new(1, 0.0, -1.0);
+    }
+
+    // --- canonical hashing ---
+
+    use mce_appmodel::benchmarks;
+    use mce_connlib::{Channel, ChannelId, ConnComponentKind};
+    use mce_memlib::CacheConfig;
+
+    fn channels() -> Vec<Channel> {
+        vec![Channel::on_chip("cpu<->L1"), Channel::off_chip("L1<->dram")]
+    }
+
+    /// Two links (one per channel); `flipped` swaps their declaration
+    /// order while keeping the same channel assignment.
+    fn conn_with_link_order(flipped: bool) -> ConnectivityArchitecture {
+        let mut conn = ConnectivityArchitecture::new(channels());
+        let kinds = if flipped {
+            [ConnComponentKind::OffChipBus, ConnComponentKind::AmbaAhb]
+        } else {
+            [ConnComponentKind::AmbaAhb, ConnComponentKind::OffChipBus]
+        };
+        let a = conn.add_link("first", ConnComponent::new(kinds[0]));
+        let b = conn.add_link("second", ConnComponent::new(kinds[1]));
+        let (on_chip_link, off_chip_link) = if flipped { (b, a) } else { (a, b) };
+        conn.assign(ChannelId::new(0), on_chip_link);
+        conn.assign(ChannelId::new(1), off_chip_link);
+        conn
+    }
+
+    #[test]
+    fn conn_digest_ignores_link_order_and_names() {
+        let digest = conn_digest(&conn_with_link_order(false));
+        assert_eq!(digest, conn_digest(&conn_with_link_order(true)));
+
+        let mut renamed = ConnectivityArchitecture::new(channels());
+        let l1 = renamed.add_link("totally", ConnComponent::new(ConnComponentKind::AmbaAhb));
+        let l2 = renamed.add_link("different", ConnComponent::new(ConnComponentKind::OffChipBus));
+        renamed.assign(ChannelId::new(0), l1);
+        renamed.assign(ChannelId::new(1), l2);
+        assert_eq!(digest, conn_digest(&renamed));
+    }
+
+    #[test]
+    fn conn_digest_sees_component_changes() {
+        let ahb = conn_with_link_order(false);
+        let mut apb = ConnectivityArchitecture::new(channels());
+        let l1 = apb.add_link("first", ConnComponent::new(ConnComponentKind::AmbaApb));
+        let l2 = apb.add_link("second", ConnComponent::new(ConnComponentKind::OffChipBus));
+        apb.assign(ChannelId::new(0), l1);
+        apb.assign(ChannelId::new(1), l2);
+        assert_ne!(conn_digest(&ahb), conn_digest(&apb));
+    }
+
+    #[test]
+    fn conn_digest_sees_assignment_changes() {
+        // Both channels on one shared bus vs one link each.
+        let split = conn_with_link_order(false);
+        let mut shared = ConnectivityArchitecture::new(channels());
+        let bus = shared.add_link("bus", ConnComponent::new(ConnComponentKind::OffChipBus));
+        shared.assign(ChannelId::new(0), bus);
+        shared.assign(ChannelId::new(1), bus);
+        assert_ne!(conn_digest(&split), conn_digest(&shared));
+    }
+
+    #[test]
+    fn mem_digest_ignores_names_but_sees_structure() {
+        let w = benchmarks::vocoder();
+        let a = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8));
+        let b = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8));
+        assert_eq!(mem_digest(&a, &w), mem_digest(&b, &w));
+        let c = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(16));
+        assert_ne!(mem_digest(&a, &w), mem_digest(&c, &w));
+    }
+
+    #[test]
+    fn workload_digest_separates_benchmarks() {
+        let mut keys: Vec<CanonKey> = [
+            benchmarks::compress(),
+            benchmarks::li(),
+            benchmarks::vocoder(),
+        ]
+        .iter()
+        .map(workload_digest)
+        .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 3);
+    }
+
+    #[test]
+    fn eval_modes_never_alias() {
+        let w = workload_digest(&benchmarks::vocoder());
+        let wl = benchmarks::vocoder();
+        let mem = MemoryArchitecture::cache_only(&wl, CacheConfig::kilobytes(4));
+        let m = mem_digest(&mem, &wl);
+        let c = conn_digest(&conn_with_link_order(false));
+        let estimated = eval_key(w, m, c, 1000, EvalMode::Estimated(SamplingConfig::paper()));
+        let full = eval_key(w, m, c, 1000, EvalMode::Full);
+        let longer = eval_key(w, m, c, 2000, EvalMode::Full);
+        assert_ne!(estimated, full);
+        assert_ne!(full, longer);
+    }
+
+    #[test]
+    fn canon_key_hex_round_trips() {
+        let k = CanonKey {
+            hi: 0x0123_4567_89ab_cdef,
+            lo: 0xfedc_ba98_7654_3210,
+        };
+        assert_eq!(CanonKey::from_hex(&k.to_hex()), Some(k));
+        assert_eq!(k.to_hex().len(), 32);
+        assert_eq!(CanonKey::from_hex("xyz"), None);
+        assert_eq!(CanonKey::from_hex(""), None);
     }
 }

@@ -1,0 +1,448 @@
+//! The candidate-evaluation engine.
+//!
+//! Every metric the exploration ranks comes from replaying a workload's
+//! trace through a candidate system. The [`EvalEngine`] is the single
+//! place that happens, and it makes each evaluation as cheap as possible,
+//! in order of preference:
+//!
+//! 1. **Memoized** — the candidate's canonical key
+//!    ([`design_point`](crate::design_point)) hits the [`EvalCache`]:
+//!    no simulation at all. The cache is shared across scenarios,
+//!    strategies, clustering levels and (via spill files) runs.
+//! 2. **Coalesced** — another candidate in the same batch has the same
+//!    key (enumeration at adjacent clustering levels re-derives
+//!    structurally identical pairings): simulated once, answered twice.
+//! 3. **Simulated** — block-compiled replay
+//!    ([`simulate_blocks`] / [`simulate_sampled_blocks`]) over the
+//!    engine's shared [`TraceBlocks`], compiled once per workload and
+//!    shared immutably across worker threads.
+//!
+//! Determinism: cache probes, coalescing and cache population all run
+//! serially on the calling thread; only the unique simulations fan out
+//! through [`par_map_named`], whose output is order-preserving. Results
+//! are therefore bit-identical with the cache on or off and for any
+//! thread count — the cache only removes redundant work, it never
+//! reorders floating-point accumulation within an evaluation.
+
+use crate::design_point::{
+    conn_digest, eval_key, mem_digest, workload_digest, CanonKey, DesignPoint, EvalMode, Metrics,
+};
+use crate::eval_cache::EvalCache;
+use crate::par::par_map_named;
+use mce_appmodel::{TraceBlocks, Workload};
+use mce_connlib::ConnectivityArchitecture;
+use mce_memlib::MemoryArchitecture;
+use mce_obs as obs;
+use mce_sim::{simulate_blocks, simulate_sampled_blocks, SamplingConfig, SystemConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How a batch slot will be answered.
+enum Slot<T> {
+    /// The memory + connectivity pairing does not form a valid system.
+    Infeasible,
+    /// Answered from the cache.
+    Hit(T, Metrics),
+    /// Answered by simulation job `usize` (shared by coalesced twins).
+    Job(T, usize),
+}
+
+/// The memoizing evaluation engine for one workload.
+///
+/// Construct one per exploration (or share one across APEX and ConEx via
+/// [`ExplorationSession`](https://docs.rs) — see the facade crate), then
+/// evaluate candidates in batches.
+#[derive(Clone)]
+pub struct EvalEngine {
+    workload: Workload,
+    workload_key: CanonKey,
+    blocks: Arc<TraceBlocks>,
+    cache: Option<Arc<EvalCache>>,
+}
+
+impl EvalEngine {
+    /// Compiles `workload`'s first `max_trace_len` accesses into shared
+    /// trace blocks and creates an engine with no cache.
+    ///
+    /// `max_trace_len` must be the longest trace any batch will replay;
+    /// shorter lengths replay a prefix of the same blocks.
+    pub fn new(workload: &Workload, max_trace_len: usize) -> Self {
+        Self::with_blocks(
+            workload,
+            Arc::new(TraceBlocks::compile(workload, max_trace_len)),
+        )
+    }
+
+    /// An engine over already-compiled blocks (shared with other engines
+    /// or a surrounding session).
+    pub fn with_blocks(workload: &Workload, blocks: Arc<TraceBlocks>) -> Self {
+        EvalEngine {
+            workload: workload.clone(),
+            workload_key: workload_digest(workload),
+            blocks,
+            cache: None,
+        }
+    }
+
+    /// Attaches a (possibly shared) memoization cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The workload this engine evaluates against.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The shared compiled trace blocks.
+    pub fn blocks(&self) -> &Arc<TraceBlocks> {
+        &self.blocks
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<EvalCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The longest trace length this engine can replay.
+    pub fn max_trace_len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Phase-I estimation of a batch of connectivity candidates for one
+    /// memory architecture.
+    ///
+    /// The result is index-aligned with `candidates`; `None` marks an
+    /// infeasible pairing. Equivalent to calling
+    /// [`estimate_candidate`](crate::estimate::estimate_candidate) per
+    /// candidate — bit-identically, minus the redundant simulations.
+    pub fn estimate_batch(
+        &self,
+        mem: &MemoryArchitecture,
+        candidates: Vec<ConnectivityArchitecture>,
+        trace_len: usize,
+        sampling: SamplingConfig,
+        threads: usize,
+    ) -> Vec<Option<DesignPoint>> {
+        let mem_key = mem_digest(mem, &self.workload);
+        let mode = EvalMode::Estimated(sampling);
+        let slots = self.run_batch(
+            "conex.estimate",
+            candidates.len(),
+            threads,
+            |i| {
+                let conn = &candidates[i];
+                let conn_key = conn_digest(conn);
+                let sys =
+                    SystemConfig::new(&self.workload, mem.clone(), conn.clone()).ok()?;
+                let key = eval_key(self.workload_key, mem_key, conn_key, trace_len, mode);
+                Some((key, sys))
+            },
+            |sys| {
+                let stats =
+                    simulate_sampled_blocks(sys, &self.workload, &self.blocks, trace_len, sampling);
+                Metrics::new(
+                    sys.gate_cost(),
+                    stats.avg_latency_cycles,
+                    stats.avg_energy_nj,
+                )
+            },
+        );
+        slots
+            .into_iter()
+            .map(|(slot, metrics)| match slot {
+                Slot::Infeasible => None,
+                Slot::Hit(sys, m) => Some(DesignPoint::new(sys, m, true)),
+                Slot::Job(sys, _) => Some(DesignPoint::new(sys, metrics.unwrap(), true)),
+            })
+            .collect()
+    }
+
+    /// Phase-II full simulation of a shortlist of design points.
+    ///
+    /// Equivalent to
+    /// [`refine_with_full_simulation`](crate::estimate::refine_with_full_simulation)
+    /// per point — bit-identically, minus the redundant simulations.
+    pub fn refine_batch(
+        &self,
+        points: &[DesignPoint],
+        trace_len: usize,
+        threads: usize,
+    ) -> Vec<DesignPoint> {
+        let slots = self.run_batch(
+            "conex.simulate",
+            points.len(),
+            threads,
+            |i| {
+                let sys = &points[i].system;
+                let key = eval_key(
+                    self.workload_key,
+                    mem_digest(sys.mem(), &self.workload),
+                    conn_digest(sys.conn()),
+                    trace_len,
+                    EvalMode::Full,
+                );
+                Some((key, sys.clone()))
+            },
+            |sys| {
+                let stats = simulate_blocks(sys, &self.workload, &self.blocks, trace_len);
+                Metrics::new(
+                    sys.gate_cost(),
+                    stats.avg_latency_cycles,
+                    stats.avg_energy_nj,
+                )
+            },
+        );
+        slots
+            .into_iter()
+            .map(|(slot, metrics)| match slot {
+                Slot::Infeasible => unreachable!("refine inputs are always feasible"),
+                Slot::Hit(sys, m) => DesignPoint::new(sys, m, false),
+                Slot::Job(sys, _) => DesignPoint::new(sys, metrics.unwrap(), false),
+            })
+            .collect()
+    }
+
+    /// The shared probe → simulate → populate machinery.
+    ///
+    /// `prepare(i)` keys slot `i` (returning `None` for infeasible
+    /// pairings); `evaluate` runs the unique simulation jobs in parallel.
+    /// Returns each slot paired with its job's metrics (`None` for
+    /// non-job slots).
+    fn run_batch(
+        &self,
+        region: &'static str,
+        len: usize,
+        threads: usize,
+        prepare: impl Fn(usize) -> Option<(CanonKey, SystemConfig)>,
+        evaluate: impl Fn(&SystemConfig) -> Metrics + Sync,
+    ) -> Vec<(Slot<SystemConfig>, Option<Metrics>)> {
+        // Serial probe phase: classify every slot, deduplicating within
+        // the batch so each unique key simulates at most once.
+        let mut slots: Vec<Slot<SystemConfig>> = Vec::with_capacity(len);
+        let mut job_of: HashMap<CanonKey, usize> = HashMap::new();
+        let mut jobs: Vec<(CanonKey, usize)> = Vec::new(); // (key, owner slot)
+        let (mut hits, mut coalesced) = (0u64, 0u64);
+        for i in 0..len {
+            let Some((key, sys)) = prepare(i) else {
+                slots.push(Slot::Infeasible);
+                continue;
+            };
+            if let Some(m) = self.cache.as_ref().and_then(|c| c.get(key)) {
+                hits += 1;
+                slots.push(Slot::Hit(sys, m));
+            } else if let Some(&j) = job_of.get(&key) {
+                coalesced += 1;
+                slots.push(Slot::Job(sys, j));
+            } else {
+                let j = jobs.len();
+                job_of.insert(key, j);
+                jobs.push((key, i));
+                slots.push(Slot::Job(sys, j));
+            }
+        }
+        // Parallel phase: only the unique misses simulate.
+        let results: Vec<Metrics> = par_map_named(region, &jobs, threads, |&(_, owner)| {
+            match &slots[owner] {
+                Slot::Job(sys, _) => evaluate(sys),
+                _ => unreachable!("job owners are Job slots"),
+            }
+        });
+        // Serial populate phase: insert in probe order, so cache contents
+        // (and FIFO eviction order) are thread-count independent.
+        let mut inserts = 0u64;
+        if let Some(cache) = &self.cache {
+            for (&(key, _), m) in jobs.iter().zip(&results) {
+                if cache.insert(key, *m) {
+                    inserts += 1;
+                }
+            }
+            obs::counter_add("eval_cache.hits", hits);
+            obs::counter_add("eval_cache.misses", jobs.len() as u64);
+            obs::counter_add("eval_cache.inserts", inserts);
+        }
+        obs::counter_add("eval_cache.coalesced", coalesced);
+        // The funnel gauge the worker-lane events reconcile against: how
+        // many simulations actually ran in this region.
+        obs::counter_add(
+            match region {
+                "conex.estimate" => "conex.estimate_jobs",
+                _ => "conex.simulate_jobs",
+            },
+            jobs.len() as u64,
+        );
+        slots
+            .into_iter()
+            .map(|slot| {
+                let m = match &slot {
+                    Slot::Job(_, j) => Some(results[*j]),
+                    _ => None,
+                };
+                (slot, m)
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for EvalEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalEngine")
+            .field("workload", &self.workload.name())
+            .field("max_trace_len", &self.blocks.len())
+            .field("cached", &self.cache.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocate::enumerate_allocations;
+    use crate::brg::Brg;
+    use crate::cluster::{cluster_levels, ClusterOrder};
+    use crate::estimate::{estimate_candidate, refine_with_full_simulation};
+    use mce_appmodel::benchmarks;
+    use mce_connlib::ConnectivityLibrary;
+    use mce_memlib::CacheConfig;
+
+    const N: usize = 20_000;
+
+    fn candidates(w: &Workload, mem: &MemoryArchitecture) -> Vec<ConnectivityArchitecture> {
+        let brg = Brg::profile(w, mem, N);
+        let levels = cluster_levels(&brg, ClusterOrder::LowestFirst);
+        let lib = ConnectivityLibrary::amba();
+        let mut out = Vec::new();
+        for level in levels {
+            out.extend(enumerate_allocations(&brg, &level, &lib, 16));
+        }
+        out
+    }
+
+    #[test]
+    fn batch_estimation_matches_per_candidate_path() {
+        let w = benchmarks::vocoder();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+        let cands = candidates(&w, &mem);
+        assert!(cands.len() >= 4, "{} candidates", cands.len());
+        let engine = EvalEngine::new(&w, N);
+        let sampling = SamplingConfig::paper();
+        let batch = engine.estimate_batch(&mem, cands.clone(), N, sampling, 2);
+        assert_eq!(batch.len(), cands.len());
+        for (conn, got) in cands.into_iter().zip(batch) {
+            let expect = estimate_candidate(&w, &mem, conn, N, sampling);
+            match (expect, got) {
+                (Some(e), Some(g)) => {
+                    assert_eq!(e.metrics, g.metrics);
+                    assert!(g.estimated);
+                }
+                (None, None) => {}
+                (e, g) => panic!("feasibility mismatch: {e:?} vs {g:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_refinement_matches_per_point_path() {
+        let w = benchmarks::vocoder();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+        let engine = EvalEngine::new(&w, N);
+        let sampling = SamplingConfig::paper();
+        let points: Vec<DesignPoint> = engine
+            .estimate_batch(&mem, candidates(&w, &mem), N, sampling, 0)
+            .into_iter()
+            .flatten()
+            .take(4)
+            .collect();
+        let refined = engine.refine_batch(&points, N, 2);
+        for (p, got) in points.iter().zip(refined) {
+            let expect = refine_with_full_simulation(p, &w, N);
+            assert_eq!(expect.metrics, got.metrics);
+            assert!(!got.estimated);
+        }
+    }
+
+    #[test]
+    fn cache_on_and_off_are_bit_identical() {
+        let w = benchmarks::compress();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8));
+        let cands = candidates(&w, &mem);
+        let sampling = SamplingConfig::paper();
+        let plain = EvalEngine::new(&w, N);
+        let cached = plain.clone().with_cache(Arc::new(EvalCache::new()));
+        let a = plain.estimate_batch(&mem, cands.clone(), N, sampling, 0);
+        // Run the cached engine twice: the second pass answers from cache.
+        let b1 = cached.estimate_batch(&mem, cands.clone(), N, sampling, 0);
+        let b2 = cached.estimate_batch(&mem, cands, N, sampling, 3);
+        let stats = cached.cache().unwrap().stats();
+        assert!(stats.hits > 0, "second pass must hit: {stats:?}");
+        for ((pa, pb1), pb2) in a.iter().zip(&b1).zip(&b2) {
+            let m = |p: &Option<DesignPoint>| p.as_ref().map(|p| p.metrics);
+            assert_eq!(m(pa), m(pb1), "cache off vs cold cache");
+            assert_eq!(m(pa), m(pb2), "cache off vs warm cache");
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let w = benchmarks::vocoder();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+        let cands = candidates(&w, &mem);
+        let sampling = SamplingConfig::paper();
+        let reference: Vec<Option<Metrics>> = EvalEngine::new(&w, N)
+            .estimate_batch(&mem, cands.clone(), N, sampling, 1)
+            .into_iter()
+            .map(|p| p.map(|p| p.metrics))
+            .collect();
+        for threads in [2, 5, 0] {
+            let engine = EvalEngine::new(&w, N).with_cache(Arc::new(EvalCache::new()));
+            let got: Vec<Option<Metrics>> = engine
+                .estimate_batch(&mem, cands.clone(), N, sampling, threads)
+                .into_iter()
+                .map(|p| p.map(|p| p.metrics))
+                .collect();
+            assert_eq!(reference, got, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn duplicate_candidates_coalesce_into_one_job() {
+        let w = benchmarks::vocoder();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+        let mut cands = candidates(&w, &mem);
+        let dup = cands[0].clone();
+        cands.push(dup);
+        let engine = EvalEngine::new(&w, N).with_cache(Arc::new(EvalCache::new()));
+        let batch = engine.estimate_batch(&mem, cands, N, SamplingConfig::paper(), 0);
+        let first = batch.first().unwrap().as_ref().unwrap();
+        let last = batch.last().unwrap().as_ref().unwrap();
+        assert_eq!(first.metrics, last.metrics);
+        // The twin never reached the cache as a separate miss.
+        let stats = engine.cache().unwrap().stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.inserts as usize, batch.iter().flatten().count() - 1);
+    }
+
+    #[test]
+    fn estimate_and_full_modes_never_collide() {
+        let w = benchmarks::vocoder();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+        let cands: Vec<_> = candidates(&w, &mem).into_iter().take(2).collect();
+        let engine = EvalEngine::new(&w, N).with_cache(Arc::new(EvalCache::new()));
+        let sampling = SamplingConfig::paper();
+        let est: Vec<DesignPoint> = engine
+            .estimate_batch(&mem, cands, N, sampling, 0)
+            .into_iter()
+            .flatten()
+            .collect();
+        let refined = engine.refine_batch(&est, N, 0);
+        // Full simulation must not be answered by the estimate entries.
+        for (e, r) in est.iter().zip(&refined) {
+            assert!(r.metrics.latency_cycles != 0.0);
+            assert!(!r.estimated && e.estimated);
+        }
+        let stats = engine.cache().unwrap().stats();
+        assert_eq!(stats.hits, 0, "modes share no keys: {stats:?}");
+    }
+}

@@ -1,0 +1,475 @@
+//! The cross-scenario evaluation cache.
+//!
+//! Candidate evaluations recur across the exploration: Phase I re-derives
+//! the same (memory, connectivity) pairings at different clustering
+//! levels, strategy comparisons (Table 2) re-estimate identical candidate
+//! sets, and repeated CLI runs redo everything. The [`EvalCache`] memoizes
+//! evaluated [`Metrics`] under the canonical structural key of
+//! [`design_point`](crate::design_point), so any evaluation with the same
+//! structure — across scenarios, strategies, or runs (via
+//! [`EvalCache::save`] / [`EvalCache::load`]) — is answered without
+//! simulating.
+//!
+//! The cache is N-way lock-striped: keys map to one of up to
+//! [`MAX_SHARDS`] shards, each an independently locked FIFO-bounded map,
+//! so concurrent readers rarely contend. Statistics are atomics,
+//! readable at any time without locking the shards. Zero dependencies
+//! beyond the standard library; the spill format is hand-written JSON
+//! read back with `mce_obs`'s parser, so it never drifts with a
+//! serialization framework.
+//!
+//! Determinism: the evaluation engine probes and populates the cache
+//! serially (only the simulations between run in parallel), so hit/miss
+//! totals — and, more importantly, results — are identical for any thread
+//! count. See [`engine`](crate::engine).
+
+use crate::design_point::{CanonKey, Metrics};
+use mce_error::MceError;
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on the number of lock stripes.
+pub const MAX_SHARDS: usize = 16;
+
+/// Default capacity (total resident entries across all shards).
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Version tag of the spill format.
+const SPILL_VERSION: u64 = 1;
+
+/// Aggregate cache statistics, monotonically increasing over the cache's
+/// lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries stored.
+    pub inserts: u64,
+    /// Entries evicted by the FIFO capacity bound.
+    pub evictions: u64,
+}
+
+struct Shard {
+    map: HashMap<CanonKey, Metrics>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<CanonKey>,
+}
+
+/// A sharded, capacity-bounded memoization cache of evaluated metrics.
+pub struct EvalCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl EvalCache {
+    /// A cache with the [`DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A cache holding at most `capacity` entries in total.
+    ///
+    /// The capacity is divided evenly across up to [`MAX_SHARDS`] lock
+    /// stripes (fewer when `capacity` is small); each stripe evicts its
+    /// oldest entry when its quota fills, so total residency never
+    /// exceeds `capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shard_count = capacity.min(MAX_SHARDS);
+        let shards = (0..shard_count)
+            .map(|_| {
+                Mutex::new(Shard {
+                    map: HashMap::new(),
+                    order: VecDeque::new(),
+                })
+            })
+            .collect();
+        EvalCache {
+            shards,
+            per_shard_cap: (capacity / shard_count).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: CanonKey) -> &Mutex<Shard> {
+        // The key is already a high-quality hash; the high lane picks the
+        // stripe without further mixing.
+        &self.shards[(key.hi as usize) % self.shards.len()]
+    }
+
+    /// Looks up a key, counting a hit or miss.
+    pub fn get(&self, key: CanonKey) -> Option<Metrics> {
+        let found = self.shard(key).lock().expect("cache shard poisoned").map.get(&key).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores an evaluation. Returns `false` (and changes nothing) if the
+    /// key was already present; evicts the shard's oldest entry when its
+    /// quota is full.
+    pub fn insert(&self, key: CanonKey, metrics: Metrics) -> bool {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if shard.map.contains_key(&key) {
+            return false;
+        }
+        if shard.order.len() >= self.per_shard_cap {
+            if let Some(oldest) = shard.order.pop_front() {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, metrics);
+        shard.order.push_back(key);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity (entries) across all shards.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_cap * self.shards.len()
+    }
+
+    /// A snapshot of the lifetime statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    // -- spill / warm-start ------------------------------------------------
+
+    /// Serializes every resident entry to the JSON spill form.
+    ///
+    /// Keys and f64 bit patterns are hex strings — exact round-trips with
+    /// no dependence on any reader's float precision. Entries are sorted
+    /// by key, so the output is byte-stable regardless of insertion or
+    /// shard order.
+    pub fn to_spill_json(&self) -> String {
+        let mut entries: Vec<(CanonKey, Metrics)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            entries.extend(shard.map.iter().map(|(k, m)| (*k, *m)));
+        }
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        let mut out = String::with_capacity(64 + entries.len() * 96);
+        out.push_str("{\"version\":");
+        out.push_str(&SPILL_VERSION.to_string());
+        out.push_str(",\"entries\":[");
+        for (i, (key, m)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "[\"{}\",\"{}\",\"{:016x}\",\"{:016x}\"]",
+                key.to_hex(),
+                m.cost_gates,
+                m.latency_cycles.to_bits(),
+                m.energy_nj.to_bits()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the spill JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::Io`] if the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), MceError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_spill_json())
+            .map_err(|e| MceError::io(format!("writing eval cache `{}`", path.display()), e))
+    }
+
+    /// Parses a spill document into a fresh cache with the given
+    /// `capacity`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::Json`] on malformed documents, unknown
+    /// versions, or entries carrying non-finite / negative metrics.
+    pub fn from_spill_json(text: &str, capacity: usize) -> Result<Self, MceError> {
+        let ctx = "parsing eval cache spill";
+        let doc = mce_obs::json::parse(text).map_err(|e| MceError::json(ctx, e))?;
+        let version = doc
+            .get("version")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| MceError::json(ctx, "missing `version`"))?;
+        if version != SPILL_VERSION {
+            return Err(MceError::json(
+                ctx,
+                format!("unsupported spill version {version}"),
+            ));
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| MceError::json(ctx, "missing `entries` array"))?;
+        let cache = Self::with_capacity(capacity);
+        for (i, entry) in entries.iter().enumerate() {
+            let fields = entry
+                .as_array()
+                .filter(|f| f.len() == 4)
+                .ok_or_else(|| MceError::json(ctx, format!("entry {i}: expected 4 fields")))?;
+            let field = |j: usize, what: &str| {
+                fields[j]
+                    .as_str()
+                    .ok_or_else(|| MceError::json(ctx, format!("entry {i}: bad {what}")))
+            };
+            let key = CanonKey::from_hex(field(0, "key")?)
+                .ok_or_else(|| MceError::json(ctx, format!("entry {i}: bad key")))?;
+            let cost_gates: u64 = field(1, "cost")?
+                .parse()
+                .map_err(|_| MceError::json(ctx, format!("entry {i}: bad cost")))?;
+            let bits = |j: usize, what: &str| {
+                u64::from_str_radix(field(j, what)?, 16)
+                    .map_err(|_| MceError::json(ctx, format!("entry {i}: bad {what}")))
+            };
+            let latency_cycles = f64::from_bits(bits(2, "latency")?);
+            let energy_nj = f64::from_bits(bits(3, "energy")?);
+            if !(latency_cycles.is_finite() && latency_cycles >= 0.0)
+                || !(energy_nj.is_finite() && energy_nj >= 0.0)
+            {
+                return Err(MceError::json(
+                    ctx,
+                    format!("entry {i}: non-finite or negative metrics"),
+                ));
+            }
+            cache.insert(
+                key,
+                Metrics {
+                    cost_gates,
+                    latency_cycles,
+                    energy_nj,
+                },
+            );
+        }
+        Ok(cache)
+    }
+
+    /// Loads a spill file into a fresh cache with the given `capacity`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::Io`] if the file cannot be read, plus the
+    /// [`EvalCache::from_spill_json`] errors.
+    pub fn load(path: impl AsRef<Path>, capacity: usize) -> Result<Self, MceError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| MceError::io(format!("reading eval cache `{}`", path.display()), e))?;
+        Self::from_spill_json(&text, capacity)
+    }
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for EvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> CanonKey {
+        CanonKey {
+            hi: i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            lo: i,
+        }
+    }
+
+    fn metrics(i: u64) -> Metrics {
+        Metrics::new(i, i as f64 + 0.5, i as f64 * 0.25)
+    }
+
+    #[test]
+    fn get_after_insert_round_trips() {
+        let cache = EvalCache::with_capacity(64);
+        assert_eq!(cache.get(key(1)), None);
+        assert!(cache.insert(key(1), metrics(1)));
+        assert_eq!(cache.get(key(1)), Some(metrics(1)));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn double_insert_is_a_noop() {
+        let cache = EvalCache::with_capacity(64);
+        assert!(cache.insert(key(1), metrics(1)));
+        assert!(!cache.insert(key(1), metrics(2)));
+        assert_eq!(cache.get(key(1)), Some(metrics(1)), "first value wins");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_residency() {
+        let capacity = 100;
+        let cache = EvalCache::with_capacity(capacity);
+        for i in 0..10 * capacity as u64 {
+            cache.insert(key(i), metrics(i));
+        }
+        assert!(
+            cache.len() <= capacity,
+            "{} resident > capacity {capacity}",
+            cache.len()
+        );
+        let s = cache.stats();
+        assert_eq!(s.inserts - s.evictions, cache.len() as u64);
+        assert!(s.evictions > 0);
+    }
+
+    #[test]
+    fn eviction_is_fifo_within_a_shard() {
+        // Capacity 1 → a single shard with quota 1: each insert evicts
+        // the previous entry.
+        let cache = EvalCache::with_capacity(1);
+        cache.insert(key(1), metrics(1));
+        cache.insert(key(2), metrics(2));
+        assert_eq!(cache.get(key(1)), None, "oldest evicted");
+        assert_eq!(cache.get(key(2)), Some(metrics(2)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn tiny_capacities_still_work() {
+        for capacity in 1..=5 {
+            let cache = EvalCache::with_capacity(capacity);
+            for i in 0..20 {
+                cache.insert(key(i), metrics(i));
+            }
+            assert!(cache.len() <= capacity, "capacity {capacity}");
+            assert!(!cache.is_empty());
+        }
+    }
+
+    #[test]
+    fn spill_round_trips_exactly() {
+        let cache = EvalCache::with_capacity(64);
+        // Metrics chosen to stress float round-tripping.
+        let values = [
+            (key(1), Metrics::new(42, 1.0 / 3.0, 2.0 / 7.0)),
+            (key(2), Metrics::new(u64::MAX, f64::MIN_POSITIVE, 0.0)),
+            (key(3), Metrics::new(0, 1e300, 12.125)),
+        ];
+        for (k, m) in values {
+            cache.insert(k, m);
+        }
+        let spill = cache.to_spill_json();
+        let back = EvalCache::from_spill_json(&spill, 64).unwrap();
+        assert_eq!(back.len(), 3);
+        for (k, m) in values {
+            let got = back.get(k).expect("entry survived");
+            assert_eq!(got.cost_gates, m.cost_gates);
+            assert_eq!(got.latency_cycles.to_bits(), m.latency_cycles.to_bits());
+            assert_eq!(got.energy_nj.to_bits(), m.energy_nj.to_bits());
+        }
+    }
+
+    #[test]
+    fn spill_is_deterministic() {
+        // Same contents inserted in different orders → identical bytes.
+        let a = EvalCache::with_capacity(64);
+        let b = EvalCache::with_capacity(64);
+        for i in 0..20 {
+            a.insert(key(i), metrics(i));
+            b.insert(key(19 - i), metrics(19 - i));
+        }
+        assert_eq!(a.to_spill_json(), b.to_spill_json());
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let path = std::env::temp_dir().join(format!("mce_eval_cache_{}.json", std::process::id()));
+        let cache = EvalCache::with_capacity(16);
+        cache.insert(key(7), metrics(7));
+        cache.save(&path).unwrap();
+        let back = EvalCache::load(&path, 16).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.get(key(7)), Some(metrics(7)));
+    }
+
+    #[test]
+    fn malformed_spills_are_errors() {
+        for bad in [
+            "{not json",
+            "{}",
+            r#"{"version":99,"entries":[]}"#,
+            r#"{"version":1,"entries":[["short","1","0","0"]]}"#,
+            r#"{"version":1,"entries":[[1,2,3,4]]}"#,
+            // NaN latency bits.
+            r#"{"version":1,"entries":[["00000000000000000000000000000001","1","7ff8000000000000","0"]]}"#,
+        ] {
+            let err = EvalCache::from_spill_json(bad, 16).unwrap_err();
+            assert!(matches!(err, MceError::Json { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = EvalCache::load("/nonexistent/cache.json", 16).unwrap_err();
+        assert!(matches!(err, MceError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(EvalCache::with_capacity(256));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let k = key(t * 1000 + i);
+                        cache.insert(k, metrics(i));
+                        let _ = cache.get(k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.stats().inserts >= 256);
+    }
+}

@@ -17,14 +17,13 @@ use crate::allocate::enumerate_allocations_filtered;
 use crate::brg::Brg;
 use crate::cluster::{cluster_levels, ClusterOrder};
 use crate::design_point::{DesignPoint, Metrics};
-use crate::estimate::{estimate_candidate, refine_with_full_simulation};
-use crate::par::par_map_named;
+use crate::engine::EvalEngine;
 use crate::pareto::{Axis, ParetoFront};
 use mce_obs as obs;
 use mce_appmodel::Workload;
 use mce_connlib::ConnectivityLibrary;
 use mce_memlib::MemoryArchitecture;
-use mce_sim::SamplingConfig;
+use mce_sim::{Preset, SamplingConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -84,34 +83,46 @@ pub struct ConexConfig {
 }
 
 impl ConexConfig {
-    /// Small and quick, for tests.
-    pub fn fast() -> Self {
-        ConexConfig {
-            trace_len: 15_000,
-            sampling: SamplingConfig::paper(),
-            max_logical_connections: 8,
-            max_allocations_per_level: 64,
-            cluster_order: ClusterOrder::LowestFirst,
-            strategy: ExplorationStrategy::Pruned,
-            local_keep: 16,
-            threads: 0,
-            bandwidth_headroom: 0.0,
+    /// The configuration for a [`Preset`]: [`Preset::Fast`] is small and
+    /// quick for tests, [`Preset::Paper`] is the configuration used by
+    /// the experiments.
+    pub fn preset(preset: Preset) -> Self {
+        match preset {
+            Preset::Fast => ConexConfig {
+                trace_len: 15_000,
+                sampling: SamplingConfig::paper(),
+                max_logical_connections: 8,
+                max_allocations_per_level: 64,
+                cluster_order: ClusterOrder::LowestFirst,
+                strategy: ExplorationStrategy::Pruned,
+                local_keep: 16,
+                threads: 0,
+                bandwidth_headroom: 0.0,
+            },
+            Preset::Paper => ConexConfig {
+                trace_len: 60_000,
+                sampling: SamplingConfig::paper(),
+                max_logical_connections: 10,
+                max_allocations_per_level: 256,
+                cluster_order: ClusterOrder::LowestFirst,
+                strategy: ExplorationStrategy::Pruned,
+                local_keep: 48,
+                threads: 0,
+                bandwidth_headroom: 0.0,
+            },
         }
     }
 
+    /// Small and quick, for tests.
+    #[deprecated(note = "use `ConexConfig::preset(Preset::Fast)`")]
+    pub fn fast() -> Self {
+        Self::preset(Preset::Fast)
+    }
+
     /// The configuration used by the experiments.
+    #[deprecated(note = "use `ConexConfig::preset(Preset::Paper)`")]
     pub fn paper() -> Self {
-        ConexConfig {
-            trace_len: 60_000,
-            sampling: SamplingConfig::paper(),
-            max_logical_connections: 10,
-            max_allocations_per_level: 256,
-            cluster_order: ClusterOrder::LowestFirst,
-            strategy: ExplorationStrategy::Pruned,
-            local_keep: 48,
-            threads: 0,
-            bandwidth_headroom: 0.0,
-        }
+        Self::preset(Preset::Paper)
     }
 
     /// Returns the same configuration with a different strategy.
@@ -218,18 +229,38 @@ impl ConexExplorer {
     /// The paper's `Procedure ConnectivityExploration`: estimates every
     /// feasible connectivity architecture for one memory architecture.
     ///
+    /// Compiles a fresh evaluation engine (no cache) for the call; use
+    /// [`ConexExplorer::connectivity_exploration_with`] to share one
+    /// engine — and its compiled trace and memoization cache — across
+    /// calls.
+    ///
     /// Returns estimated design points, unsorted and unpruned.
     pub fn connectivity_exploration(
         &self,
         workload: &Workload,
         mem: &MemoryArchitecture,
     ) -> Vec<DesignPoint> {
+        let engine = EvalEngine::new(workload, self.config.trace_len);
+        self.connectivity_exploration_with(&engine, mem)
+    }
+
+    /// [`ConexExplorer::connectivity_exploration`] on a shared evaluation
+    /// engine.
+    ///
+    /// The engine must be built for the explored workload with a compiled
+    /// length of at least [`ConexConfig::trace_len`].
+    pub fn connectivity_exploration_with(
+        &self,
+        engine: &EvalEngine,
+        mem: &MemoryArchitecture,
+    ) -> Vec<DesignPoint> {
         let _span = obs::span("conex.connectivity_exploration");
-        // `Brg::profile` replays the trace and builds the block reference
-        // graph in one pass, so one span covers both paper steps.
+        let workload = engine.workload();
+        // `Brg::profile_blocks` replays the trace and builds the block
+        // reference graph in one pass, so one span covers both paper steps.
         let brg = {
             let _s = obs::span("conex.profile");
-            Brg::profile(workload, mem, self.config.trace_len)
+            Brg::profile_blocks(workload, mem, engine.blocks(), self.config.trace_len)
         };
         let levels = {
             let _s = obs::span("conex.cluster");
@@ -262,25 +293,25 @@ impl ConexExplorer {
                 candidates.len()
             )
         });
+        let enumerated = candidates.len();
         let estimated: Vec<DesignPoint> = {
             let _s = obs::span("conex.estimate");
-            par_map_named("conex.estimate", &candidates, self.config.threads, |conn| {
-                estimate_candidate(
-                    workload,
+            engine
+                .estimate_batch(
                     mem,
-                    conn.clone(),
+                    candidates,
                     self.config.trace_len,
                     self.config.sampling,
+                    self.config.threads,
                 )
-            })
-            .into_iter()
-            .flatten()
-            .collect()
+                .into_iter()
+                .flatten()
+                .collect()
         };
         // Funnel reconciliation: estimated == enumerated − infeasible.
         obs::counter_add(
             "conex.candidates_infeasible",
-            (candidates.len() - estimated.len()) as u64,
+            (enumerated - estimated.len()) as u64,
         );
         obs::counter_add("conex.candidates_estimated", estimated.len() as u64);
         estimated
@@ -352,7 +383,25 @@ impl ConexExplorer {
     }
 
     /// The full two-phase `Algorithm ConEx`.
+    ///
+    /// Compiles a fresh evaluation engine (no cache) for the run; use
+    /// [`ConexExplorer::explore_with_engine`] to reuse an engine's
+    /// compiled trace and memoization cache across runs.
     pub fn explore(&self, workload: &Workload, mem_archs: Vec<MemoryArchitecture>) -> ConexResult {
+        let engine = EvalEngine::new(workload, self.config.trace_len);
+        self.explore_with_engine(&engine, mem_archs)
+    }
+
+    /// The full two-phase `Algorithm ConEx` on a shared evaluation engine.
+    ///
+    /// The engine must be built for the explored workload with a compiled
+    /// length of at least [`ConexConfig::trace_len`].
+    pub fn explore_with_engine(
+        &self,
+        engine: &EvalEngine,
+        mem_archs: Vec<MemoryArchitecture>,
+    ) -> ConexResult {
+        let workload = engine.workload();
         let start = Instant::now();
         let _run = obs::span("conex.explore");
         obs::info(|| {
@@ -369,7 +418,7 @@ impl ConexExplorer {
         {
             let _phase1 = obs::span("conex.phase1");
             for mem in &mem_archs {
-                let points = self.connectivity_exploration(workload, mem);
+                let points = self.connectivity_exploration_with(engine, mem);
                 let selected: Vec<DesignPoint> =
                     self.select_local(&points).into_iter().cloned().collect();
                 obs::counter_add(
@@ -393,9 +442,7 @@ impl ConexExplorer {
         // Phase II: full simulation of the combined shortlist.
         let simulated: Vec<DesignPoint> = {
             let _phase2 = obs::span("conex.phase2");
-            par_map_named("conex.simulate", &combined, self.config.threads, |p| {
-                refine_with_full_simulation(p, workload, self.config.trace_len)
-            })
+            engine.refine_batch(&combined, self.config.trace_len, self.config.threads)
         };
         // Phase II simulates exactly the shortlist: simulated == shortlist.
         obs::counter_add("conex.simulated", simulated.len() as u64);
@@ -437,7 +484,7 @@ mod tests {
     #[test]
     fn exploration_produces_multiple_candidates() {
         let w = benchmarks::vocoder();
-        let explorer = ConexExplorer::new(ConexConfig::fast());
+        let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
         let points = explorer.connectivity_exploration(&w, &mem);
         assert!(points.len() >= 5, "{} candidates", points.len());
@@ -447,7 +494,7 @@ mod tests {
     #[test]
     fn connectivity_choices_spread_cost_and_latency() {
         let w = benchmarks::compress();
-        let explorer = ConexExplorer::new(ConexConfig::fast());
+        let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8));
         let points = explorer.connectivity_exploration(&w, &mem);
         let costs: Vec<u64> = points.iter().map(|p| p.metrics.cost_gates).collect();
@@ -461,7 +508,7 @@ mod tests {
     #[test]
     fn two_phase_result_is_simulated() {
         let w = benchmarks::vocoder();
-        let result = ConexExplorer::new(ConexConfig::fast()).explore(&w, one_arch(&w));
+        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w));
         assert!(!result.simulated().is_empty());
         assert!(result.simulated().iter().all(|p| !p.estimated));
         assert!(result.estimated().len() >= result.simulated().len());
@@ -470,8 +517,8 @@ mod tests {
     #[test]
     fn pruned_simulates_fewer_than_full() {
         let w = benchmarks::vocoder();
-        let pruned = ConexExplorer::new(ConexConfig::fast()).explore(&w, one_arch(&w));
-        let full = ConexExplorer::new(ConexConfig::fast().with_strategy(ExplorationStrategy::Full))
+        let pruned = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w));
+        let full = ConexExplorer::new(ConexConfig::preset(Preset::Fast).with_strategy(ExplorationStrategy::Full))
             .explore(&w, one_arch(&w));
         assert!(
             pruned.simulated().len() < full.simulated().len(),
@@ -485,12 +532,12 @@ mod tests {
     #[test]
     fn neighborhood_between_pruned_and_full() {
         let w = benchmarks::vocoder();
-        let p = ConexExplorer::new(ConexConfig::fast()).explore(&w, one_arch(&w));
+        let p = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w));
         let n = ConexExplorer::new(
-            ConexConfig::fast().with_strategy(ExplorationStrategy::Neighborhood),
+            ConexConfig::preset(Preset::Fast).with_strategy(ExplorationStrategy::Neighborhood),
         )
         .explore(&w, one_arch(&w));
-        let f = ConexExplorer::new(ConexConfig::fast().with_strategy(ExplorationStrategy::Full))
+        let f = ConexExplorer::new(ConexConfig::preset(Preset::Fast).with_strategy(ExplorationStrategy::Full))
             .explore(&w, one_arch(&w));
         assert!(p.simulated().len() <= n.simulated().len());
         assert!(n.simulated().len() <= f.simulated().len());
@@ -499,7 +546,7 @@ mod tests {
     #[test]
     fn pareto_front_is_nondominated() {
         let w = benchmarks::vocoder();
-        let result = ConexExplorer::new(ConexConfig::fast()).explore(&w, one_arch(&w));
+        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w));
         let front = result.pareto_cost_latency();
         for a in &front {
             for b in &front {
@@ -531,10 +578,10 @@ mod tests {
             .map_rest_to(0)
             .build(&w)
             .unwrap();
-        let mut cfg = ConexConfig::fast();
+        let mut cfg = ConexConfig::preset(Preset::Fast);
         cfg.max_logical_connections = 2; // only the fully merged level
         let limited = ConexExplorer::new(cfg).connectivity_exploration(&w, &mem);
-        let unlimited = ConexExplorer::new(ConexConfig::fast()).connectivity_exploration(&w, &mem);
+        let unlimited = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).connectivity_exploration(&w, &mem);
         assert!(
             limited.len() < unlimited.len(),
             "{} vs {}",
@@ -553,7 +600,7 @@ mod tests {
     #[test]
     fn elapsed_is_recorded() {
         let w = benchmarks::vocoder();
-        let result = ConexExplorer::new(ConexConfig::fast()).explore(&w, one_arch(&w));
+        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w));
         assert!(result.elapsed() > Duration::ZERO);
     }
 }

@@ -36,10 +36,12 @@
 //! use mce_apex::{ApexConfig, ApexExplorer};
 //! use mce_conex::{ConexConfig, ConexExplorer};
 //! use mce_appmodel::benchmarks;
+//! use mce_sim::Preset;
 //!
 //! let w = benchmarks::vocoder();
-//! let apex = ApexExplorer::new(ApexConfig::fast()).explore(&w);
-//! let result = ConexExplorer::new(ConexConfig::fast()).explore(&w, apex.selected());
+//! let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
+//! let result =
+//!     ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, apex.selected());
 //! assert!(!result.pareto_cost_latency().is_empty());
 //! ```
 
@@ -50,7 +52,9 @@ pub mod allocate;
 pub mod brg;
 pub mod cluster;
 pub mod design_point;
+pub mod engine;
 pub mod estimate;
+pub mod eval_cache;
 pub mod explore;
 pub mod memorex;
 pub mod par;
@@ -61,7 +65,9 @@ pub mod scenario;
 pub use allocate::{enumerate_allocations, enumerate_allocations_filtered};
 pub use brg::{Brg, BrgArc};
 pub use cluster::{cluster_levels, Cluster, ClusterOrder, Clustering};
-pub use design_point::{DesignPoint, Metrics};
+pub use design_point::{CanonKey, DesignPoint, EvalMode, Metrics};
+pub use engine::EvalEngine;
+pub use eval_cache::{CacheStats, EvalCache};
 pub use explore::{ConexConfig, ConexExplorer, ConexResult, ExplorationStrategy};
 pub use memorex::{MemorEx, MemorExResult};
 pub use pareto::{Axis, CoverageReport, ParetoFront};

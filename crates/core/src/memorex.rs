@@ -7,6 +7,7 @@
 use crate::explore::{ConexConfig, ConexExplorer, ConexResult};
 use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
 use mce_appmodel::Workload;
+use mce_sim::Preset;
 use serde::{Deserialize, Serialize};
 
 /// The combined memory-system exploration environment.
@@ -35,14 +36,21 @@ impl MemorEx {
         }
     }
 
+    /// The pipeline with both stages at the same [`Preset`].
+    pub fn preset(preset: Preset) -> Self {
+        Self::new(ApexConfig::preset(preset), ConexConfig::preset(preset))
+    }
+
     /// Quick preset for tests and examples.
+    #[deprecated(note = "use `MemorEx::preset(Preset::Fast)`")]
     pub fn fast() -> Self {
-        Self::new(ApexConfig::fast(), ConexConfig::fast())
+        Self::preset(Preset::Fast)
     }
 
     /// The experiment preset.
+    #[deprecated(note = "use `MemorEx::preset(Preset::Paper)`")]
     pub fn paper() -> Self {
-        Self::new(ApexConfig::paper(), ConexConfig::paper())
+        Self::preset(Preset::Paper)
     }
 
     /// The ConEx explorer (to run scenario selections etc.).
@@ -66,7 +74,7 @@ mod tests {
     #[test]
     fn end_to_end_vocoder() {
         let w = benchmarks::vocoder();
-        let result = MemorEx::fast().run(&w);
+        let result = MemorEx::preset(Preset::Fast).run(&w);
         assert!(!result.apex.selected().is_empty());
         assert!(!result.conex.simulated().is_empty());
         assert!(!result.conex.pareto_cost_latency().is_empty());
@@ -75,7 +83,7 @@ mod tests {
     #[test]
     fn conex_extends_apex_cost_with_connectivity() {
         let w = benchmarks::vocoder();
-        let result = MemorEx::fast().run(&w);
+        let result = MemorEx::preset(Preset::Fast).run(&w);
         // Every combined design costs at least its memory architecture.
         for p in result.conex.simulated() {
             assert!(p.metrics.cost_gates >= p.system.mem().gate_cost());
@@ -88,7 +96,7 @@ mod tests {
         // simulated designs, the best latency should clearly beat the worst
         // (same memory architectures, different connectivity).
         let w = benchmarks::compress();
-        let result = MemorEx::fast().run(&w);
+        let result = MemorEx::preset(Preset::Fast).run(&w);
         let lats: Vec<f64> = result
             .conex
             .simulated()

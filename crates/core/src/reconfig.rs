@@ -231,9 +231,10 @@ mod tests {
     use crate::explore::ConexConfig;
     use mce_appmodel::benchmarks;
     use mce_memlib::CacheConfig;
+    use mce_sim::Preset;
 
     fn explorer() -> ConexExplorer {
-        let mut cfg = ConexConfig::fast();
+        let mut cfg = ConexConfig::preset(Preset::Fast);
         cfg.trace_len = 8_000;
         cfg.max_allocations_per_level = 24;
         ConexExplorer::new(cfg)

@@ -1,0 +1,160 @@
+//! # mce-error — the workspace-wide error type
+//!
+//! Every fallible loading/parsing path in the exploration stack returns
+//! [`MceError`], so callers match on one enum instead of a zoo of
+//! per-crate error types or — worse — panics on malformed input. The
+//! facade crate re-exports it as `memory_conex::MceError`.
+//!
+//! The crate is dependency-free on purpose: it sits below `appmodel`,
+//! `connlib` and `core` in the workspace graph, so it can only use the
+//! standard library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// The unified error type of the exploration stack.
+#[derive(Debug)]
+pub enum MceError {
+    /// An I/O failure, with the operation that was attempted.
+    Io {
+        /// What was being done (e.g. `reading trace file \`t.csv\``).
+        context: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A malformed line in an access-trace file.
+    TraceParse {
+        /// 1-based line number of the first bad line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Malformed JSON (workload files, connectivity libraries, cache
+    /// spills).
+    Json {
+        /// What was being parsed.
+        context: String,
+        /// The parser's message.
+        reason: String,
+    },
+    /// A structurally invalid connectivity library.
+    Library {
+        /// Which invariant failed.
+        reason: String,
+    },
+    /// Invalid input to a builder or session (e.g. a session run without
+    /// a workload).
+    InvalidInput {
+        /// What was missing or inconsistent.
+        reason: String,
+    },
+}
+
+impl MceError {
+    /// Wraps an I/O error with context.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        MceError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// A JSON parse/serialize failure with context.
+    pub fn json(context: impl Into<String>, reason: impl fmt::Display) -> Self {
+        MceError::Json {
+            context: context.into(),
+            reason: reason.to_string(),
+        }
+    }
+
+    /// A connectivity-library validation failure.
+    pub fn library(reason: impl Into<String>) -> Self {
+        MceError::Library {
+            reason: reason.into(),
+        }
+    }
+
+    /// An invalid-input failure.
+    pub fn invalid_input(reason: impl Into<String>) -> Self {
+        MceError::InvalidInput {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for MceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MceError::Io { context, source } => write!(f, "{context}: {source}"),
+            MceError::TraceParse { line, reason } => write!(f, "trace line {line}: {reason}"),
+            MceError::Json { context, reason } => write!(f, "{context}: invalid JSON: {reason}"),
+            MceError::Library { reason } => write!(f, "invalid connectivity library: {reason}"),
+            MceError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl Error for MceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MceError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MceError {
+    fn from(source: io::Error) -> Self {
+        MceError::Io {
+            context: "I/O error".to_owned(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = MceError::io(
+            "reading `x.csv`",
+            io::Error::new(io::ErrorKind::NotFound, "gone"),
+        );
+        let s = e.to_string();
+        assert!(s.contains("reading `x.csv`"), "{s}");
+        assert!(s.contains("gone"), "{s}");
+    }
+
+    #[test]
+    fn trace_parse_names_the_line() {
+        let e = MceError::TraceParse {
+            line: 7,
+            reason: "bad kind `X`".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 7"), "{s}");
+        assert!(s.contains("bad kind"), "{s}");
+    }
+
+    #[test]
+    fn io_source_is_chained() {
+        let e = MceError::from(io::Error::new(io::ErrorKind::Other, "root"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn library_and_input_render() {
+        assert!(MceError::library("no components")
+            .to_string()
+            .contains("no components"));
+        assert!(MceError::invalid_input("missing workload")
+            .to_string()
+            .contains("missing workload"));
+    }
+}

@@ -33,11 +33,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod preset;
+pub mod replay;
 pub mod sampling;
 pub mod stats;
 pub mod system;
 
 pub use engine::{simulate, simulate_trace, Simulator};
+pub use preset::Preset;
+pub use replay::{simulate_blocks, simulate_sampled_blocks};
 pub use sampling::{simulate_sampled, SamplingConfig};
 pub use stats::{ChannelStats, ModuleStats, SimStats};
 pub use system::{ChannelEndpoint, SystemConfig, SystemError};

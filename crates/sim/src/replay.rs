@@ -1,0 +1,159 @@
+//! Block-compiled trace replay.
+//!
+//! The counterparts of [`simulate`](crate::simulate) and
+//! [`simulate_sampled`](crate::simulate_sampled) that consume a
+//! pre-compiled [`TraceBlocks`] instead of running the trace generator.
+//! The access sequence fed to the [`Simulator`] is identical in both
+//! paths, so the returned [`SimStats`] are bit-identical — the blocks only
+//! remove the per-candidate cost of regenerating the trace.
+//!
+//! Blocks compiled at a pipeline's longest trace length serve every
+//! shorter replay (`trace_len` is a prefix length), which is how the
+//! estimation and full-simulation stages share one compilation.
+
+use crate::engine::Simulator;
+use crate::sampling::SamplingConfig;
+use crate::stats::SimStats;
+use crate::system::SystemConfig;
+use mce_appmodel::{TraceBlocks, Workload};
+
+/// Fully simulates the first `trace_len` compiled accesses on `sys`.
+///
+/// Bit-identical to [`simulate`](crate::simulate) with the same
+/// `trace_len`.
+///
+/// # Panics
+///
+/// Panics if `trace_len` exceeds the compiled length, or if `blocks` was
+/// compiled from a different workload than the one the stats are
+/// attributed to (not detectable here — compile and replay from the same
+/// [`Workload`]).
+pub fn simulate_blocks(
+    sys: &SystemConfig,
+    workload: &Workload,
+    blocks: &TraceBlocks,
+    trace_len: usize,
+) -> SimStats {
+    let mut sim = Simulator::new(sys, workload);
+    for batch in blocks.batches(trace_len) {
+        for i in batch {
+            sim.step(&blocks.get(i));
+        }
+    }
+    sim.finish()
+}
+
+/// Time-sampled estimation over the first `trace_len` compiled accesses.
+///
+/// Bit-identical to [`simulate_sampled`](crate::simulate_sampled) with the
+/// same `trace_len` and `config`.
+///
+/// # Panics
+///
+/// Panics if `trace_len` exceeds the compiled length.
+pub fn simulate_sampled_blocks(
+    sys: &SystemConfig,
+    workload: &Workload,
+    blocks: &TraceBlocks,
+    trace_len: usize,
+    config: SamplingConfig,
+) -> SimStats {
+    let mut sim = Simulator::new(sys, workload);
+    let mut in_window = 0u64;
+    let mut skipping = false;
+    let mut skipped = 0u64;
+    for batch in blocks.batches(trace_len) {
+        for i in batch {
+            let acc = blocks.get(i);
+            if skipping {
+                sim.skip(&acc);
+                skipped += 1;
+                if skipped >= config.off_accesses() {
+                    skipping = false;
+                    in_window = 0;
+                }
+            } else {
+                sim.step(&acc);
+                in_window += 1;
+                if in_window >= config.on_accesses as u64 && config.off_ratio > 0 {
+                    skipping = true;
+                    skipped = 0;
+                }
+            }
+        }
+    }
+    sim.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::sampling::simulate_sampled;
+    use mce_appmodel::benchmarks;
+    use mce_memlib::{CacheConfig, MemoryArchitecture};
+
+    const N: usize = 20_000;
+
+    fn system(w: &Workload, kib: u64) -> SystemConfig {
+        let mem = MemoryArchitecture::cache_only(w, CacheConfig::kilobytes(kib));
+        SystemConfig::with_shared_bus(w, mem).unwrap()
+    }
+
+    #[test]
+    fn full_replay_is_bit_identical() {
+        for w in [benchmarks::compress(), benchmarks::vocoder()] {
+            let sys = system(&w, 4);
+            let blocks = TraceBlocks::compile(&w, N);
+            assert_eq!(
+                simulate(&sys, &w, N),
+                simulate_blocks(&sys, &w, &blocks, N),
+                "{}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_replay_is_bit_identical() {
+        for w in [benchmarks::compress(), benchmarks::vocoder()] {
+            let sys = system(&w, 4);
+            let blocks = TraceBlocks::compile(&w, N);
+            let cfg = SamplingConfig::paper();
+            assert_eq!(
+                simulate_sampled(&sys, &w, N, cfg),
+                simulate_sampled_blocks(&sys, &w, &blocks, N, cfg),
+                "{}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn long_compilation_serves_short_replays() {
+        // One compilation at the longest length a pipeline needs: replay
+        // at a shorter prefix must still match the generator exactly.
+        let w = benchmarks::li();
+        let sys = system(&w, 8);
+        let blocks = TraceBlocks::compile(&w, N);
+        let short = N / 3;
+        assert_eq!(
+            simulate(&sys, &w, short),
+            simulate_blocks(&sys, &w, &blocks, short)
+        );
+        let cfg = SamplingConfig::paper();
+        assert_eq!(
+            simulate_sampled(&sys, &w, short, cfg),
+            simulate_sampled_blocks(&sys, &w, &blocks, short, cfg)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "compiled with only")]
+    fn overlong_replay_panics() {
+        let w = benchmarks::vocoder();
+        let sys = system(&w, 4);
+        let blocks = TraceBlocks::compile(&w, 100);
+        let _ = simulate_blocks(&sys, &w, &blocks, 101);
+    }
+}

@@ -14,7 +14,7 @@ fn main() {
     let workload = benchmarks::compress();
     println!("{workload}");
 
-    let result = MemorEx::fast().run(&workload);
+    let result = MemorEx::preset(Preset::Fast).run(&workload);
 
     // Figure 6-style analysis: the labelled cost/performance pareto.
     println!("Cost/performance pareto (Figure 6 style):");

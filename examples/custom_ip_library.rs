@@ -42,8 +42,8 @@ fn main() {
 
     // Explore `li` (pointer-chasing lisp interpreter) against it.
     let workload = benchmarks::li();
-    let apex = ApexExplorer::new(ApexConfig::fast()).explore(&workload);
-    let explorer = ConexExplorer::with_library(ConexConfig::fast(), library);
+    let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&workload);
+    let explorer = ConexExplorer::with_library(ConexConfig::preset(Preset::Fast), library);
     let result = explorer.explore(&workload, apex.selected());
 
     println!("Cost/performance pareto with the extended library:");

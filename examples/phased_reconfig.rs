@@ -22,7 +22,7 @@ fn main() {
 
     let mem =
         MemoryArchitecture::cache_only(&workload, memory_conex::memlib::CacheConfig::kilobytes(4));
-    let explorer = ConexExplorer::new(ConexConfig::fast());
+    let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
 
     // Unconstrained: the static design can afford the configuration every
     // phase wants, so reconfiguration should only lose the switch penalty.

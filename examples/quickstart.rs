@@ -40,30 +40,34 @@ fn main() {
         .seed(42)
         .build();
 
-    // 2. Stage 1 — APEX: explore memory-module architectures in the
-    //    cost/miss-ratio space and select the pareto points.
-    let apex = ApexExplorer::new(ApexConfig::fast()).explore(&workload);
+    // 2. Run both stages in one session: APEX explores memory-module
+    //    architectures in the cost/miss-ratio space, then ConEx explores
+    //    connectivity (busses, MUX and dedicated links from the AMBA-style
+    //    IP library) for the selected pareto points. The session compiles
+    //    the trace once and memoizes every candidate evaluation; add
+    //    `.eval_cache_file("cache.json")` to reuse them across runs.
+    let result = ExplorationSession::new(workload)
+        .preset(Preset::Fast)
+        .run()
+        .expect("exploration runs");
     println!(
         "APEX evaluated {} memory architectures; selected:",
-        apex.points().len()
+        result.apex.points().len()
     );
-    for p in apex.selected_points() {
+    for p in result.apex.selected_points() {
         println!("  {p}");
     }
-
-    // 3. Stage 2 — ConEx: explore connectivity architectures (busses, MUX
-    //    and dedicated links from the AMBA-style IP library) for the
-    //    selected memory architectures.
-    let conex = ConexExplorer::new(ConexConfig::fast()).explore(&workload, apex.selected());
     println!(
-        "\nConEx estimated {} candidates, fully simulated {}.",
-        conex.estimated().len(),
-        conex.simulated().len()
+        "\nConEx estimated {} candidates, fully simulated {} \
+         ({} evaluations answered by the cache).",
+        result.conex.estimated().len(),
+        result.conex.simulated().len(),
+        result.cache_stats.hits
     );
 
-    // 4. The combined cost/performance pareto: pick your trade-off.
+    // 3. The combined cost/performance pareto: pick your trade-off.
     println!("\nCost/performance pareto designs:");
-    for p in conex.pareto_cost_latency() {
+    for p in result.conex.pareto_cost_latency() {
         println!(
             "  {:>8} gates  {:>6.2} cyc  {:>5.2} nJ  {}",
             p.metrics.cost_gates,

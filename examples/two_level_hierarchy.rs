@@ -64,7 +64,7 @@ fn main() {
 
     // Let ConEx pick the wiring — including the new L1<->L2 channel.
     println!("\nConEx over the two-level architecture:");
-    let mut cfg = ConexConfig::fast();
+    let mut cfg = ConexConfig::preset(Preset::Fast);
     cfg.trace_len = 10_000;
     let result = ConexExplorer::new(cfg).explore(&workload, vec![two_level]);
     for p in result.pareto_cost_latency() {

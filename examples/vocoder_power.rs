@@ -12,7 +12,7 @@ use memory_conex::prelude::*;
 
 fn main() {
     let workload = benchmarks::vocoder();
-    let result = MemorEx::fast().run(&workload);
+    let result = MemorEx::preset(Preset::Fast).run(&workload);
 
     // The unconstrained cost/performance view first.
     println!("Cost/performance pareto for {}:", workload.name());

@@ -7,24 +7,30 @@
 //! mce simulate <workload> [--cache KIB] [--trace N]
 //!                                              simulate a cache-only baseline
 //! mce explore  <workload> [--scale fast|paper] [--out FILE] [--threads N]
-//!              [--trace-out FILE] [--progress]
+//!              [--eval-cache FILE] [--trace-out FILE] [--progress]
 //!                                              full APEX + ConEx exploration
 //! ```
 //!
 //! `<workload>` is either a built-in name (`compress`, `li`, `vocoder`,
 //! `mix`) or a path to a workload JSON file (see `mce template`).
 //!
+//! `--eval-cache FILE` persists the candidate-evaluation cache across runs:
+//! loaded before exploring (a missing file is a cold start) and saved back
+//! after, so a repeated exploration answers recurring candidates from disk.
+//! Results are bit-identical with and without the cache.
+//!
 //! `--trace-out FILE` writes a Chrome trace-event JSON of the run (open it
 //! in `chrome://tracing` or <https://ui.perfetto.dev>); `--progress` prints
 //! live phase/progress lines to stderr, with `MCE_LOG=debug` raising the
 //! message verbosity. Tracing never changes exploration results.
 
-use memory_conex::apex::{classify, ApexConfig, ApexExplorer};
+use memory_conex::apex::classify;
 use memory_conex::appmodel::{benchmarks, AccessPattern, DataStructure, Workload, WorkloadBuilder};
-use memory_conex::conex::{ConexConfig, ConexExplorer, Scenario};
+use memory_conex::conex::Scenario;
 use memory_conex::memlib::{CacheConfig, MemoryArchitecture};
 use memory_conex::obs;
-use memory_conex::sim::{simulate, SystemConfig};
+use memory_conex::sim::{simulate, Preset, SystemConfig};
+use memory_conex::ExplorationSession;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -48,13 +54,15 @@ const USAGE: &str = "usage:
   mce classify <workload> [--trace N]
   mce simulate <workload> [--cache KIB] [--trace N]
   mce explore  <workload> [--scale fast|paper] [--out FILE] [--threads N]
-               [--trace-out FILE] [--progress]
+               [--eval-cache FILE] [--trace-out FILE] [--progress]
 
 <workload> = compress | li | vocoder | adpcm | jpeg | mix | path/to/workload.json
 
 explore options:
   --threads N      worker threads for estimation and simulation
                    (0 = one per core; results are identical for any N)
+  --eval-cache FILE persist the candidate-evaluation cache across runs
+                   (loaded if present, saved after; results unchanged)
   --trace-out FILE write a Chrome trace-event JSON of the run
                    (open in chrome://tracing or https://ui.perfetto.dev)
   --progress       print live progress lines to stderr (MCE_LOG=debug
@@ -240,25 +248,33 @@ impl ObsSession {
 
 fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     let w = load_workload(args)?;
-    let scale = flag_value(args, "--scale").unwrap_or("fast");
-    let (apex_cfg, mut conex_cfg) = match scale {
-        "fast" => (ApexConfig::fast(), ConexConfig::fast()),
-        "paper" => (ApexConfig::paper(), ConexConfig::paper()),
-        other => return Err(format!("unknown scale `{other}` (fast|paper)").into()),
-    };
+    let scale: Preset = flag_value(args, "--scale").unwrap_or("fast").parse()?;
+    let mut session = ExplorationSession::new(w.clone()).preset(scale);
     if let Some(t) = flag_value(args, "--threads") {
-        conex_cfg.threads = t
-            .parse()
-            .map_err(|e| format!("invalid --threads value `{t}`: {e}"))?;
+        session = session.threads(
+            t.parse()
+                .map_err(|e| format!("invalid --threads value `{t}`: {e}"))?,
+        );
     }
-    let session = ObsSession::start(
+    let cache_file = flag_value(args, "--eval-cache");
+    if let Some(path) = cache_file {
+        session = session.eval_cache_file(path);
+    }
+    let obs_session = ObsSession::start(
         flag_value(args, "--trace-out"),
         args.iter().any(|a| a == "--progress"),
     );
     eprintln!("exploring `{}` at {scale} scale...", w.name());
-    let apex = ApexExplorer::new(apex_cfg).explore(&w);
-    let conex = ConexExplorer::new(conex_cfg).explore(&w, apex.selected());
-    session.finish()?;
+    let result = session.run()?;
+    obs_session.finish()?;
+    let conex = &result.conex;
+    if let Some(path) = cache_file {
+        let s = result.cache_stats;
+        eprintln!(
+            "eval-cache {path}: {} hits, {} misses, {} inserts",
+            s.hits, s.misses, s.inserts
+        );
+    }
     println!(
         "estimated {} candidates, fully simulated {} ({:.1}s)\n",
         conex.estimated().len(),
@@ -348,6 +364,12 @@ mod tests {
     fn explore_rejects_bad_threads() {
         let err = cmd_explore(&s(&["vocoder", "--threads", "abc"])).unwrap_err();
         assert!(err.to_string().contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn explore_rejects_bad_scale() {
+        let err = cmd_explore(&s(&["vocoder", "--scale", "huge"])).unwrap_err();
+        assert!(err.to_string().contains("unknown preset"), "{err}");
     }
 
     #[test]

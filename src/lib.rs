@@ -29,43 +29,56 @@
 //! // Model an application (or use a built-in benchmark model).
 //! let workload = memory_conex::appmodel::benchmarks::vocoder();
 //!
-//! // Stage 1 — APEX: explore memory-module architectures.
-//! let apex = ApexExplorer::new(ApexConfig::fast()).explore(&workload);
-//!
-//! // Stage 2 — ConEx: explore connectivity for the selected architectures.
-//! let conex = ConexExplorer::new(ConexConfig::fast());
-//! let result = conex.explore(&workload, apex.selected());
+//! // Run the full APEX → ConEx pipeline in one session: the trace is
+//! // compiled once and every candidate evaluation is memoized.
+//! let result = ExplorationSession::new(workload)
+//!     .preset(Preset::Fast)
+//!     .run()
+//!     .expect("exploration runs");
 //!
 //! // The pareto-optimal memory+connectivity designs:
-//! for point in result.pareto_cost_latency() {
+//! for point in result.conex.pareto_cost_latency() {
 //!     println!("{point}");
 //! }
 //! ```
+//!
+//! The stages remain individually drivable — see [`ApexExplorer`] and
+//! [`ConexExplorer`] — and produce bit-identical results; the session
+//! only removes redundant work.
+//!
+//! [`ApexExplorer`]: mce_apex::ApexExplorer
+//! [`ConexExplorer`]: mce_conex::ConexExplorer
 
 #![forbid(unsafe_code)]
+
+pub mod session;
 
 pub use mce_apex as apex;
 pub use mce_appmodel as appmodel;
 pub use mce_conex as conex;
 pub use mce_connlib as connlib;
+pub use mce_error::MceError;
 pub use mce_memlib as memlib;
 pub use mce_obs as obs;
 pub use mce_sim as sim;
+pub use session::{ExplorationSession, SessionResult};
 
 /// Commonly used items for writing explorations end to end.
 pub mod prelude {
+    pub use crate::session::{ExplorationSession, SessionResult};
     pub use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
     pub use mce_appmodel::{
         AccessKind, AccessPattern, AccessProfile, Addr, DataStructure, DsId, MemAccess, Workload,
         WorkloadBuilder,
     };
     pub use mce_conex::{
-        ConexConfig, ConexExplorer, ConexResult, DesignPoint, ExplorationStrategy, Metrics,
-        ParetoFront, Scenario,
+        CacheStats, ConexConfig, ConexExplorer, ConexResult, DesignPoint, EvalCache, EvalEngine,
+        ExplorationStrategy, Metrics, ParetoFront, Scenario,
     };
     pub use mce_connlib::{
         ConnComponent, ConnComponentKind, ConnectivityArchitecture, ConnectivityLibrary,
     };
+    pub use mce_error::MceError;
     pub use mce_memlib::{MemModule, MemModuleKind, MemoryArchitecture};
-    pub use mce_sim::{SimStats, SystemConfig};
+    pub use mce_sim::{Preset, SimStats, SystemConfig};
 }

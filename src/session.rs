@@ -1,0 +1,217 @@
+//! The unified exploration session.
+//!
+//! [`ExplorationSession`] is the one-stop front end for the full
+//! APEX → ConEx pipeline. It owns the resources both stages share —
+//! the workload's block-compiled trace and the candidate-evaluation
+//! cache — so the trace is compiled exactly once per session and every
+//! evaluation is memoized across stages, scenarios and (with
+//! [`ExplorationSession::eval_cache_file`]) across runs.
+//!
+//! ```
+//! use memory_conex::prelude::*;
+//!
+//! let result = ExplorationSession::new(memory_conex::appmodel::benchmarks::vocoder())
+//!     .preset(Preset::Fast)
+//!     .run()
+//!     .expect("exploration runs");
+//! assert!(!result.conex.pareto_cost_latency().is_empty());
+//! ```
+//!
+//! The staged entry points ([`ApexExplorer::explore`],
+//! [`ConexExplorer::explore`]) remain available for driving the stages
+//! by hand; the session produces bit-identical results — the shared
+//! blocks and cache only remove redundant work.
+
+use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
+use mce_appmodel::{TraceBlocks, Workload};
+use mce_conex::eval_cache::DEFAULT_CAPACITY;
+use mce_conex::{CacheStats, ConexConfig, ConexExplorer, ConexResult, EvalCache, EvalEngine};
+use mce_connlib::ConnectivityLibrary;
+use mce_error::MceError;
+use mce_sim::Preset;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Builder for — and runner of — one end-to-end exploration.
+#[derive(Debug, Clone)]
+pub struct ExplorationSession {
+    workload: Workload,
+    apex: ApexConfig,
+    conex: ConexConfig,
+    library: ConnectivityLibrary,
+    cache_capacity: usize,
+    eval_cache_file: Option<PathBuf>,
+}
+
+/// Everything one session run produced.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// Stage 1: the memory-modules exploration.
+    pub apex: ApexResult,
+    /// Stage 2: the connectivity exploration over the selected memory
+    /// architectures.
+    pub conex: ConexResult,
+    /// Lifetime statistics of the session's evaluation cache. Nonzero
+    /// hits on a fresh session mean candidates recurred within the run;
+    /// with a warm [`ExplorationSession::eval_cache_file`], prior runs
+    /// are answered from disk.
+    pub cache_stats: CacheStats,
+}
+
+impl ExplorationSession {
+    /// A session over `workload` at [`Preset::Fast`] scale with the
+    /// default AMBA-style connectivity library.
+    pub fn new(workload: Workload) -> Self {
+        ExplorationSession {
+            workload,
+            apex: ApexConfig::preset(Preset::Fast),
+            conex: ConexConfig::preset(Preset::Fast),
+            library: ConnectivityLibrary::amba(),
+            cache_capacity: DEFAULT_CAPACITY,
+            eval_cache_file: None,
+        }
+    }
+
+    /// Sets both stage configurations to `preset`.
+    #[must_use]
+    pub fn preset(mut self, preset: Preset) -> Self {
+        self.apex = ApexConfig::preset(preset);
+        self.conex = ConexConfig::preset(preset);
+        self
+    }
+
+    /// Replaces the APEX stage configuration.
+    #[must_use]
+    pub fn apex_config(mut self, config: ApexConfig) -> Self {
+        self.apex = config;
+        self
+    }
+
+    /// Replaces the ConEx stage configuration.
+    #[must_use]
+    pub fn conex_config(mut self, config: ConexConfig) -> Self {
+        self.conex = config;
+        self
+    }
+
+    /// Draws connectivity candidates from a custom library.
+    #[must_use]
+    pub fn library(mut self, library: ConnectivityLibrary) -> Self {
+        self.library = library;
+        self
+    }
+
+    /// Caps the evaluation cache at `capacity` resident entries.
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Persists the evaluation cache across runs: loaded from `path`
+    /// before exploring (a missing file is a cold start, not an error)
+    /// and saved back after.
+    #[must_use]
+    pub fn eval_cache_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.eval_cache_file = Some(path.into());
+        self
+    }
+
+    /// Worker threads for estimation and full simulation (0 = one per
+    /// core). Results are identical for any thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.conex.threads = threads;
+        self
+    }
+
+    /// Runs APEX then ConEx over the shared trace and cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`MceError`] if a configured
+    /// [`eval_cache_file`](ExplorationSession::eval_cache_file) exists
+    /// but cannot be parsed, or cannot be written back.
+    pub fn run(&self) -> Result<SessionResult, MceError> {
+        let cache = Arc::new(match &self.eval_cache_file {
+            Some(path) if path.exists() => EvalCache::load(path, self.cache_capacity)?,
+            _ => EvalCache::with_capacity(self.cache_capacity),
+        });
+        // One compilation serves both stages: blocks compiled at the
+        // longer of the two trace lengths replay any shorter prefix.
+        let blocks = Arc::new(TraceBlocks::compile(
+            &self.workload,
+            self.apex.trace_len.max(self.conex.trace_len),
+        ));
+        let apex = ApexExplorer::new(self.apex.clone()).explore_with_blocks(&self.workload, &blocks);
+        let engine = EvalEngine::with_blocks(&self.workload, blocks).with_cache(cache.clone());
+        let conex = ConexExplorer::with_library(self.conex.clone(), self.library.clone())
+            .explore_with_engine(&engine, apex.selected());
+        if let Some(path) = &self.eval_cache_file {
+            cache.save(path)?;
+        }
+        Ok(SessionResult {
+            apex,
+            conex,
+            cache_stats: cache.stats(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_appmodel::benchmarks;
+
+    #[test]
+    fn session_matches_staged_pipeline() {
+        let w = benchmarks::vocoder();
+        let session = ExplorationSession::new(w.clone()).preset(Preset::Fast);
+        let result = session.run().unwrap();
+        let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
+        let conex =
+            ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, apex.selected());
+        assert_eq!(result.apex, apex);
+        assert_eq!(
+            result.conex.simulated().len(),
+            conex.simulated().len(),
+            "same shortlist"
+        );
+        for (a, b) in result.conex.simulated().iter().zip(conex.simulated()) {
+            assert_eq!(a.metrics, b.metrics, "bit-identical metrics");
+        }
+    }
+
+    #[test]
+    fn warm_cache_file_round_trips() {
+        let path = std::env::temp_dir().join(format!("mce_session_{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let session = ExplorationSession::new(benchmarks::vocoder())
+            .preset(Preset::Fast)
+            .eval_cache_file(&path);
+        let cold = session.run().unwrap();
+        let warm = session.run().unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            warm.cache_stats.hits > cold.cache_stats.hits,
+            "second run answers from the spill: {:?} vs {:?}",
+            warm.cache_stats,
+            cold.cache_stats
+        );
+        for (a, b) in cold.conex.simulated().iter().zip(warm.conex.simulated()) {
+            assert_eq!(a.metrics, b.metrics, "warm cache never changes results");
+        }
+    }
+
+    #[test]
+    fn corrupt_cache_file_is_an_error() {
+        let path = std::env::temp_dir().join(format!("mce_corrupt_{}.json", std::process::id()));
+        std::fs::write(&path, "{definitely not a spill").unwrap();
+        let err = ExplorationSession::new(benchmarks::vocoder())
+            .eval_cache_file(&path)
+            .run()
+            .unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, MceError::Json { .. }), "{err}");
+    }
+}

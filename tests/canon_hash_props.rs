@@ -1,0 +1,82 @@
+//! Property tests for the canonical design-point hash: the connectivity
+//! digest must be invariant under the order in which links were added to
+//! the architecture, and must still distinguish genuinely different
+//! channel-to-component assignments.
+
+use memory_conex::conex::design_point::conn_digest;
+use memory_conex::connlib::{Channel, ChannelId, ConnectivityArchitecture, LinkId};
+use proptest::prelude::*;
+
+/// Architecture with `assign.len()` on-chip channels over `n_links` links,
+/// assigning channel `i` to logical link `assign[i]`; links are created in
+/// the order given by `order`.
+fn build_arch(n_links: usize, assign: &[usize], order: &[usize]) -> ConnectivityArchitecture {
+    let lib = memory_conex::connlib::ConnectivityLibrary::amba();
+    let components = lib.components();
+    let mut arch = ConnectivityArchitecture::new(
+        (0..assign.len())
+            .map(|i| Channel::on_chip(format!("ch{i}")))
+            .collect(),
+    );
+    // Create links in permuted order, remembering where each logical link
+    // landed.
+    let mut slot = vec![0usize; n_links];
+    for &logical in order {
+        let comp = components[logical % components.len()].clone();
+        slot[logical] = arch.add_link(format!("l{logical}"), comp).index();
+    }
+    for (ci, &l) in assign.iter().enumerate() {
+        arch.assign(ChannelId::new(ci), LinkId::new(slot[l]));
+    }
+    arch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The canonical connectivity digest ignores the order in which links
+    /// were added to the architecture.
+    #[test]
+    fn conn_digest_invariant_under_link_reordering(
+        n_links in 1usize..5,
+        assign in proptest::collection::vec(0usize..5, 1..6),
+        seed in 0u64..1_000,
+    ) {
+        let assign: Vec<usize> = assign.iter().map(|a| a % n_links).collect();
+        let identity: Vec<usize> = (0..n_links).collect();
+        // A deterministic Fisher-Yates permutation drawn from the seed.
+        let mut permuted = identity.clone();
+        let mut s = seed;
+        for i in (1..permuted.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            permuted.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let a = build_arch(n_links, &assign, &identity);
+        let b = build_arch(n_links, &assign, &permuted);
+        prop_assert_eq!(
+            conn_digest(&a),
+            conn_digest(&b),
+            "link creation order must not change the digest"
+        );
+    }
+
+    /// Moving a channel to a link with a different component changes the
+    /// digest (every logical link here instantiates a distinct component).
+    #[test]
+    fn conn_digest_distinguishes_different_assignments(
+        n_links in 2usize..5,
+        assign in proptest::collection::vec(0usize..5, 2..6),
+    ) {
+        let assign: Vec<usize> = assign.iter().map(|a| a % n_links).collect();
+        let mut other = assign.clone();
+        other[0] = (other[0] + 1) % n_links;
+        let identity: Vec<usize> = (0..n_links).collect();
+        let a = build_arch(n_links, &assign, &identity);
+        let b = build_arch(n_links, &other, &identity);
+        prop_assert_ne!(
+            conn_digest(&a),
+            conn_digest(&b),
+            "moving a channel to another link must change the digest"
+        );
+    }
+}

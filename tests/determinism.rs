@@ -26,8 +26,8 @@ fn simulation_is_deterministic() {
 #[test]
 fn apex_is_deterministic() {
     let w = benchmarks::vocoder();
-    let a = ApexExplorer::new(ApexConfig::fast()).explore(&w);
-    let b = ApexExplorer::new(ApexConfig::fast()).explore(&w);
+    let a = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
+    let b = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
     assert_eq!(a.points().len(), b.points().len());
     let names = |r: &ApexResult| -> Vec<String> {
         r.selected_points()
@@ -40,8 +40,8 @@ fn apex_is_deterministic() {
 #[test]
 fn full_pipeline_metrics_are_reproducible() {
     let w = benchmarks::vocoder();
-    let a = MemorEx::fast().run(&w);
-    let b = MemorEx::fast().run(&w);
+    let a = MemorEx::preset(Preset::Fast).run(&w);
+    let b = MemorEx::preset(Preset::Fast).run(&w);
     let metrics = |r: &memory_conex::conex::MemorExResult| -> Vec<(u64, f64, f64)> {
         r.conex
             .simulated()
@@ -62,10 +62,10 @@ fn full_pipeline_metrics_are_reproducible() {
 fn parallel_and_serial_exploration_agree() {
     use memory_conex::conex::{ConexConfig, ConexExplorer};
     let w = memory_conex::appmodel::benchmarks::vocoder();
-    let apex = ApexExplorer::new(ApexConfig::fast()).explore(&w);
-    let mut serial_cfg = ConexConfig::fast();
+    let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
+    let mut serial_cfg = ConexConfig::preset(Preset::Fast);
     serial_cfg.threads = 1;
-    let mut parallel_cfg = ConexConfig::fast();
+    let mut parallel_cfg = ConexConfig::preset(Preset::Fast);
     parallel_cfg.threads = 0; // all cores
     let serial = ConexExplorer::new(serial_cfg).explore(&w, apex.selected());
     let parallel = ConexExplorer::new(parallel_cfg).explore(&w, apex.selected());

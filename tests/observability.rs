@@ -20,7 +20,7 @@ fn record_explore(threads: usize) -> (Vec<obs::Event>, ConexResult) {
     obs::install(sink.clone());
     obs::set_level(obs::Level::Info);
     let w = benchmarks::vocoder();
-    let mut cfg = ConexConfig::fast();
+    let mut cfg = ConexConfig::preset(Preset::Fast);
     cfg.threads = threads;
     let mem = vec![MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4))];
     let result = ConexExplorer::new(cfg).explore(&w, mem);
@@ -112,21 +112,36 @@ fn deterministic_events_identical_serial_vs_parallel() {
 #[test]
 fn worker_lanes_account_for_all_estimates() {
     let (events, _) = record_explore(4);
-    let estimate_items: u64 = events
-        .iter()
-        .filter_map(|e| match e.kind {
-            obs::EventKind::Worker {
-                name: "conex.estimate",
-                items,
-                ..
-            } => Some(items),
-            _ => None,
-        })
-        .sum();
-    let enumerated = final_counter(&events, "conex.candidates_enumerated");
+    let worker_items = |name: &str| -> u64 {
+        events
+            .iter()
+            .filter_map(|e| match e.kind {
+                obs::EventKind::Worker { name: n, items, .. } if n == name => Some(items),
+                _ => None,
+            })
+            .sum()
+    };
+    let estimate_jobs = final_counter(&events, "conex.estimate_jobs");
+    let simulate_jobs = final_counter(&events, "conex.simulate_jobs");
     assert_eq!(
-        estimate_items, enumerated,
-        "worker lanes must account for every enumerated candidate"
+        worker_items("conex.estimate"),
+        estimate_jobs,
+        "worker lanes must account for every unique estimation job"
+    );
+    assert_eq!(
+        worker_items("conex.simulate"),
+        simulate_jobs,
+        "worker lanes must account for every unique simulation job"
+    );
+    // Every feasible candidate either became a unique job or was coalesced
+    // into one: jobs + coalesced reconciles exactly with the funnel.
+    let feasible = final_counter(&events, "conex.candidates_enumerated")
+        - final_counter(&events, "conex.candidates_infeasible");
+    let shortlist = final_counter(&events, "conex.shortlist");
+    assert_eq!(
+        estimate_jobs + simulate_jobs + final_counter(&events, "eval_cache.coalesced"),
+        feasible + shortlist,
+        "coalescing must account for every candidate that skipped simulation"
     );
     let lanes: Vec<u32> = events
         .iter()
@@ -151,7 +166,7 @@ fn results_are_bit_identical_with_tracing_on_and_off() {
         }
         let w = benchmarks::vocoder();
         let mem = vec![MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4))];
-        let result = ConexExplorer::new(ConexConfig::fast()).explore(&w, mem);
+        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, mem);
         obs::uninstall();
         result
     };
@@ -187,7 +202,7 @@ fn apex_spans_and_counters_recorded() {
     let sink = Arc::new(obs::MemorySink::new());
     obs::install(sink.clone());
     let w = benchmarks::vocoder();
-    let result = ApexExplorer::new(ApexConfig::fast()).explore(&w);
+    let result = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
     obs::uninstall();
     let events = sink.take();
     let ids = identities(&events);

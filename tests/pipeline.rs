@@ -7,7 +7,7 @@ use memory_conex::conex::MemorEx;
 use memory_conex::prelude::*;
 
 fn run(workload: &Workload) -> memory_conex::conex::MemorExResult {
-    MemorEx::fast().run(workload)
+    MemorEx::preset(Preset::Fast).run(workload)
 }
 
 #[test]

@@ -83,8 +83,8 @@ fn conex_explores_a_random_workload_end_to_end() {
     // One full exploration on a random workload (not proptest-looped — it
     // is the expensive path).
     let w = random_workload(42);
-    let apex = ApexExplorer::new(ApexConfig::fast()).explore(&w);
-    let mut cfg = ConexConfig::fast();
+    let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
+    let mut cfg = ConexConfig::preset(Preset::Fast);
     cfg.trace_len = 6_000;
     cfg.max_allocations_per_level = 16;
     let result = ConexExplorer::new(cfg).explore(&w, apex.selected());

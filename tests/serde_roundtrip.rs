@@ -65,8 +65,8 @@ fn system_config_and_stats_round_trip() {
 #[test]
 fn conex_result_round_trips() {
     let w = benchmarks::vocoder();
-    let apex = ApexExplorer::new(ApexConfig::fast()).explore(&w);
-    let mut cfg = ConexConfig::fast();
+    let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
+    let mut cfg = ConexConfig::preset(Preset::Fast);
     cfg.trace_len = 5_000;
     cfg.max_allocations_per_level = 8;
     let result = ConexExplorer::new(cfg).explore(&w, apex.selected());

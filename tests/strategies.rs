@@ -9,8 +9,8 @@ use memory_conex::prelude::*;
 
 fn explore(strategy: ExplorationStrategy) -> ConexResult {
     let w = benchmarks::vocoder();
-    let apex = ApexExplorer::new(ApexConfig::fast()).explore(&w);
-    ConexExplorer::new(ConexConfig::fast().with_strategy(strategy)).explore(&w, apex.selected())
+    let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
+    ConexExplorer::new(ConexConfig::preset(Preset::Fast).with_strategy(strategy)).explore(&w, apex.selected())
 }
 
 #[test]
@@ -92,8 +92,8 @@ fn estimates_rank_like_full_simulation_on_the_shortlist() {
     // Spearman-style check: among simulated points, higher estimated
     // latency should mostly mean higher simulated latency.
     let w = benchmarks::vocoder();
-    let apex = ApexExplorer::new(ApexConfig::fast()).explore(&w);
-    let explorer = ConexExplorer::new(ConexConfig::fast());
+    let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
+    let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
     let mem = apex.selected().remove(0);
     let estimates = explorer.connectivity_exploration(&w, &mem);
     let mut agree = 0;

@@ -172,7 +172,7 @@ fn two_level_system_explorable_by_conex() {
     // on-chip channel: clustering, allocation and estimation just work.
     let w = l2_friendly_workload();
     let mem = two_level(&w);
-    let mut cfg = memory_conex::conex::ConexConfig::fast();
+    let mut cfg = memory_conex::conex::ConexConfig::preset(Preset::Fast);
     cfg.trace_len = 6_000;
     cfg.max_allocations_per_level = 16;
     let explorer = memory_conex::conex::ConexExplorer::new(cfg);
