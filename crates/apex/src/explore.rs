@@ -155,6 +155,7 @@ impl ApexExplorer {
             candidates
                 .into_iter()
                 .filter_map(|arch| {
+                    let _t = obs::time_scope("apex.candidate_eval_us");
                     let sys = SystemConfig::with_shared_bus(workload, arch.clone()).ok()?;
                     let stats = simulate_blocks(&sys, workload, blocks, self.config.trace_len);
                     Some(ApexPoint {

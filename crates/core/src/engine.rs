@@ -141,6 +141,7 @@ impl EvalEngine {
                 Some((key, sys))
             },
             |sys| {
+                let _t = obs::time_scope("conex.estimate.item_us");
                 let stats =
                     simulate_sampled_blocks(sys, &self.workload, &self.blocks, trace_len, sampling);
                 Metrics::new(
@@ -187,6 +188,7 @@ impl EvalEngine {
                 Some((key, sys.clone()))
             },
             |sys| {
+                let _t = obs::time_scope("conex.simulate.item_us");
                 let stats = simulate_blocks(sys, &self.workload, &self.blocks, trace_len);
                 Metrics::new(
                     sys.gate_cost(),
@@ -230,7 +232,10 @@ impl EvalEngine {
                 slots.push(Slot::Infeasible);
                 continue;
             };
-            if let Some(m) = self.cache.as_ref().and_then(|c| c.get(key)) {
+            if let Some(m) = self.cache.as_ref().and_then(|c| {
+                let _t = obs::time_scope("eval_cache.probe_us");
+                c.get(key)
+            }) {
                 hits += 1;
                 slots.push(Slot::Hit(sys, m));
             } else if let Some(&j) = job_of.get(&key) {

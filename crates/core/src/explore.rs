@@ -18,7 +18,7 @@ use crate::brg::Brg;
 use crate::cluster::{cluster_levels, ClusterOrder};
 use crate::design_point::{DesignPoint, Metrics};
 use crate::engine::EvalEngine;
-use crate::pareto::{Axis, ParetoFront};
+use crate::pareto::{hypervolume_proxy, Axis, ParetoFront};
 use mce_obs as obs;
 use mce_appmodel::Workload;
 use mce_connlib::ConnectivityLibrary;
@@ -80,6 +80,12 @@ pub struct ConexConfig {
     ///
     /// [`enumerate_allocations_filtered`]: crate::allocate::enumerate_allocations_filtered
     pub bandwidth_headroom: f64,
+    /// Pareto-frontier evolution sampling period for run reports: during
+    /// Phase I, after every `frontier_sample_every` memory architectures
+    /// (and always after the last), the cost/latency frontier of the
+    /// estimate cloud accumulated so far is snapshotted into
+    /// [`ConexResult::frontier_evolution`]. 0 disables sampling.
+    pub frontier_sample_every: usize,
 }
 
 impl ConexConfig {
@@ -98,6 +104,7 @@ impl ConexConfig {
                 local_keep: 16,
                 threads: 0,
                 bandwidth_headroom: 0.0,
+                frontier_sample_every: 1,
             },
             Preset::Paper => ConexConfig {
                 trace_len: 60_000,
@@ -109,6 +116,7 @@ impl ConexConfig {
                 local_keep: 48,
                 threads: 0,
                 bandwidth_headroom: 0.0,
+                frontier_sample_every: 1,
             },
         }
     }
@@ -132,12 +140,30 @@ impl ConexConfig {
     }
 }
 
+/// One sample of the growing estimate cloud's cost/latency pareto
+/// frontier, taken during Phase I after a memory architecture's
+/// candidates land (see [`ConexConfig::frontier_sample_every`]). The
+/// sequence of snapshots is a run report's frontier-evolution curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontierSnapshot {
+    /// Memory architectures explored when the sample was taken.
+    pub archs_explored: usize,
+    /// Estimated design points accumulated so far.
+    pub estimated: usize,
+    /// Size of the cost/latency pareto front over those points.
+    pub frontier_size: usize,
+    /// Normalized dominated-area proxy of that front
+    /// ([`hypervolume_proxy`]).
+    pub hypervolume: f64,
+}
+
 /// The result of a ConEx exploration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConexResult {
     workload_name: String,
     estimated: Vec<DesignPoint>,
     simulated: Vec<DesignPoint>,
+    frontier_evolution: Vec<FrontierSnapshot>,
     elapsed: Duration,
 }
 
@@ -161,6 +187,12 @@ impl ConexResult {
     /// Wall-clock time of the exploration (Table 2's "Time" row).
     pub fn elapsed(&self) -> Duration {
         self.elapsed
+    }
+
+    /// Phase-I frontier-evolution samples, in exploration order (empty
+    /// when [`ConexConfig::frontier_sample_every`] is 0).
+    pub fn frontier_evolution(&self) -> &[FrontierSnapshot] {
+        &self.frontier_evolution
     }
 
     fn metrics(points: &[DesignPoint]) -> Vec<Metrics> {
@@ -414,10 +446,12 @@ impl ConexExplorer {
         });
         let mut all_estimated = Vec::new();
         let mut combined: Vec<DesignPoint> = Vec::new();
+        let mut frontier_evolution: Vec<FrontierSnapshot> = Vec::new();
         // Phase I.
         {
             let _phase1 = obs::span("conex.phase1");
-            for mem in &mem_archs {
+            let sample_every = self.config.frontier_sample_every;
+            for (k, mem) in mem_archs.iter().enumerate() {
                 let points = self.connectivity_exploration_with(engine, mem);
                 let selected: Vec<DesignPoint> =
                     self.select_local(&points).into_iter().cloned().collect();
@@ -427,6 +461,21 @@ impl ConexExplorer {
                 );
                 combined.extend(selected);
                 all_estimated.extend(points);
+                if sample_every > 0
+                    && ((k + 1) % sample_every == 0 || k + 1 == mem_archs.len())
+                {
+                    let metrics: Vec<Metrics> =
+                        all_estimated.iter().map(|p| p.metrics).collect();
+                    let axes = [Axis::Cost, Axis::Latency];
+                    let front = ParetoFront::of(&metrics, &axes);
+                    obs::gauge_max("conex.frontier_size_max", front.len() as u64);
+                    frontier_evolution.push(FrontierSnapshot {
+                        archs_explored: k + 1,
+                        estimated: all_estimated.len(),
+                        frontier_size: front.len(),
+                        hypervolume: hypervolume_proxy(&metrics, axes),
+                    });
+                }
             }
             obs::counter_add("conex.shortlist", combined.len() as u64);
             // Workers have joined; totals are deterministic here.
@@ -451,6 +500,7 @@ impl ConexExplorer {
             workload_name: workload.name().to_owned(),
             estimated: all_estimated,
             simulated,
+            frontier_evolution,
             elapsed: start.elapsed(),
         }
     }
@@ -602,5 +652,34 @@ mod tests {
         let w = benchmarks::vocoder();
         let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w));
         assert!(result.elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn frontier_evolution_is_sampled_and_deterministic() {
+        let w = benchmarks::vocoder();
+        let archs = vec![
+            MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4)),
+            MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8)),
+        ];
+        let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
+        let result = explorer.explore(&w, archs.clone());
+        let evo = result.frontier_evolution();
+        assert_eq!(evo.len(), 2, "one snapshot per architecture at period 1");
+        assert_eq!(evo[0].archs_explored, 1);
+        assert_eq!(evo[1].archs_explored, 2);
+        assert!(evo[1].estimated >= evo[0].estimated);
+        assert_eq!(evo[1].estimated, result.estimated().len());
+        for s in evo {
+            assert!(s.frontier_size >= 1);
+            assert!(s.hypervolume > 0.0 && s.hypervolume < 1.0, "{s:?}");
+        }
+        // Snapshots are a pure function of the estimate cloud.
+        let again = explorer.explore(&w, archs);
+        assert_eq!(evo, again.frontier_evolution());
+
+        let mut off = ConexConfig::preset(Preset::Fast);
+        off.frontier_sample_every = 0;
+        let none = ConexExplorer::new(off).explore(&w, one_arch(&w));
+        assert!(none.frontier_evolution().is_empty());
     }
 }

@@ -68,8 +68,8 @@ pub use cluster::{cluster_levels, Cluster, ClusterOrder, Clustering};
 pub use design_point::{CanonKey, DesignPoint, EvalMode, Metrics};
 pub use engine::EvalEngine;
 pub use eval_cache::{CacheStats, EvalCache};
-pub use explore::{ConexConfig, ConexExplorer, ConexResult, ExplorationStrategy};
+pub use explore::{ConexConfig, ConexExplorer, ConexResult, ExplorationStrategy, FrontierSnapshot};
 pub use memorex::{MemorEx, MemorExResult};
-pub use pareto::{Axis, CoverageReport, ParetoFront};
+pub use pareto::{hypervolume_proxy, Axis, CoverageReport, ParetoFront};
 pub use reconfig::{PhaseChoice, ReconfigReport};
 pub use scenario::Scenario;

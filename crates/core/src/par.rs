@@ -130,14 +130,12 @@ where
     if tracing {
         for (w, lane) in lanes.iter().enumerate() {
             if let Some(stats) = lane {
-                obs::worker_span(
-                    name,
-                    (w + 1) as u32,
-                    stats.start_us,
-                    stats.end_us.saturating_sub(stats.start_us),
-                    stats.busy_us,
-                    stats.items,
-                );
+                let dur = stats.end_us.saturating_sub(stats.start_us);
+                obs::worker_span(name, (w + 1) as u32, stats.start_us, dur, stats.busy_us, stats.items);
+                // Per-worker occupancy distributions: how long each lane
+                // ran and how much of that was inside the mapped closure.
+                obs::histogram_record("par.worker_span_us", dur);
+                obs::histogram_record("par.worker_busy_us", stats.busy_us);
             }
         }
     }

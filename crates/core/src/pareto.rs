@@ -132,6 +132,44 @@ fn metrics_eq(a: &Metrics, b: &Metrics, axes: &[Axis]) -> bool {
     axes.iter().all(|&ax| ax.value(a) == ax.value(b))
 }
 
+/// A scalar "how much trade-off space is covered" proxy: the 2-D
+/// hypervolume dominated by the pareto front of `points` on `axes`
+/// (both minimized), measured against a reference point at 1.05× the
+/// per-axis maximum over `points` and normalized by the reference
+/// rectangle's area, so the value lands in `[0, 1)`.
+///
+/// This is deliberately *not* the exact multi-objective hypervolume
+/// indicator — the reference point is data-derived, so values are only
+/// comparable between snapshots of the same growing point set. That is
+/// exactly what run reports need: one deterministic number per
+/// frontier-evolution sample that grows as the front pushes toward the
+/// origin.
+pub fn hypervolume_proxy(points: &[Metrics], axes: [Axis; 2]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let axis_max = |ax: Axis| points.iter().map(|m| ax.value(m)).fold(f64::MIN, f64::max);
+    let ref_x = axis_max(axes[0]) * 1.05;
+    let ref_y = axis_max(axes[1]) * 1.05;
+    if !(ref_x > 0.0 && ref_y > 0.0) {
+        return 0.0;
+    }
+    // The front is sorted ascending on axes[0], so its axes[1] values are
+    // non-increasing; each point contributes the horizontal strip between
+    // its own y and the previous (higher) y, out to the reference x.
+    let front = ParetoFront::of(points, &axes);
+    let mut prev_y = ref_y;
+    let mut hv = 0.0;
+    for &i in front.indices() {
+        let (x, y) = (axes[0].value(&points[i]), axes[1].value(&points[i]));
+        if y < prev_y {
+            hv += (ref_x - x) * (prev_y - y);
+            prev_y = y;
+        }
+    }
+    hv / (ref_x * ref_y)
+}
+
 /// The Table 2 comparison: how well an exploration's points cover a
 /// reference (full-search) pareto front.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -356,5 +394,40 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_reference_rejected() {
         let _ = CoverageReport::compare(&[], &[m(1, 1.0, 1.0)], 0.01);
+    }
+
+    #[test]
+    fn hypervolume_proxy_basics() {
+        let axes = [Axis::Cost, Axis::Latency];
+        assert_eq!(hypervolume_proxy(&[], axes), 0.0);
+        // A single point at the axis maxima dominates exactly the corner
+        // rectangle between itself and the 1.05× reference point:
+        // (0.05/1.05)² of the normalized area.
+        let one = hypervolume_proxy(&[m(100, 10.0, 1.0)], axes);
+        let expect = (0.05f64 / 1.05) * (0.05 / 1.05);
+        assert!((one - expect).abs() < 1e-12, "{one} vs {expect}");
+        // Degenerate all-zero axis: no volume.
+        assert_eq!(hypervolume_proxy(&[m(0, 0.0, 1.0)], axes), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_proxy_grows_with_better_points() {
+        let axes = [Axis::Cost, Axis::Latency];
+        let base = vec![m(100, 10.0, 1.0), m(200, 5.0, 1.0)];
+        let hv_base = hypervolume_proxy(&base, axes);
+        // Adding a point that pushes the front toward the origin can only
+        // grow the dominated share (reference point is unchanged because
+        // the maxima are unchanged).
+        let mut better = base.clone();
+        better.push(m(50, 7.0, 1.0));
+        let hv_better = hypervolume_proxy(&better, axes);
+        assert!(hv_better > hv_base, "{hv_better} vs {hv_base}");
+        // A dominated point inside the existing maxima changes nothing:
+        // (150, 10.0) is dominated by (100, 10.0) and leaves both axis
+        // maxima — and hence the reference point — untouched.
+        let mut padded = base.clone();
+        padded.push(m(150, 10.0, 1.0));
+        assert_eq!(hypervolume_proxy(&padded, axes), hv_base);
+        assert!(hv_base > 0.0 && hv_base < 1.0);
     }
 }

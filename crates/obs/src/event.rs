@@ -84,6 +84,28 @@ pub enum EventKind {
         /// The maximum observed so far.
         value: u64,
     },
+    /// A named histogram's summary at a snapshot point. The sample values
+    /// are wall-clock measurements, so the payload (and, for per-worker
+    /// histograms, the count) is schedule-dependent; only the emission
+    /// order — name order at each snapshot — is stable.
+    Histogram {
+        /// Histogram name, e.g. `conex.simulate.item_us`.
+        name: &'static str,
+        /// Number of recorded samples.
+        count: u64,
+        /// Sum of all samples.
+        sum: u64,
+        /// Smallest sample.
+        min: u64,
+        /// Largest sample.
+        max: u64,
+        /// Median estimate.
+        p50: u64,
+        /// 90th-percentile estimate.
+        p90: u64,
+        /// 99th-percentile estimate.
+        p99: u64,
+    },
     /// A rate-limited progress tick from inside a parallel region.
     Progress {
         /// Name of the region making progress.
@@ -115,13 +137,14 @@ pub struct Event {
 
 impl Event {
     /// True for events whose existence or payload depends on worker-thread
-    /// scheduling ([`EventKind::Worker`] and [`EventKind::Progress`]).
-    /// Everything else is emitted from the coordinating thread in a
-    /// schedule-independent order.
+    /// scheduling ([`EventKind::Worker`], [`EventKind::Progress`] and
+    /// [`EventKind::Histogram`] — histogram payloads are wall-clock
+    /// samples). Everything else is emitted from the coordinating thread
+    /// in a schedule-independent order.
     pub fn schedule_dependent(&self) -> bool {
         matches!(
             self.kind,
-            EventKind::Worker { .. } | EventKind::Progress { .. }
+            EventKind::Worker { .. } | EventKind::Progress { .. } | EventKind::Histogram { .. }
         )
     }
 
@@ -137,6 +160,7 @@ impl Event {
             }
             EventKind::Counter { name, value } => format!("counter:{name}={value}"),
             EventKind::Gauge { name, value } => format!("gauge:{name}={value}"),
+            EventKind::Histogram { name, count, .. } => format!("hist:{name}:n={count}"),
             EventKind::Progress { name, done, total } => {
                 format!("progress:{name}:{done}/{total}")
             }
@@ -179,6 +203,22 @@ impl Event {
             EventKind::Gauge { name, value } => {
                 s.push_str(&format!(
                     "\"type\":\"gauge\",\"name\":\"{name}\",\"value\":{value}"
+                ));
+            }
+            EventKind::Histogram {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                p50,
+                p90,
+                p99,
+            } => {
+                s.push_str(&format!(
+                    "\"type\":\"histogram\",\"name\":\"{name}\",\"count\":{count},\
+                     \"sum\":{sum},\"min\":{min},\"max\":{max},\
+                     \"p50\":{p50},\"p90\":{p90},\"p99\":{p99}"
                 ));
             }
             EventKind::Progress { name, done, total } => {

@@ -15,6 +15,12 @@
 //!   Worker threads may bump them concurrently; [`snapshot_counters`]
 //!   emits the totals as events at phase boundaries, where they are
 //!   deterministic.
+//! * **Histograms** ([`histogram_record`], [`time_scope`]) are
+//!   lock-striped, mergeable latency distributions with a deterministic
+//!   power-of-two bucket layout ([`hist`]): per-candidate simulate latency,
+//!   cache-probe latency and per-worker occupancy get p50/p90/p99
+//!   summaries, not just totals. Spans feed their durations in
+//!   automatically, so every phase also has a duration histogram.
 //! * **Worker lanes** ([`worker_span`]) and **progress ticks**
 //!   ([`progress`]) describe parallel execution; they are the only
 //!   [schedule-dependent](Event::schedule_dependent) events.
@@ -62,17 +68,21 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod sink;
 
 pub use event::{escape_json, Event, EventKind, Level};
+pub use hist::{Histogram, HistogramSummary};
 pub use recorder::{
-    counter_add, counter_value, debug, emit, gauge_max, gauge_value, info, init_level_from_env,
-    install, level_enabled, message, now_us, progress, reset_counters, set_level,
-    snapshot_counters, span, tracing_enabled, uninstall, worker_span, SpanGuard,
+    counter_add, counter_value, counters_snapshot, debug, emit, gauge_max, gauge_value,
+    gauges_snapshot, histogram_record, histogram_summary, histograms_snapshot, info,
+    init_level_from_env, install, level_enabled, message, now_us, progress, reset_counters,
+    set_level, snapshot_counters, span, time_scope, tracing_enabled, uninstall, worker_span,
+    SpanGuard, TimeScope,
 };
 pub use sink::{
-    render_chrome_trace, ChromeTraceSink, JsonLinesSink, MemorySink, MultiSink, ProgressReporter,
-    Sink,
+    render_chrome_trace, ChromeTraceSink, JsonLinesSink, MemorySink, MultiSink, NullSink,
+    ProgressReporter, Sink,
 };

@@ -9,6 +9,7 @@
 //! event log starts from a clean slate.
 
 use crate::event::{Event, EventKind, Level};
+use crate::hist::{HistRegistry, Histogram, HistogramSummary};
 use crate::sink::Sink;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -29,6 +30,7 @@ struct Global {
     installed: RwLock<Option<Installed>>,
     counters: Mutex<BTreeMap<&'static str, u64>>,
     gauges: Mutex<BTreeMap<&'static str, u64>>,
+    hists: HistRegistry,
 }
 
 fn global() -> &'static Global {
@@ -40,6 +42,7 @@ fn global() -> &'static Global {
         installed: RwLock::new(None),
         counters: Mutex::new(BTreeMap::new()),
         gauges: Mutex::new(BTreeMap::new()),
+        hists: HistRegistry::new(),
     })
 }
 
@@ -163,9 +166,15 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(start) = self.start {
+            let dur_us = start.elapsed().as_micros() as u64;
+            // Span durations also feed the histogram registry under the
+            // span's name, so per-phase wall time (count + total + tail
+            // quantiles across repeated phases) is available to run
+            // reports without replaying the event stream.
+            histogram_record(self.name, dur_us);
             emit(EventKind::SpanEnd {
                 name: self.name,
-                dur_us: start.elapsed().as_micros() as u64,
+                dur_us,
             });
         }
     }
@@ -214,6 +223,82 @@ pub fn gauge_max(name: &'static str, value: u64) {
     *entry = (*entry).max(value);
 }
 
+/// Records `value` into the named histogram (see [`crate::hist`] for the
+/// deterministic bucket layout). Worker threads may call this
+/// concurrently: the registry is lock-striped by name, and bucket totals
+/// are commutative, so the histograms read at phase boundaries hold the
+/// same counts for any thread count.
+pub fn histogram_record(name: &'static str, value: u64) {
+    if !tracing_enabled() {
+        return;
+    }
+    global().hists.record(name, value);
+}
+
+/// A scoped timer: measures the wall time from creation to drop and
+/// records it (in microseconds) into the named histogram. The cheap
+/// per-item counterpart of [`span`] — it touches the histogram registry
+/// only, emitting no events, so it can wrap per-candidate work inside
+/// parallel regions.
+#[must_use = "a time scope records its duration when dropped"]
+pub struct TimeScope {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for TimeScope {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            histogram_record(self.name, start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+/// Opens a scoped timer recording into the named histogram on drop. When
+/// tracing is disabled this never reads the clock — the cost is one
+/// relaxed atomic load.
+pub fn time_scope(name: &'static str) -> TimeScope {
+    if !tracing_enabled() {
+        return TimeScope { name, start: None };
+    }
+    TimeScope {
+        name,
+        start: Some(Instant::now()),
+    }
+}
+
+/// The named histogram's summary, if it has recorded samples.
+pub fn histogram_summary(name: &str) -> Option<HistogramSummary> {
+    global().hists.get(name).map(|h| h.summary())
+}
+
+/// Every histogram recorded so far, in name order.
+pub fn histograms_snapshot() -> Vec<(&'static str, Histogram)> {
+    global().hists.snapshot()
+}
+
+/// Every counter's current total, in name order.
+pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    global()
+        .counters
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(&k, &v)| (k, v))
+        .collect()
+}
+
+/// Every gauge's current high-water mark, in name order.
+pub fn gauges_snapshot() -> Vec<(&'static str, u64)> {
+    global()
+        .gauges
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(&k, &v)| (k, v))
+        .collect()
+}
+
 /// The named counter's current total (0 when absent or disabled).
 pub fn counter_value(name: &str) -> u64 {
     global()
@@ -236,7 +321,9 @@ pub fn gauge_value(name: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// Clears all counters and gauges (done automatically by [`install`]).
+/// Clears all counters, gauges and histograms (done automatically by
+/// [`install`]), so back-to-back sessions in one process never report
+/// stale totals, peak values or latency samples from a previous run.
 pub fn reset_counters() {
     let g = global();
     g.counters
@@ -247,12 +334,16 @@ pub fn reset_counters() {
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .clear();
+    g.hists.clear();
 }
 
-/// Emits one [`EventKind::Counter`] event per counter and one
-/// [`EventKind::Gauge`] per gauge, in name order. Call this from the
-/// coordinating thread at phase boundaries (after workers have joined) so
-/// the snapshot totals — and their event order — are deterministic.
+/// Emits one [`EventKind::Counter`] event per counter, one
+/// [`EventKind::Gauge`] per gauge and one [`EventKind::Histogram`] per
+/// histogram, in name order per class. Call this from the coordinating
+/// thread at phase boundaries (after workers have joined) so the snapshot
+/// totals — and their event order — are deterministic. (Histogram *values*
+/// are wall-clock measurements and therefore schedule-dependent; only
+/// their presence and order are stable.)
 pub fn snapshot_counters() {
     if !tracing_enabled() {
         return;
@@ -276,6 +367,19 @@ pub fn snapshot_counters() {
     };
     for (name, value) in gauges {
         emit(EventKind::Gauge { name, value });
+    }
+    for (name, hist) in global().hists.snapshot() {
+        let s = hist.summary();
+        emit(EventKind::Histogram {
+            name,
+            count: s.count,
+            sum: s.sum,
+            min: s.min,
+            max: s.max,
+            p50: s.p50,
+            p90: s.p90,
+            p99: s.p99,
+        });
     }
 }
 
@@ -456,6 +560,87 @@ mod tests {
         });
         let ids: Vec<String> = events.iter().map(Event::identity).collect();
         assert_eq!(ids, vec!["message:info:kept", "message:debug:kept too"]);
+    }
+
+    #[test]
+    fn time_scope_and_histogram_record_feed_the_registry() {
+        with_recorder(|_| {
+            histogram_record("h.direct", 7);
+            histogram_record("h.direct", 9);
+            {
+                let _t = time_scope("h.scoped");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            let direct = histogram_summary("h.direct").expect("recorded");
+            assert_eq!(direct.count, 2);
+            assert_eq!(direct.sum, 16);
+            assert_eq!((direct.min, direct.max), (7, 9));
+            let scoped = histogram_summary("h.scoped").expect("recorded");
+            assert_eq!(scoped.count, 1);
+            assert!(scoped.sum >= 1_000, "2ms scope measured {}us", scoped.sum);
+        });
+    }
+
+    #[test]
+    fn spans_record_their_duration_as_a_histogram() {
+        with_recorder(|_| {
+            for _ in 0..3 {
+                let _s = span("h.phase");
+            }
+            let s = histogram_summary("h.phase").expect("span durations recorded");
+            assert_eq!(s.count, 3, "one sample per span opening");
+        });
+    }
+
+    #[test]
+    fn snapshot_emits_histograms_after_counters_and_gauges() {
+        let events = with_recorder(|sink| {
+            counter_add("a.count", 1);
+            gauge_max("b.gauge", 2);
+            histogram_record("c.hist", 10);
+            snapshot_counters();
+            sink.take()
+        });
+        let ids: Vec<String> = events.iter().map(Event::identity).collect();
+        assert_eq!(
+            ids,
+            vec!["counter:a.count=1", "gauge:b.gauge=2", "hist:c.hist:n=1"]
+        );
+    }
+
+    /// Regression test: a second back-to-back session in the same process
+    /// must not see the previous session's counter totals, gauge peaks or
+    /// histogram samples ([`install`] resets all three registries).
+    #[test]
+    fn install_resets_counters_gauges_and_histograms() {
+        with_recorder(|_| {
+            counter_add("s.count", 41);
+            gauge_max("s.peak", 99);
+            histogram_record("s.lat", 1234);
+            assert_eq!(gauge_value("s.peak"), 99);
+        });
+        with_recorder(|_| {
+            assert_eq!(counter_value("s.count"), 0, "stale counter total");
+            assert_eq!(gauge_value("s.peak"), 0, "stale gauge peak");
+            assert!(
+                histogram_summary("s.lat").is_none(),
+                "stale histogram samples"
+            );
+            // A lower peak in the new session must win from scratch.
+            gauge_max("s.peak", 5);
+            assert_eq!(gauge_value("s.peak"), 5);
+        });
+    }
+
+    #[test]
+    fn disabled_histograms_record_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        uninstall();
+        reset_counters();
+        histogram_record("off.h", 5);
+        let _t = time_scope("off.h");
+        drop(_t);
+        assert!(histogram_summary("off.h").is_none());
     }
 
     #[test]

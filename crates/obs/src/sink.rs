@@ -9,6 +9,9 @@
 //! * [`ProgressReporter`] — rate-limited human-readable progress lines
 //!   (with throughput and ETA) plus messages, on stderr.
 //! * [`MultiSink`] — fans every event out to several sinks.
+//! * [`NullSink`] — discards events; installed when only the recorder's
+//!   counter/gauge/histogram registries are wanted (e.g. `--report-out`
+//!   without any trace sink).
 
 use crate::event::{escape_json, Event, EventKind};
 use std::collections::BTreeSet;
@@ -190,6 +193,20 @@ pub fn render_chrome_trace(events: &[Event]) -> String {
                     ev.t_us
                 ));
             }
+            EventKind::Histogram {
+                name,
+                count,
+                p50,
+                p90,
+                p99,
+                ..
+            } => {
+                rows.push(format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+                     \"args\":{{\"count\":{count},\"p50\":{p50},\"p90\":{p90},\"p99\":{p99}}}}}",
+                    ev.t_us
+                ));
+            }
             EventKind::Progress { .. } => {}
             EventKind::Message { level, text } => rows.push(format!(
                 "{{\"name\":\"{}\",\"cat\":\"{level}\",\"ph\":\"i\",\
@@ -310,6 +327,28 @@ impl Sink for ProgressReporter {
             _ => {}
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// NullSink
+// ---------------------------------------------------------------------------
+
+/// Discards every event. Installing it still turns the recorder on, so the
+/// counter, gauge and histogram registries accumulate — the cheapest way to
+/// collect run metrics (for a run-report summary) without buffering or
+/// writing a trace.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl NullSink {
+    /// Creates the sink.
+    pub fn new() -> Self {
+        NullSink
+    }
+}
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@ use crate::sampling::SamplingConfig;
 use crate::stats::SimStats;
 use crate::system::SystemConfig;
 use mce_appmodel::{TraceBlocks, Workload};
+use mce_obs as obs;
 
 /// Fully simulates the first `trace_len` compiled accesses on `sys`.
 ///
@@ -34,6 +35,7 @@ pub fn simulate_blocks(
     blocks: &TraceBlocks,
     trace_len: usize,
 ) -> SimStats {
+    let _t = obs::time_scope("sim.replay_us");
     let mut sim = Simulator::new(sys, workload);
     for batch in blocks.batches(trace_len) {
         for i in batch {
@@ -58,6 +60,7 @@ pub fn simulate_sampled_blocks(
     trace_len: usize,
     config: SamplingConfig,
 ) -> SimStats {
+    let _t = obs::time_scope("sim.replay_sampled_us");
     let mut sim = Simulator::new(sys, workload);
     let mut in_window = 0u64;
     let mut skipping = false;

@@ -76,4 +76,15 @@ fn main() {
             p.describe()
         );
     }
+
+    // 4. Every run also assembles a machine-readable report — workload
+    //    digest, funnel counters, cache effectiveness, frontier evolution
+    //    (`mce explore --report-out` writes the same JSON from the CLI,
+    //    rendered by `mce report`).
+    println!(
+        "\nRun report: digest {}, {} frontier snapshots, explored in {:.2} s.",
+        result.report.workload_digest,
+        result.report.frontier_evolution.len(),
+        result.report.wall_clock.elapsed_s
+    );
 }

@@ -6,9 +6,16 @@
 //! mce classify <workload> [--trace N]          APEX pattern extraction
 //! mce simulate <workload> [--cache KIB] [--trace N]
 //!                                              simulate a cache-only baseline
-//! mce explore  <workload> [--scale fast|paper] [--out FILE] [--threads N]
-//!              [--eval-cache FILE] [--trace-out FILE] [--progress]
+//! mce explore  <workload> [--preset fast|paper] [--out FILE] [--threads N]
+//!              [--eval-cache FILE] [--trace-out FILE] [--report-out FILE]
+//!              [--out-dir DIR] [--progress]
 //!                                              full APEX + ConEx exploration
+//! mce report   <report.json>... [--out FILE] [--html]
+//!                                              render run reports as
+//!                                              markdown/HTML summaries
+//! mce bench-gate [--baseline FILE] [--current FILE] [--tolerance T]
+//!              [--warn-only]                   compare BENCH_eval.json to a
+//!                                              committed baseline
 //! ```
 //!
 //! `<workload>` is either a built-in name (`compress`, `li`, `vocoder`,
@@ -23,12 +30,21 @@
 //! in `chrome://tracing` or <https://ui.perfetto.dev>); `--progress` prints
 //! live phase/progress lines to stderr, with `MCE_LOG=debug` raising the
 //! message verbosity. Tracing never changes exploration results.
+//!
+//! `--report-out FILE` writes the run's [`RunReport`] JSON — byte-stable
+//! except for its trailing `"wall_clock"` section — which `mce report`
+//! renders into a self-contained summary and CI archives as an artifact.
+//! The textual exploration summary is also logged under `--out-dir`
+//! (default `target/experiments/`).
+//!
+//! [`RunReport`]: memory_conex::RunReport
 
 use memory_conex::apex::classify;
 use memory_conex::appmodel::{benchmarks, AccessPattern, DataStructure, Workload, WorkloadBuilder};
 use memory_conex::conex::Scenario;
 use memory_conex::memlib::{CacheConfig, MemoryArchitecture};
 use memory_conex::obs;
+use memory_conex::report;
 use memory_conex::sim::{simulate, Preset, SystemConfig};
 use memory_conex::ExplorationSession;
 use std::process::ExitCode;
@@ -41,8 +57,11 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{USAGE}");
+            // A failed bench gate is a verdict, not a usage mistake.
+            if !e.to_string().starts_with("bench gate:") {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -53,20 +72,37 @@ const USAGE: &str = "usage:
   mce template
   mce classify <workload> [--trace N]
   mce simulate <workload> [--cache KIB] [--trace N]
-  mce explore  <workload> [--scale fast|paper] [--out FILE] [--threads N]
-               [--eval-cache FILE] [--trace-out FILE] [--progress]
+  mce explore  <workload> [--preset fast|paper] [--out FILE] [--threads N]
+               [--eval-cache FILE] [--trace-out FILE] [--report-out FILE]
+               [--out-dir DIR] [--progress]
+  mce report   <report.json>... [--out FILE] [--html]
+  mce bench-gate [--baseline FILE] [--current FILE] [--tolerance T] [--warn-only]
 
 <workload> = compress | li | vocoder | adpcm | jpeg | mix | path/to/workload.json
 
 explore options:
+  --preset P       exploration scale: fast or paper (--scale is an alias)
   --threads N      worker threads for estimation and simulation
                    (0 = one per core; results are identical for any N)
   --eval-cache FILE persist the candidate-evaluation cache across runs
                    (loaded if present, saved after; results unchanged)
   --trace-out FILE write a Chrome trace-event JSON of the run
                    (open in chrome://tracing or https://ui.perfetto.dev)
+  --report-out FILE write the run-report JSON (schema v1; byte-stable
+                   except for its wall_clock section)
+  --out-dir DIR    directory for experiment logs (default target/experiments)
   --progress       print live progress lines to stderr (MCE_LOG=debug
-                   for more detail)";
+                   for more detail)
+
+report options:
+  --out FILE       write the summary to FILE instead of stdout
+  --html           render a self-contained HTML document instead of markdown
+
+bench-gate options:
+  --baseline FILE  committed baseline (default crates/bench/BENCH_eval.baseline.json)
+  --current FILE   fresh measurement (default BENCH_eval.json)
+  --tolerance T    allowed relative regression, e.g. 0.2 = 20% (default 0.2)
+  --warn-only      report regressions without failing";
 
 type CliError = Box<dyn std::error::Error>;
 
@@ -78,6 +114,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "classify" => cmd_classify(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "explore" => cmd_explore(&args[1..]),
+        "report" => cmd_report(&args[1..]),
+        "bench-gate" => cmd_bench_gate(&args[1..]),
         other => Err(format!("unknown command `{other}`").into()),
     }
 }
@@ -202,13 +240,18 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
 /// The CLI's observability wiring: builds the sink stack requested by
 /// `--trace-out` / `--progress`, installs it for the duration of the
 /// exploration, and writes the trace file on `finish`.
+///
+/// `need_metrics` (set by `--report-out`) guarantees the recorder is
+/// active even when no sink was requested: a [`obs::NullSink`] discards
+/// the event stream while the counter, gauge and histogram registries
+/// keep collecting for the run report.
 struct ObsSession {
     chrome: Option<(Arc<obs::ChromeTraceSink>, String)>,
     installed: bool,
 }
 
 impl ObsSession {
-    fn start(trace_out: Option<&str>, progress: bool) -> Self {
+    fn start(trace_out: Option<&str>, progress: bool, need_metrics: bool) -> Self {
         let chrome =
             trace_out.map(|path| (Arc::new(obs::ChromeTraceSink::new()), path.to_owned()));
         let mut sinks: Vec<Arc<dyn obs::Sink>> = Vec::new();
@@ -219,6 +262,9 @@ impl ObsSession {
             sinks.push(Arc::new(obs::ProgressReporter::new(Duration::from_millis(
                 200,
             ))));
+        }
+        if sinks.is_empty() && need_metrics {
+            sinks.push(Arc::new(obs::NullSink::new()));
         }
         let installed = !sinks.is_empty();
         if installed {
@@ -247,8 +293,13 @@ impl ObsSession {
 }
 
 fn cmd_explore(args: &[String]) -> Result<(), CliError> {
+    use std::fmt::Write as _;
+
     let w = load_workload(args)?;
-    let scale: Preset = flag_value(args, "--scale").unwrap_or("fast").parse()?;
+    let scale: Preset = flag_value(args, "--preset")
+        .or_else(|| flag_value(args, "--scale"))
+        .unwrap_or("fast")
+        .parse()?;
     let mut session = ExplorationSession::new(w.clone()).preset(scale);
     if let Some(t) = flag_value(args, "--threads") {
         session = session.threads(
@@ -260,9 +311,11 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     if let Some(path) = cache_file {
         session = session.eval_cache_file(path);
     }
+    let report_out = flag_value(args, "--report-out");
     let obs_session = ObsSession::start(
         flag_value(args, "--trace-out"),
         args.iter().any(|a| a == "--progress"),
+        report_out.is_some(),
     );
     eprintln!("exploring `{}` at {scale} scale...", w.name());
     let result = session.run()?;
@@ -275,15 +328,18 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
             s.hits, s.misses, s.inserts
         );
     }
-    println!(
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
         "estimated {} candidates, fully simulated {} ({:.1}s)\n",
         conex.estimated().len(),
         conex.simulated().len(),
         conex.elapsed().as_secs_f64()
     );
-    println!("cost/performance pareto:");
+    let _ = writeln!(summary, "cost/performance pareto:");
     for p in conex.pareto_cost_latency() {
-        println!(
+        let _ = writeln!(
+            summary,
             "  {:>8} gates  {:>7.2} cyc  {:>6.2} nJ  {}",
             p.metrics.cost_gates,
             p.metrics.latency_cycles,
@@ -303,14 +359,141 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
             max_energy_nj: median,
         }
         .select(conex.simulated());
-        println!(
+        let _ = writeln!(
+            summary,
             "\npower-constrained (≤ median {median:.2} nJ): {} admissible pareto designs",
             picks.len()
         );
     }
+    print!("{summary}");
+    write_experiment_log(
+        flag_value(args, "--out-dir").unwrap_or("target/experiments"),
+        &w,
+        scale,
+        &summary,
+    );
+    if let Some(path) = report_out {
+        std::fs::write(path, result.report.to_json())
+            .map_err(|e| format!("cannot write report file `{path}`: {e}"))?;
+        eprintln!("wrote report {path}");
+    }
     if let Some(path) = flag_value(args, "--out") {
         std::fs::write(path, serde_json::to_string_pretty(&conex)?)?;
         eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Logs the textual exploration summary under the experiments directory
+/// (one file per workload/preset, overwritten on re-runs). Logging is
+/// best-effort: an unwritable directory warns but never fails the run.
+fn write_experiment_log(out_dir: &str, w: &Workload, scale: Preset, summary: &str) {
+    let dir = std::path::Path::new(out_dir);
+    let path = dir.join(format!("explore_{}_{scale}.txt", w.name()));
+    let written = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, summary));
+    match written {
+        Ok(()) => eprintln!("logged {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write experiment log {}: {e}", path.display()),
+    }
+}
+
+fn cmd_report(args: &[String]) -> Result<(), CliError> {
+    let html = args.iter().any(|a| a == "--html");
+    let mut files: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => i += 2,
+            "--html" => i += 1,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown report flag `{flag}`").into())
+            }
+            file => {
+                files.push(file);
+                i += 1;
+            }
+        }
+    }
+    if files.is_empty() {
+        return Err("report needs at least one run-report JSON file".into());
+    }
+    let mut reports = Vec::new();
+    for path in files {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read report file `{path}`: {e}"))?;
+        let value = obs::json::parse(&body)
+            .map_err(|e| format!("report file `{path}` is not valid JSON: {e}"))?;
+        match value.get("schema").and_then(obs::json::Value::as_u64) {
+            Some(report::REPORT_SCHEMA) => {}
+            found => {
+                return Err(format!(
+                    "report file `{path}` has unsupported schema {found:?} (expected {})",
+                    report::REPORT_SCHEMA
+                )
+                .into())
+            }
+        }
+        reports.push((path.to_owned(), value));
+    }
+    let markdown = report::render_markdown(&reports);
+    let rendered = if html {
+        report::markdown_to_html(&markdown)
+    } else {
+        markdown
+    };
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, rendered)
+                .map_err(|e| format!("cannot write summary `{path}`: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn cmd_bench_gate(args: &[String]) -> Result<(), CliError> {
+    let baseline_path =
+        flag_value(args, "--baseline").unwrap_or("crates/bench/BENCH_eval.baseline.json");
+    let current_path = flag_value(args, "--current").unwrap_or("BENCH_eval.json");
+    let tolerance: f64 = flag_value(args, "--tolerance").unwrap_or("0.2").parse()?;
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return Err(format!("--tolerance must be a non-negative number, got {tolerance}").into());
+    }
+    let warn_only = args.iter().any(|a| a == "--warn-only");
+    let load = |path: &str| -> Result<obs::json::Value, CliError> {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read bench summary `{path}`: {e}"))?;
+        obs::json::parse(&body)
+            .map_err(|e| format!("bench summary `{path}` is not valid JSON: {e}").into())
+    };
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    let checks = report::bench_gate_compare(&baseline, &current, tolerance)?;
+    println!(
+        "bench gate: `{current_path}` vs baseline `{baseline_path}` (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    let mut regressed = false;
+    for c in &checks {
+        regressed |= c.regressed;
+        println!(
+            "  {:<24} baseline {:>12.3}  current {:>12.3}  ratio {:>5.2}  {}",
+            c.field,
+            c.baseline,
+            c.current,
+            c.ratio,
+            if c.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    if regressed {
+        if warn_only {
+            eprintln!("bench gate: regression beyond tolerance (--warn-only, not failing)");
+        } else {
+            return Err("bench gate: regression beyond tolerance".into());
+        }
+    } else {
+        println!("bench gate: within tolerance");
     }
     Ok(())
 }
@@ -370,6 +553,85 @@ mod tests {
     fn explore_rejects_bad_scale() {
         let err = cmd_explore(&s(&["vocoder", "--scale", "huge"])).unwrap_err();
         assert!(err.to_string().contains("unknown preset"), "{err}");
+    }
+
+    #[test]
+    fn explore_accepts_preset_alias() {
+        // `--preset` is parsed through the same path as `--scale` and wins
+        // when both are present.
+        let err = cmd_explore(&s(&["vocoder", "--preset", "huge"])).unwrap_err();
+        assert!(err.to_string().contains("unknown preset"), "{err}");
+        let err =
+            cmd_explore(&s(&["vocoder", "--preset", "bogus", "--scale", "fast"])).unwrap_err();
+        assert!(err.to_string().contains("unknown preset"), "{err}");
+    }
+
+    #[test]
+    fn report_rejects_missing_and_malformed_inputs() {
+        let err = cmd_report(&s(&[])).unwrap_err();
+        assert!(err.to_string().contains("at least one"), "{err}");
+        let err = cmd_report(&s(&["/nonexistent/report.json"])).unwrap_err();
+        assert!(err.to_string().contains("cannot read"), "{err}");
+        let err = cmd_report(&s(&["file.json", "--frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown report flag"), "{err}");
+
+        let dir = std::env::temp_dir();
+        let bad_schema = dir.join(format!("mce_bad_schema_{}.json", std::process::id()));
+        std::fs::write(&bad_schema, "{\"schema\": 999}").unwrap();
+        let err = cmd_report(&s(&[bad_schema.to_str().unwrap()])).unwrap_err();
+        std::fs::remove_file(&bad_schema).ok();
+        assert!(err.to_string().contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn bench_gate_passes_and_fails_by_tolerance() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let base = dir.join(format!("mce_gate_base_{pid}.json"));
+        let good = dir.join(format!("mce_gate_good_{pid}.json"));
+        let slow = dir.join(format!("mce_gate_slow_{pid}.json"));
+        std::fs::write(
+            &base,
+            "{\"per_access_dispatch_ns\": 100, \"block_replay_ns\": 50, \
+             \"block_replay_speedup\": 2.0}",
+        )
+        .unwrap();
+        std::fs::write(
+            &good,
+            "{\"per_access_dispatch_ns\": 105, \"block_replay_ns\": 52, \
+             \"block_replay_speedup\": 2.0}",
+        )
+        .unwrap();
+        std::fs::write(
+            &slow,
+            "{\"per_access_dispatch_ns\": 100, \"block_replay_ns\": 65, \
+             \"block_replay_speedup\": 1.5}",
+        )
+        .unwrap();
+        let gate = |current: &std::path::Path, extra: &[&str]| {
+            let mut args = vec![
+                "--baseline".to_owned(),
+                base.to_str().unwrap().to_owned(),
+                "--current".to_owned(),
+                current.to_str().unwrap().to_owned(),
+            ];
+            args.extend(extra.iter().map(|x| x.to_string()));
+            cmd_bench_gate(&args)
+        };
+        assert!(gate(&base, &[]).is_ok(), "identical summaries pass");
+        assert!(gate(&good, &[]).is_ok(), "+5% stays within 20% tolerance");
+        let err = gate(&slow, &[]).unwrap_err();
+        assert!(err.to_string().contains("regression"), "{err}");
+        assert!(gate(&slow, &["--warn-only"]).is_ok(), "warn-only never fails");
+        assert!(
+            gate(&good, &["--tolerance", "0.01"]).is_err(),
+            "tight tolerance flags +5%"
+        );
+        let err = gate(&good, &["--tolerance", "-1"]).unwrap_err();
+        assert!(err.to_string().contains("non-negative"), "{err}");
+        std::fs::remove_file(&base).ok();
+        std::fs::remove_file(&good).ok();
+        std::fs::remove_file(&slow).ok();
     }
 
     #[test]

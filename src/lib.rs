@@ -51,6 +51,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod report;
 pub mod session;
 
 pub use mce_apex as apex;
@@ -61,10 +62,12 @@ pub use mce_error::MceError;
 pub use mce_memlib as memlib;
 pub use mce_obs as obs;
 pub use mce_sim as sim;
+pub use report::{RunReport, REPORT_SCHEMA};
 pub use session::{ExplorationSession, SessionResult};
 
 /// Commonly used items for writing explorations end to end.
 pub mod prelude {
+    pub use crate::report::{RunReport, REPORT_SCHEMA};
     pub use crate::session::{ExplorationSession, SessionResult};
     pub use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
     pub use mce_appmodel::{

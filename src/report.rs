@@ -1,0 +1,959 @@
+//! Run reports: the per-run summary artifact of an exploration.
+//!
+//! A [`RunReport`] is assembled at the end of every
+//! [`ExplorationSession`](crate::ExplorationSession) run. It captures what
+//! the run *was* (config + 128-bit workload digest), what it *did*
+//! (candidate-funnel counters, eval-cache hit/miss/eviction rates,
+//! pareto-front sizes, frontier-evolution snapshots) and how it *ran*
+//! (per-phase wall time and latency histograms with p50/p90/p99), and
+//! serializes to byte-stable JSON: every nondeterministic value lives in
+//! the single `"wall_clock"` section, which is always the **last**
+//! top-level key, so two identical runs produce byte-identical reports up
+//! to that marker.
+//!
+//! The schema carries a version number ([`REPORT_SCHEMA`], currently 1)
+//! as its first key; `mce report` refuses inputs with a different
+//! version rather than misrendering them.
+//!
+//! The same module renders reports into self-contained markdown/HTML
+//! summaries (tables plus an inline SVG frontier plot — no external
+//! assets) for `mce report`, and implements the tolerance comparison
+//! behind `mce bench-gate`.
+
+use mce_apex::ApexConfig;
+use mce_appmodel::Workload;
+use mce_conex::design_point::workload_digest;
+use mce_conex::{CacheStats, ConexConfig, ConexResult, FrontierSnapshot};
+use mce_obs as obs;
+use mce_obs::json::Value;
+use mce_obs::{escape_json, HistogramSummary};
+
+/// Version of the report JSON layout. Bump when a field changes meaning
+/// or moves; `mce report` and the CI schema check pin this.
+pub const REPORT_SCHEMA: u64 = 1;
+
+/// The configuration slice of a report: the knobs that determine the
+/// run's deterministic sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportConfig {
+    /// APEX stage trace length.
+    pub apex_trace_len: usize,
+    /// ConEx stage trace length.
+    pub conex_trace_len: usize,
+    /// Phase-I pruning strategy (display form).
+    pub strategy: String,
+    /// Worker threads (0 = one per core; results are thread-count
+    /// independent, so this does not perturb the deterministic sections).
+    pub threads: usize,
+    /// Cap on locally selected points per memory architecture.
+    pub local_keep: usize,
+    /// The paper's max-cost constraint on logical connections.
+    pub max_logical_connections: usize,
+    /// Cap on enumerated allocations per clustering level.
+    pub max_allocations_per_level: usize,
+    /// Frontier-evolution sampling period (0 = disabled).
+    pub frontier_sample_every: usize,
+    /// Evaluation-cache capacity bound.
+    pub cache_capacity: usize,
+}
+
+/// Eval-cache effectiveness over the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSummary {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries stored.
+    pub inserts: u64,
+    /// Entries evicted by the FIFO capacity bound.
+    pub evictions: u64,
+    /// `hits / (hits + misses)`, 0 when no lookups happened.
+    pub hit_rate: f64,
+}
+
+impl CacheSummary {
+    /// Summarizes lifetime cache statistics.
+    pub fn from_stats(stats: &CacheStats) -> Self {
+        let lookups = stats.hits + stats.misses;
+        CacheSummary {
+            hits: stats.hits,
+            misses: stats.misses,
+            inserts: stats.inserts,
+            evictions: stats.evictions,
+            hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                stats.hits as f64 / lookups as f64
+            },
+        }
+    }
+}
+
+/// Pareto-front sizes of the fully simulated set, plus the cost/latency
+/// front itself (the report's plottable curve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoSummary {
+    /// Cost/latency front size.
+    pub cost_latency: usize,
+    /// Latency/energy front size.
+    pub latency_energy: usize,
+    /// Cost/energy front size.
+    pub cost_energy: usize,
+    /// Full 3-D front size.
+    pub full_3d: usize,
+    /// `(cost_gates, latency_cycles)` of the cost/latency front, cheapest
+    /// first.
+    pub front_cost_latency: Vec<(u64, f64)>,
+}
+
+impl ParetoSummary {
+    /// Summarizes a ConEx result's simulated fronts.
+    pub fn from_result(conex: &ConexResult) -> Self {
+        ParetoSummary {
+            cost_latency: conex.pareto_cost_latency().len(),
+            latency_energy: conex.pareto_latency_energy().len(),
+            cost_energy: conex.pareto_cost_energy().len(),
+            full_3d: conex.pareto_3d().len(),
+            front_cost_latency: conex
+                .pareto_cost_latency()
+                .iter()
+                .map(|p| (p.metrics.cost_gates, p.metrics.latency_cycles))
+                .collect(),
+        }
+    }
+}
+
+/// The one nondeterministic section: everything wall-clock-derived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallClock {
+    /// End-to-end session wall time, seconds.
+    pub elapsed_s: f64,
+    /// Every histogram the recorder collected (phase durations from
+    /// spans, per-item simulate/estimate latency, cache-probe latency,
+    /// per-worker occupancy), in name order.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+/// The per-run summary artifact. See the [module docs](self) for the
+/// layout contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Workload explored.
+    pub workload_name: String,
+    /// 128-bit canonical workload digest, 32 hex digits.
+    pub workload_digest: String,
+    /// The knobs that shaped the run.
+    pub config: ReportConfig,
+    /// Recorder counters at end of run (candidate funnel, replay totals),
+    /// in name order. Empty when tracing was disabled.
+    pub counters: Vec<(String, u64)>,
+    /// Recorder gauges (high-water marks), in name order.
+    pub gauges: Vec<(String, u64)>,
+    /// Eval-cache effectiveness.
+    pub eval_cache: CacheSummary,
+    /// Pareto-front sizes and the cost/latency curve.
+    pub pareto: ParetoSummary,
+    /// Phase-I frontier-evolution samples.
+    pub frontier_evolution: Vec<FrontierSnapshot>,
+    /// The nondeterministic tail section.
+    pub wall_clock: WallClock,
+}
+
+impl RunReport {
+    /// Assembles a report from a finished run.
+    ///
+    /// Counters, gauges and histograms are read from the process-global
+    /// `mce-obs` recorder, so they cover exactly what was recorded since
+    /// the last [`mce_obs::install`] (which resets all three registries).
+    /// With tracing disabled those sections are empty — the registries are
+    /// not even read, so a report collected after `uninstall` cannot pick
+    /// up stale data from an earlier traced run. Everything else is
+    /// derived from the results and is always present.
+    pub fn collect(
+        workload: &Workload,
+        apex: &ApexConfig,
+        conex_cfg: &ConexConfig,
+        cache_capacity: usize,
+        cache_stats: &CacheStats,
+        conex: &ConexResult,
+        elapsed_s: f64,
+    ) -> Self {
+        RunReport {
+            workload_name: workload.name().to_owned(),
+            workload_digest: workload_digest(workload).to_hex(),
+            config: ReportConfig {
+                apex_trace_len: apex.trace_len,
+                conex_trace_len: conex_cfg.trace_len,
+                strategy: conex_cfg.strategy.to_string(),
+                threads: conex_cfg.threads,
+                local_keep: conex_cfg.local_keep,
+                max_logical_connections: conex_cfg.max_logical_connections,
+                max_allocations_per_level: conex_cfg.max_allocations_per_level,
+                frontier_sample_every: conex_cfg.frontier_sample_every,
+                cache_capacity,
+            },
+            counters: if obs::tracing_enabled() {
+                obs::counters_snapshot()
+                    .into_iter()
+                    .map(|(name, v)| (name.to_owned(), v))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            gauges: if obs::tracing_enabled() {
+                obs::gauges_snapshot()
+                    .into_iter()
+                    .map(|(name, v)| (name.to_owned(), v))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            eval_cache: CacheSummary::from_stats(cache_stats),
+            pareto: ParetoSummary::from_result(conex),
+            frontier_evolution: conex.frontier_evolution().to_vec(),
+            wall_clock: WallClock {
+                elapsed_s,
+                histograms: if obs::tracing_enabled() {
+                    obs::histograms_snapshot()
+                        .into_iter()
+                        .map(|(name, h)| (name.to_owned(), h.summary()))
+                        .collect()
+                } else {
+                    Vec::new()
+                },
+            },
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON with a fixed key
+    /// order. Everything before the `"wall_clock"` key is a pure function
+    /// of the run's configuration and results; the wall-clock section is
+    /// last so consumers can byte-compare reports by truncating there.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"schema\": {REPORT_SCHEMA},\n"));
+        s.push_str(&format!(
+            "  \"workload\": \"{}\",\n",
+            escape_json(&self.workload_name)
+        ));
+        s.push_str(&format!(
+            "  \"workload_digest\": \"{}\",\n",
+            self.workload_digest
+        ));
+        let c = &self.config;
+        s.push_str("  \"config\": {\n");
+        s.push_str(&format!("    \"apex_trace_len\": {},\n", c.apex_trace_len));
+        s.push_str(&format!("    \"conex_trace_len\": {},\n", c.conex_trace_len));
+        s.push_str(&format!(
+            "    \"strategy\": \"{}\",\n",
+            escape_json(&c.strategy)
+        ));
+        s.push_str(&format!("    \"threads\": {},\n", c.threads));
+        s.push_str(&format!("    \"local_keep\": {},\n", c.local_keep));
+        s.push_str(&format!(
+            "    \"max_logical_connections\": {},\n",
+            c.max_logical_connections
+        ));
+        s.push_str(&format!(
+            "    \"max_allocations_per_level\": {},\n",
+            c.max_allocations_per_level
+        ));
+        s.push_str(&format!(
+            "    \"frontier_sample_every\": {},\n",
+            c.frontier_sample_every
+        ));
+        s.push_str(&format!("    \"cache_capacity\": {}\n", c.cache_capacity));
+        s.push_str("  },\n");
+        s.push_str(&named_u64_object("counters", &self.counters));
+        s.push_str(&named_u64_object("gauges", &self.gauges));
+        let e = &self.eval_cache;
+        s.push_str(&format!(
+            "  \"eval_cache\": {{\"hits\": {}, \"misses\": {}, \"inserts\": {}, \
+             \"evictions\": {}, \"hit_rate\": {}}},\n",
+            e.hits,
+            e.misses,
+            e.inserts,
+            e.evictions,
+            fmt_f64(e.hit_rate)
+        ));
+        let p = &self.pareto;
+        s.push_str("  \"pareto\": {\n");
+        s.push_str(&format!("    \"cost_latency\": {},\n", p.cost_latency));
+        s.push_str(&format!("    \"latency_energy\": {},\n", p.latency_energy));
+        s.push_str(&format!("    \"cost_energy\": {},\n", p.cost_energy));
+        s.push_str(&format!("    \"full_3d\": {},\n", p.full_3d));
+        let pts: Vec<String> = p
+            .front_cost_latency
+            .iter()
+            .map(|&(cost, lat)| format!("[{cost}, {}]", fmt_f64(lat)))
+            .collect();
+        s.push_str(&format!(
+            "    \"front_cost_latency\": [{}]\n",
+            pts.join(", ")
+        ));
+        s.push_str("  },\n");
+        let evo: Vec<String> = self
+            .frontier_evolution
+            .iter()
+            .map(|f| {
+                format!(
+                    "    {{\"archs_explored\": {}, \"estimated\": {}, \
+                     \"frontier_size\": {}, \"hypervolume\": {}}}",
+                    f.archs_explored,
+                    f.estimated,
+                    f.frontier_size,
+                    fmt_f64(f.hypervolume)
+                )
+            })
+            .collect();
+        if evo.is_empty() {
+            s.push_str("  \"frontier_evolution\": [],\n");
+        } else {
+            s.push_str(&format!(
+                "  \"frontier_evolution\": [\n{}\n  ],\n",
+                evo.join(",\n")
+            ));
+        }
+        // The nondeterministic tail: always the last top-level key.
+        s.push_str("  \"wall_clock\": {\n");
+        s.push_str(&format!(
+            "    \"elapsed_s\": {},\n",
+            fmt_f64(self.wall_clock.elapsed_s)
+        ));
+        let hists: Vec<String> = self
+            .wall_clock
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                format!(
+                    "      {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"min\": {}, \
+                     \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                    escape_json(name),
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.p50,
+                    h.p90,
+                    h.p99
+                )
+            })
+            .collect();
+        if hists.is_empty() {
+            s.push_str("    \"histograms\": []\n");
+        } else {
+            s.push_str(&format!(
+                "    \"histograms\": [\n{}\n    ]\n",
+                hists.join(",\n")
+            ));
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// The deterministic prefix of [`RunReport::to_json`]: everything up
+    /// to (excluding) the `"wall_clock"` key. Two identical runs produce
+    /// equal stable prefixes byte for byte.
+    pub fn stable_json_prefix(json: &str) -> &str {
+        match json.find("\"wall_clock\"") {
+            Some(i) => &json[..i],
+            None => json,
+        }
+    }
+}
+
+/// Renders a `[(name, value)]` list as one pretty-printed JSON object
+/// line block under `key`, with a trailing comma.
+fn named_u64_object(key: &str, entries: &[(String, u64)]) -> String {
+    if entries.is_empty() {
+        return format!("  \"{key}\": {{}},\n");
+    }
+    let lines: Vec<String> = entries
+        .iter()
+        .map(|(name, v)| format!("    \"{}\": {v}", escape_json(name)))
+        .collect();
+    format!("  \"{key}\": {{\n{}\n  }},\n", lines.join(",\n"))
+}
+
+/// `f64` in its shortest round-trip form, with a guaranteed numeric JSON
+/// token (`Display` already never produces exponents for our ranges, but
+/// integral values need the `.0` stripped consistently — `Display` does
+/// that for us; non-finite values clamp to 0).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering: markdown / HTML with an inline SVG frontier plot
+// ---------------------------------------------------------------------------
+
+/// Renders one or more parsed report JSONs ([`REPORT_SCHEMA`] version 1)
+/// as a self-contained markdown summary: run header, config, candidate
+/// funnel, cache effectiveness, latency percentiles, frontier evolution
+/// and an inline SVG cost/latency frontier plot. No external assets.
+pub fn render_markdown(reports: &[(String, Value)]) -> String {
+    let mut out = String::from("# Exploration run report\n");
+    for (source, report) in reports {
+        out.push('\n');
+        out.push_str(&render_one(source, report));
+    }
+    out
+}
+
+fn render_one(source: &str, report: &Value) -> String {
+    let mut out = String::new();
+    let workload = report
+        .get("workload")
+        .and_then(|v| v.as_str())
+        .unwrap_or("<unknown>");
+    out.push_str(&format!("## `{workload}` — {source}\n\n"));
+    if let Some(digest) = report.get("workload_digest").and_then(|v| v.as_str()) {
+        out.push_str(&format!("Workload digest `{digest}`"));
+        if let Some(elapsed) = report
+            .get("wall_clock")
+            .and_then(|w| w.get("elapsed_s"))
+            .and_then(|v| v.as_f64())
+        {
+            out.push_str(&format!(", explored in {elapsed:.2} s"));
+        }
+        out.push_str(".\n\n");
+    }
+    if let Some(Value::Object(config)) = report.get("config") {
+        out.push_str("### Configuration\n\n| knob | value |\n|---|---|\n");
+        for (k, v) in config {
+            out.push_str(&format!("| {k} | {} |\n", render_scalar(v)));
+        }
+        out.push('\n');
+    }
+    if let Some(Value::Object(counters)) = report.get("counters") {
+        if !counters.is_empty() {
+            out.push_str("### Candidate funnel\n\n| counter | value |\n|---|---|\n");
+            for (k, v) in counters {
+                out.push_str(&format!("| {k} | {} |\n", render_scalar(v)));
+            }
+            out.push('\n');
+        }
+    }
+    if let Some(cache) = report.get("eval_cache") {
+        let g = |k: &str| cache.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        out.push_str(&format!(
+            "### Evaluation cache\n\n{} hits, {} misses ({:.1}% hit rate), \
+             {} inserts, {} evictions.\n\n",
+            g("hits"),
+            g("misses"),
+            g("hit_rate") * 100.0,
+            g("inserts"),
+            g("evictions"),
+        ));
+    }
+    if let Some(hists) = report
+        .get("wall_clock")
+        .and_then(|w| w.get("histograms"))
+        .and_then(|v| v.as_array())
+    {
+        if !hists.is_empty() {
+            out.push_str(
+                "### Latency histograms (µs)\n\n\
+                 | histogram | count | p50 | p90 | p99 | max |\n|---|---|---|---|---|---|\n",
+            );
+            for h in hists {
+                let g = |k: &str| {
+                    h.get(k)
+                        .and_then(|v| v.as_u64())
+                        .map(|u| u.to_string())
+                        .unwrap_or_else(|| "?".to_owned())
+                };
+                let name = h.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+                out.push_str(&format!(
+                    "| {name} | {} | {} | {} | {} | {} |\n",
+                    g("count"),
+                    g("p50"),
+                    g("p90"),
+                    g("p99"),
+                    g("max"),
+                ));
+            }
+            out.push('\n');
+        }
+    }
+    if let Some(evo) = report.get("frontier_evolution").and_then(|v| v.as_array()) {
+        if !evo.is_empty() {
+            out.push_str(
+                "### Frontier evolution\n\n\
+                 | archs explored | estimated | frontier size | hypervolume |\n\
+                 |---|---|---|---|\n",
+            );
+            for snap in evo {
+                let u = |k: &str| {
+                    snap.get(k)
+                        .and_then(|v| v.as_u64())
+                        .map(|x| x.to_string())
+                        .unwrap_or_else(|| "?".to_owned())
+                };
+                let hv = snap
+                    .get("hypervolume")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                out.push_str(&format!(
+                    "| {} | {} | {} | {hv:.4} |\n",
+                    u("archs_explored"),
+                    u("estimated"),
+                    u("frontier_size"),
+                ));
+            }
+            out.push('\n');
+        }
+    }
+    let front: Vec<(f64, f64)> = report
+        .get("pareto")
+        .and_then(|p| p.get("front_cost_latency"))
+        .and_then(|v| v.as_array())
+        .map(|pts| {
+            pts.iter()
+                .filter_map(|pt| {
+                    let xy = pt.as_array()?;
+                    Some((xy.first()?.as_f64()?, xy.get(1)?.as_f64()?))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    if let Some(p) = report.get("pareto") {
+        let g = |k: &str| p.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        out.push_str(&format!(
+            "### Pareto fronts\n\nCost/latency {}, latency/energy {}, cost/energy {}, \
+             full 3-D {} designs.\n\n",
+            g("cost_latency"),
+            g("latency_energy"),
+            g("cost_energy"),
+            g("full_3d"),
+        ));
+    }
+    if !front.is_empty() {
+        out.push_str(&frontier_svg(&front));
+        out.push('\n');
+    }
+    out
+}
+
+fn render_scalar(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => {
+            if n.fract() == 0.0 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+        Value::Null => "null".to_owned(),
+        _ => "…".to_owned(),
+    }
+}
+
+/// An inline SVG scatter+line plot of a cost/latency frontier. One line,
+/// so the markdown → HTML pass can pass it through verbatim.
+fn frontier_svg(points: &[(f64, f64)]) -> String {
+    const W: f64 = 480.0;
+    const H: f64 = 300.0;
+    const M: f64 = 45.0; // margin for axis labels
+    let (mut x0, mut x1) = (f64::MAX, f64::MIN);
+    let (mut y0, mut y1) = (f64::MAX, f64::MIN);
+    for &(x, y) in points {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    // Degenerate spans still need a nonzero scale.
+    let xs = (x1 - x0).max(x1.abs().max(1.0) * 1e-9);
+    let ys = (y1 - y0).max(y1.abs().max(1.0) * 1e-9);
+    let px = |x: f64| M + (x - x0) / xs * (W - 2.0 * M);
+    let py = |y: f64| H - M - (y - y0) / ys * (H - 2.0 * M);
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+         viewBox=\"0 0 {W} {H}\" role=\"img\">\
+         <rect width=\"{W}\" height=\"{H}\" fill=\"#fff\"/>\
+         <line x1=\"{M}\" y1=\"{edge}\" x2=\"{right}\" y2=\"{edge}\" stroke=\"#333\"/>\
+         <line x1=\"{M}\" y1=\"{M}\" x2=\"{M}\" y2=\"{edge}\" stroke=\"#333\"/>",
+        edge = H - M,
+        right = W - M,
+    );
+    let path: Vec<String> = points
+        .iter()
+        .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+        .collect();
+    svg.push_str(&format!(
+        "<polyline points=\"{}\" fill=\"none\" stroke=\"#1f77b4\" stroke-width=\"1.5\"/>",
+        path.join(" ")
+    ));
+    for &(x, y) in points {
+        svg.push_str(&format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"#1f77b4\"/>",
+            px(x),
+            py(y)
+        ));
+    }
+    svg.push_str(&format!(
+        "<text x=\"{mid}\" y=\"{bottom}\" text-anchor=\"middle\" \
+         font-size=\"11\" fill=\"#333\">gate cost ({x0:.0} – {x1:.0})</text>\
+         <text x=\"12\" y=\"{vmid}\" text-anchor=\"middle\" font-size=\"11\" fill=\"#333\" \
+         transform=\"rotate(-90 12 {vmid})\">latency, cycles ({y0:.2} – {y1:.2})</text>\
+         </svg>",
+        mid = W / 2.0,
+        bottom = H - 8.0,
+        vmid = H / 2.0,
+    ));
+    svg
+}
+
+/// Wraps [`render_markdown`] output as a single self-contained HTML
+/// document. The converter is deliberately line-based — it understands
+/// exactly the markdown this module emits (headings, pipe tables,
+/// paragraphs and inline `<svg>` lines).
+pub fn markdown_to_html(md: &str) -> String {
+    let mut body = String::new();
+    let mut in_table = false;
+    for line in md.lines() {
+        let is_row = line.starts_with('|') && line.ends_with('|');
+        if in_table && !is_row {
+            body.push_str("</table>\n");
+            in_table = false;
+        }
+        if let Some(h) = line.strip_prefix("### ") {
+            body.push_str(&format!("<h3>{}</h3>\n", html_inline(h)));
+        } else if let Some(h) = line.strip_prefix("## ") {
+            body.push_str(&format!("<h2>{}</h2>\n", html_inline(h)));
+        } else if let Some(h) = line.strip_prefix("# ") {
+            body.push_str(&format!("<h1>{}</h1>\n", html_inline(h)));
+        } else if is_row {
+            let cells: Vec<&str> = line[1..line.len() - 1].split('|').collect();
+            if cells.iter().all(|c| {
+                let t = c.trim();
+                !t.is_empty() && t.chars().all(|ch| ch == '-' || ch == ':')
+            }) {
+                continue; // the |---|---| separator row
+            }
+            let tag = if in_table { "td" } else { "th" };
+            if !in_table {
+                body.push_str("<table>\n");
+                in_table = true;
+            }
+            body.push_str("<tr>");
+            for c in cells {
+                body.push_str(&format!("<{tag}>{}</{tag}>", html_inline(c.trim())));
+            }
+            body.push_str("</tr>\n");
+        } else if line.starts_with("<svg") {
+            body.push_str(line);
+            body.push('\n');
+        } else if !line.trim().is_empty() {
+            body.push_str(&format!("<p>{}</p>\n", html_inline(line)));
+        }
+    }
+    if in_table {
+        body.push_str("</table>\n");
+    }
+    format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>Exploration run report</title>\n<style>\n\
+         body{{font-family:system-ui,sans-serif;max-width:60rem;margin:2rem auto;\
+         padding:0 1rem;color:#222}}\n\
+         table{{border-collapse:collapse;margin:1rem 0}}\n\
+         th,td{{border:1px solid #ccc;padding:.3rem .6rem;text-align:left}}\n\
+         th{{background:#f4f4f4}}\ncode{{background:#f4f4f4;padding:0 .2rem}}\n\
+         </style></head>\n<body>\n{body}</body></html>\n"
+    )
+}
+
+/// Escapes HTML and converts `` `code` `` spans — the only inline
+/// markdown this module's renderer produces.
+fn html_inline(text: &str) -> String {
+    let escaped = text
+        .replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;");
+    let mut out = String::with_capacity(escaped.len());
+    let mut in_code = false;
+    for c in escaped.chars() {
+        if c == '`' {
+            out.push_str(if in_code { "</code>" } else { "<code>" });
+            in_code = !in_code;
+        } else {
+            out.push(c);
+        }
+    }
+    if in_code {
+        out.push_str("</code>");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Bench gate: BENCH_eval.json regression comparison
+// ---------------------------------------------------------------------------
+
+/// One field's comparison in a bench-gate run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    /// The `BENCH_eval.json` field compared.
+    pub field: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// True when the current value is outside the tolerated band in the
+    /// bad direction.
+    pub regressed: bool,
+}
+
+/// Compares a fresh `BENCH_eval.json` against a committed baseline.
+///
+/// Policy: the two wall-time fields (`per_access_dispatch_ns`,
+/// `block_replay_ns`) regress when they grow past `baseline × (1 +
+/// tolerance)`; the derived `block_replay_speedup` regresses when it
+/// falls below `baseline × (1 − tolerance)`. Improvements never fail the
+/// gate, however large — the gate bounds regressions, it does not pin
+/// performance.
+///
+/// # Errors
+///
+/// Returns a message when either document is missing one of the compared
+/// fields or a baseline value is non-positive (a ratio would be
+/// meaningless).
+pub fn bench_gate_compare(
+    baseline: &Value,
+    current: &Value,
+    tolerance: f64,
+) -> Result<Vec<GateCheck>, String> {
+    let field = |doc: &Value, which: &str, key: &str| {
+        doc.get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{which} is missing numeric field `{key}`"))
+    };
+    const HIGHER_IS_WORSE: [(&str, bool); 3] = [
+        ("per_access_dispatch_ns", true),
+        ("block_replay_ns", true),
+        ("block_replay_speedup", false),
+    ];
+    let mut checks = Vec::new();
+    for (key, higher_is_worse) in HIGHER_IS_WORSE {
+        let b = field(baseline, "baseline", key)?;
+        let c = field(current, "current", key)?;
+        if b <= 0.0 {
+            return Err(format!("baseline `{key}` must be positive, got {b}"));
+        }
+        let ratio = c / b;
+        let regressed = if higher_is_worse {
+            ratio > 1.0 + tolerance
+        } else {
+            ratio < 1.0 - tolerance
+        };
+        checks.push(GateCheck {
+            field: key,
+            baseline: b,
+            current: c,
+            ratio,
+            regressed,
+        });
+    }
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_obs::json;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            workload_name: "vocoder".to_owned(),
+            workload_digest: "00112233445566778899aabbccddeeff".to_owned(),
+            config: ReportConfig {
+                apex_trace_len: 10_000,
+                conex_trace_len: 15_000,
+                strategy: "Pruned".to_owned(),
+                threads: 0,
+                local_keep: 16,
+                max_logical_connections: 8,
+                max_allocations_per_level: 64,
+                frontier_sample_every: 1,
+                cache_capacity: 1 << 16,
+            },
+            counters: vec![
+                ("conex.candidates_enumerated".to_owned(), 120),
+                ("conex.candidates_estimated".to_owned(), 100),
+            ],
+            gauges: vec![("conex.frontier_size_max".to_owned(), 7)],
+            eval_cache: CacheSummary::from_stats(&CacheStats {
+                hits: 25,
+                misses: 75,
+                inserts: 75,
+                evictions: 0,
+            }),
+            pareto: ParetoSummary {
+                cost_latency: 3,
+                latency_energy: 2,
+                cost_energy: 2,
+                full_3d: 4,
+                front_cost_latency: vec![(900, 4.5), (1200, 3.25), (2000, 2.0)],
+            },
+            frontier_evolution: vec![mce_conex::FrontierSnapshot {
+                archs_explored: 1,
+                estimated: 100,
+                frontier_size: 7,
+                hypervolume: 0.42,
+            }],
+            wall_clock: WallClock {
+                elapsed_s: 1.25,
+                histograms: vec![(
+                    "conex.simulate.item_us".to_owned(),
+                    HistogramSummary {
+                        count: 40,
+                        sum: 4000,
+                        min: 50,
+                        max: 300,
+                        p50: 90,
+                        p90: 200,
+                        p99: 290,
+                    },
+                )],
+            },
+        }
+    }
+
+    #[test]
+    fn report_json_parses_and_orders_wall_clock_last() {
+        let r = sample_report();
+        let text = r.to_json();
+        let v = json::parse(&text).expect("report JSON parses");
+        assert_eq!(v.get("schema").and_then(|s| s.as_u64()), Some(REPORT_SCHEMA));
+        assert_eq!(
+            v.get("workload").and_then(|s| s.as_str()),
+            Some("vocoder")
+        );
+        assert_eq!(
+            v.get("eval_cache")
+                .and_then(|c| c.get("hit_rate"))
+                .and_then(|x| x.as_f64()),
+            Some(0.25)
+        );
+        // wall_clock is the last top-level key in the serialized text.
+        let wc = text.find("\"wall_clock\"").expect("has wall_clock");
+        for key in [
+            "\"schema\"",
+            "\"config\"",
+            "\"counters\"",
+            "\"pareto\"",
+            "\"frontier_evolution\"",
+        ] {
+            assert!(text.find(key).unwrap() < wc, "{key} must precede wall_clock");
+        }
+    }
+
+    #[test]
+    fn stable_prefix_strips_only_wall_clock() {
+        let mut a = sample_report();
+        let mut b = sample_report();
+        a.wall_clock.elapsed_s = 1.0;
+        b.wall_clock.elapsed_s = 99.0;
+        b.wall_clock.histograms.clear();
+        let (ja, jb) = (a.to_json(), b.to_json());
+        assert_ne!(ja, jb);
+        assert_eq!(
+            RunReport::stable_json_prefix(&ja),
+            RunReport::stable_json_prefix(&jb)
+        );
+        // A deterministic-section difference survives the strip.
+        let mut c = sample_report();
+        c.pareto.cost_latency = 99;
+        assert_ne!(
+            RunReport::stable_json_prefix(&ja),
+            RunReport::stable_json_prefix(&c.to_json())
+        );
+    }
+
+    #[test]
+    fn markdown_covers_percentiles_cache_and_frontier() {
+        let r = sample_report();
+        let v = json::parse(&r.to_json()).unwrap();
+        let md = render_markdown(&[("r.json".to_owned(), v)]);
+        for needle in [
+            "conex.simulate.item_us",
+            "| 90 | 200 | 290 |", // p50/p90/p99 row
+            "25.0% hit rate",
+            "Frontier evolution",
+            "0.4200",
+            "<svg",
+            "</svg>",
+        ] {
+            assert!(md.contains(needle), "markdown missing {needle:?}:\n{md}");
+        }
+    }
+
+    #[test]
+    fn html_is_self_contained_and_balanced() {
+        let r = sample_report();
+        let v = json::parse(&r.to_json()).unwrap();
+        let html = markdown_to_html(&render_markdown(&[("r.json".to_owned(), v)]));
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert_eq!(html.matches("<table>").count(), html.matches("</table>").count());
+        assert!(html.contains("<svg"));
+        assert!(!html.contains("http://") || html.contains("xmlns"), "no external assets");
+    }
+
+    fn bench_doc(per_access: f64, block: f64, speedup: f64) -> Value {
+        json::parse(&format!(
+            "{{\"workload\": \"vocoder\", \"trace_len\": 30000, \
+             \"per_access_dispatch_ns\": {per_access}, \"block_replay_ns\": {block}, \
+             \"block_replay_speedup\": {speedup}}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn bench_gate_passes_identical_and_improved() {
+        let base = bench_doc(1000.0, 500.0, 2.0);
+        let same = bench_gate_compare(&base, &base, 0.2).unwrap();
+        assert!(same.iter().all(|c| !c.regressed), "{same:?}");
+        // Big improvement: faster and higher speedup never regresses.
+        let better = bench_doc(800.0, 200.0, 4.0);
+        let checks = bench_gate_compare(&base, &better, 0.2).unwrap();
+        assert!(checks.iter().all(|c| !c.regressed), "{checks:?}");
+    }
+
+    #[test]
+    fn bench_gate_flags_twenty_percent_regressions() {
+        let base = bench_doc(1000.0, 500.0, 2.0);
+        // +25% block replay time (and the speedup drop it implies):
+        // outside the 20% band. Exactly-at-boundary values pass the gate,
+        // so both injected values sit strictly outside.
+        let slow = bench_doc(1000.0, 625.0, 1.5);
+        let checks = bench_gate_compare(&base, &slow, 0.2).unwrap();
+        let by_field = |f: &str| checks.iter().find(|c| c.field == f).unwrap();
+        assert!(by_field("block_replay_ns").regressed);
+        assert!(by_field("block_replay_speedup").regressed);
+        assert!(!by_field("per_access_dispatch_ns").regressed);
+        // Just inside the band: passes.
+        let ok = bench_gate_compare(&base, &bench_doc(1100.0, 550.0, 2.0), 0.2).unwrap();
+        assert!(ok.iter().all(|c| !c.regressed), "{ok:?}");
+    }
+
+    #[test]
+    fn bench_gate_rejects_malformed_documents() {
+        let base = bench_doc(1000.0, 500.0, 2.0);
+        let missing = json::parse("{\"workload\": \"x\"}").unwrap();
+        let err = bench_gate_compare(&base, &missing, 0.2).unwrap_err();
+        assert!(err.contains("per_access_dispatch_ns"), "{err}");
+        let zero = bench_doc(0.0, 500.0, 2.0);
+        let err = bench_gate_compare(&zero, &base, 0.2).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+}

@@ -22,6 +22,7 @@
 //! by hand; the session produces bit-identical results — the shared
 //! blocks and cache only remove redundant work.
 
+use crate::report::RunReport;
 use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
 use mce_appmodel::{TraceBlocks, Workload};
 use mce_conex::eval_cache::DEFAULT_CAPACITY;
@@ -31,6 +32,7 @@ use mce_error::MceError;
 use mce_sim::Preset;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Builder for — and runner of — one end-to-end exploration.
 #[derive(Debug, Clone)]
@@ -56,6 +58,11 @@ pub struct SessionResult {
     /// with a warm [`ExplorationSession::eval_cache_file`], prior runs
     /// are answered from disk.
     pub cache_stats: CacheStats,
+    /// The run's summary report: config + workload digest, funnel
+    /// counters, cache effectiveness, pareto-front sizes,
+    /// frontier-evolution samples and (when tracing is enabled) latency
+    /// histograms. Serialize with [`RunReport::to_json`].
+    pub report: RunReport,
 }
 
 impl ExplorationSession {
@@ -133,6 +140,7 @@ impl ExplorationSession {
     /// [`eval_cache_file`](ExplorationSession::eval_cache_file) exists
     /// but cannot be parsed, or cannot be written back.
     pub fn run(&self) -> Result<SessionResult, MceError> {
+        let start = Instant::now();
         let cache = Arc::new(match &self.eval_cache_file {
             Some(path) if path.exists() => EvalCache::load(path, self.cache_capacity)?,
             _ => EvalCache::with_capacity(self.cache_capacity),
@@ -150,10 +158,21 @@ impl ExplorationSession {
         if let Some(path) = &self.eval_cache_file {
             cache.save(path)?;
         }
+        let cache_stats = cache.stats();
+        let report = RunReport::collect(
+            &self.workload,
+            &self.apex,
+            &self.conex,
+            self.cache_capacity,
+            &cache_stats,
+            &conex,
+            start.elapsed().as_secs_f64(),
+        );
         Ok(SessionResult {
             apex,
             conex,
-            cache_stats: cache.stats(),
+            cache_stats,
+            report,
         })
     }
 }

@@ -177,6 +177,44 @@ fn results_are_bit_identical_with_tracing_on_and_off() {
 }
 
 #[test]
+fn report_collection_is_bit_identical_with_metrics_on_and_off() {
+    // The `--report-out` path installs a NullSink so the metric registries
+    // collect; that must not perturb exploration results, and the report's
+    // deterministic sections must not depend on whether metrics were on.
+    let run = |with_metrics: bool| -> SessionResult {
+        let _guard = RECORDER_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        if with_metrics {
+            obs::install(Arc::new(obs::NullSink::new()));
+        } else {
+            obs::uninstall();
+        }
+        let result = ExplorationSession::new(benchmarks::vocoder())
+            .preset(Preset::Fast)
+            .run()
+            .expect("exploration runs");
+        obs::uninstall();
+        result
+    };
+    let with = run(true);
+    let without = run(false);
+    assert_eq!(with.apex, without.apex);
+    assert_eq!(with.conex.estimated(), without.conex.estimated());
+    assert_eq!(with.conex.simulated(), without.conex.simulated());
+    assert_eq!(
+        with.conex.frontier_evolution(),
+        without.conex.frontier_evolution()
+    );
+    // Metrics-on collects latency histograms; metrics-off still produces a
+    // complete report, just without them.
+    let json = with.report.to_json();
+    assert!(json.contains("conex.simulate.item_us"), "histograms collected");
+    assert!(
+        !without.report.to_json().contains("conex.simulate.item_us"),
+        "no histograms recorded with the recorder disabled"
+    );
+}
+
+#[test]
 fn recorded_run_renders_a_valid_chrome_trace() {
     let (events, _) = record_explore(4);
     let json = obs::render_chrome_trace(&events);

@@ -1,0 +1,146 @@
+//! Run-report integration: histogram merge determinism across thread
+//! counts, byte-stable report JSON across identical runs, rendered
+//! summaries, and the bench regression gate against the committed
+//! baseline.
+
+use memory_conex::appmodel::benchmarks;
+use memory_conex::obs;
+use memory_conex::prelude::*;
+use memory_conex::report::bench_gate_compare;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// The recorder is process-global, so every test that installs a sink
+/// serializes on this lock.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    RECORDER_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs a fast session with metrics collection enabled (the `--report-out`
+/// configuration: a null sink that discards events but keeps the counter,
+/// gauge and histogram registries live) and returns the report JSON.
+fn report_json() -> String {
+    let _guard = lock();
+    obs::install(Arc::new(obs::NullSink::new()));
+    let result = ExplorationSession::new(benchmarks::vocoder())
+        .preset(Preset::Fast)
+        .run()
+        .expect("exploration runs");
+    obs::uninstall();
+    result.report.to_json()
+}
+
+#[test]
+fn histogram_merge_is_thread_count_independent() {
+    let _guard = lock();
+    // A deterministic value set spanning many buckets, including zero.
+    let values: Vec<u64> = (0..10_000u64).map(|i| (i * i + 7) % 4093).collect();
+
+    obs::install(Arc::new(obs::NullSink::new()));
+    for &v in &values {
+        obs::histogram_record("report_it.merge", v);
+    }
+    let serial = obs::histogram_summary("report_it.merge").expect("recorded serially");
+    obs::uninstall();
+
+    for threads in [2, 4, 7] {
+        obs::install(Arc::new(obs::NullSink::new()));
+        std::thread::scope(|s| {
+            for chunk in values.chunks(values.len() / threads + 1) {
+                s.spawn(move || {
+                    for &v in chunk {
+                        obs::histogram_record("report_it.merge", v);
+                    }
+                });
+            }
+        });
+        let parallel = obs::histogram_summary("report_it.merge").expect("recorded in parallel");
+        obs::uninstall();
+        assert_eq!(
+            serial, parallel,
+            "histogram summary must not depend on recording thread count ({threads} threads)"
+        );
+    }
+}
+
+#[test]
+fn run_report_json_is_byte_stable_across_identical_runs() {
+    let a = report_json();
+    let b = report_json();
+    assert_eq!(
+        RunReport::stable_json_prefix(&a),
+        RunReport::stable_json_prefix(&b),
+        "identical runs must produce byte-identical reports up to wall_clock"
+    );
+    // Only the explicit wall-clock section may differ.
+    assert!(a.contains("\"wall_clock\""), "wall_clock section present");
+    let doc = obs::json::parse(&a).expect("report is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(obs::json::Value::as_u64),
+        Some(REPORT_SCHEMA)
+    );
+    assert!(doc.get("workload_digest").is_some(), "digest present");
+    assert!(doc.get("counters").is_some(), "funnel counters present");
+    assert!(doc.get("eval_cache").is_some(), "cache stats present");
+    assert!(
+        doc.get("frontier_evolution")
+            .and_then(obs::json::Value::as_array)
+            .is_some_and(|snaps| !snaps.is_empty()),
+        "frontier evolution sampled"
+    );
+    assert!(
+        a.contains("conex.simulate.item_us"),
+        "per-candidate simulate latency histogram collected"
+    );
+}
+
+#[test]
+fn rendered_summary_contains_key_metrics() {
+    let json = report_json();
+    let value = obs::json::parse(&json).expect("report parses");
+    let md =
+        memory_conex::report::render_markdown(&[("report.json".to_owned(), value)]);
+    for needle in [
+        "p50",
+        "p90",
+        "p99",
+        "conex.simulate.item_us",
+        "hit rate",
+        "Frontier evolution",
+        "<svg",
+    ] {
+        assert!(md.contains(needle), "markdown summary missing `{needle}`");
+    }
+    let html = memory_conex::report::markdown_to_html(&md);
+    assert!(html.contains("<table>"), "html renders tables");
+    assert!(html.contains("<svg"), "html keeps the inline frontier plot");
+}
+
+#[test]
+fn bench_gate_accepts_baseline_and_flags_injected_regression() {
+    let baseline =
+        obs::json::parse(include_str!("../crates/bench/BENCH_eval.baseline.json"))
+            .expect("committed baseline parses");
+    // The committed baseline compared against itself is always clean.
+    let checks = bench_gate_compare(&baseline, &baseline, 0.2).expect("fields present");
+    assert_eq!(checks.len(), 3);
+    assert!(checks.iter().all(|c| !c.regressed), "{checks:?}");
+
+    // Inject a 25% block-replay slowdown (and the speedup drop it implies).
+    let regressed = obs::json::parse(
+        "{\"per_access_dispatch_ns\": 3215000, \"block_replay_ns\": 2625000, \
+         \"block_replay_speedup\": 1.225}",
+    )
+    .unwrap();
+    let checks = bench_gate_compare(&baseline, &regressed, 0.2).expect("fields present");
+    assert!(
+        checks
+            .iter()
+            .any(|c| c.field == "block_replay_ns" && c.regressed),
+        "a 25% slowdown must trip the 20% gate: {checks:?}"
+    );
+    // A looser tolerance lets the same measurement through.
+    let checks = bench_gate_compare(&baseline, &regressed, 0.3).expect("fields present");
+    assert!(checks.iter().all(|c| !c.regressed), "{checks:?}");
+}
