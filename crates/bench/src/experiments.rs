@@ -58,7 +58,9 @@ fn run_apex(scale: Scale, workload: &Workload) -> ApexResult {
 }
 
 fn run_conex(scale: Scale, workload: &Workload, apex: &ApexResult) -> ConexResult {
-    ConexExplorer::new(scale.conex_config()).explore(workload, apex.selected())
+    ConexExplorer::new(scale.conex_config())
+        .explore(workload, apex.selected())
+        .expect("benchmark exploration completed")
 }
 
 // ---------------------------------------------------------------------------
@@ -591,7 +593,9 @@ pub fn table2(scale: Scale) -> Table2Data {
                 ExplorationStrategy::Full,
             ] {
                 let cfg = scale.conex_config().with_strategy(strategy);
-                let result = ConexExplorer::new(cfg).explore(&w, apex.selected());
+                let result = ConexExplorer::new(cfg)
+                    .explore(&w, apex.selected())
+                    .expect("benchmark exploration completed");
                 results.push((strategy, result));
             }
             // Reference: the 3-D pareto front of the Full search.

@@ -28,8 +28,9 @@ use crate::design_point::{
     conn_digest, eval_key, mem_digest, workload_digest, CanonKey, DesignPoint, EvalMode, Metrics,
 };
 use crate::eval_cache::EvalCache;
-use crate::par::par_map_named;
+use crate::par::try_par_map_named;
 use mce_appmodel::{TraceBlocks, Workload};
+use mce_error::MceError;
 use mce_connlib::ConnectivityArchitecture;
 use mce_memlib::MemoryArchitecture;
 use mce_obs as obs;
@@ -118,6 +119,12 @@ impl EvalEngine {
     /// infeasible pairing. Equivalent to calling
     /// [`estimate_candidate`](crate::estimate::estimate_candidate) per
     /// candidate — bit-identically, minus the redundant simulations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
+    /// (parallel pass and serial retry) — see
+    /// [`try_par_map_named`](crate::par::try_par_map_named).
     pub fn estimate_batch(
         &self,
         mem: &MemoryArchitecture,
@@ -125,7 +132,7 @@ impl EvalEngine {
         trace_len: usize,
         sampling: SamplingConfig,
         threads: usize,
-    ) -> Vec<Option<DesignPoint>> {
+    ) -> Result<Vec<Option<DesignPoint>>, MceError> {
         let mem_key = mem_digest(mem, &self.workload);
         let mode = EvalMode::Estimated(sampling);
         let slots = self.run_batch(
@@ -142,6 +149,8 @@ impl EvalEngine {
             },
             |sys| {
                 let _t = obs::time_scope("conex.estimate.item_us");
+                #[cfg(feature = "fault-injection")]
+                mce_faultinject::on_eval();
                 let stats =
                     simulate_sampled_blocks(sys, &self.workload, &self.blocks, trace_len, sampling);
                 Metrics::new(
@@ -150,15 +159,15 @@ impl EvalEngine {
                     stats.avg_energy_nj,
                 )
             },
-        );
-        slots
+        )?;
+        Ok(slots
             .into_iter()
             .map(|(slot, metrics)| match slot {
                 Slot::Infeasible => None,
                 Slot::Hit(sys, m) => Some(DesignPoint::new(sys, m, true)),
                 Slot::Job(sys, _) => Some(DesignPoint::new(sys, metrics.unwrap(), true)),
             })
-            .collect()
+            .collect())
     }
 
     /// Phase-II full simulation of a shortlist of design points.
@@ -166,12 +175,17 @@ impl EvalEngine {
     /// Equivalent to
     /// [`refine_with_full_simulation`](crate::estimate::refine_with_full_simulation)
     /// per point — bit-identically, minus the redundant simulations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
+    /// (parallel pass and serial retry).
     pub fn refine_batch(
         &self,
         points: &[DesignPoint],
         trace_len: usize,
         threads: usize,
-    ) -> Vec<DesignPoint> {
+    ) -> Result<Vec<DesignPoint>, MceError> {
         let slots = self.run_batch(
             "conex.simulate",
             points.len(),
@@ -189,6 +203,8 @@ impl EvalEngine {
             },
             |sys| {
                 let _t = obs::time_scope("conex.simulate.item_us");
+                #[cfg(feature = "fault-injection")]
+                mce_faultinject::on_eval();
                 let stats = simulate_blocks(sys, &self.workload, &self.blocks, trace_len);
                 Metrics::new(
                     sys.gate_cost(),
@@ -196,15 +212,15 @@ impl EvalEngine {
                     stats.avg_energy_nj,
                 )
             },
-        );
-        slots
+        )?;
+        Ok(slots
             .into_iter()
             .map(|(slot, metrics)| match slot {
                 Slot::Infeasible => unreachable!("refine inputs are always feasible"),
                 Slot::Hit(sys, m) => DesignPoint::new(sys, m, false),
                 Slot::Job(sys, _) => DesignPoint::new(sys, metrics.unwrap(), false),
             })
-            .collect()
+            .collect())
     }
 
     /// The shared probe → simulate → populate machinery.
@@ -220,7 +236,7 @@ impl EvalEngine {
         threads: usize,
         prepare: impl Fn(usize) -> Option<(CanonKey, SystemConfig)>,
         evaluate: impl Fn(&SystemConfig) -> Metrics + Sync,
-    ) -> Vec<(Slot<SystemConfig>, Option<Metrics>)> {
+    ) -> Result<Vec<(Slot<SystemConfig>, Option<Metrics>)>, MceError> {
         // Serial probe phase: classify every slot, deduplicating within
         // the batch so each unique key simulates at most once.
         let mut slots: Vec<Slot<SystemConfig>> = Vec::with_capacity(len);
@@ -248,13 +264,15 @@ impl EvalEngine {
                 slots.push(Slot::Job(sys, j));
             }
         }
-        // Parallel phase: only the unique misses simulate.
-        let results: Vec<Metrics> = par_map_named(region, &jobs, threads, |&(_, owner)| {
+        // Parallel phase: only the unique misses simulate. A twice-failed
+        // evaluation surfaces here as a clean error instead of unwinding
+        // through the batch.
+        let results: Vec<Metrics> = try_par_map_named(region, &jobs, threads, |&(_, owner)| {
             match &slots[owner] {
                 Slot::Job(sys, _) => evaluate(sys),
                 _ => unreachable!("job owners are Job slots"),
             }
-        });
+        })?;
         // Serial populate phase: insert in probe order, so cache contents
         // (and FIFO eviction order) are thread-count independent.
         let mut inserts = 0u64;
@@ -278,7 +296,7 @@ impl EvalEngine {
             },
             jobs.len() as u64,
         );
-        slots
+        Ok(slots
             .into_iter()
             .map(|slot| {
                 let m = match &slot {
@@ -287,7 +305,7 @@ impl EvalEngine {
                 };
                 (slot, m)
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -333,7 +351,7 @@ mod tests {
         assert!(cands.len() >= 4, "{} candidates", cands.len());
         let engine = EvalEngine::new(&w, N);
         let sampling = SamplingConfig::paper();
-        let batch = engine.estimate_batch(&mem, cands.clone(), N, sampling, 2);
+        let batch = engine.estimate_batch(&mem, cands.clone(), N, sampling, 2).unwrap();
         assert_eq!(batch.len(), cands.len());
         for (conn, got) in cands.into_iter().zip(batch) {
             let expect = estimate_candidate(&w, &mem, conn, N, sampling);
@@ -356,11 +374,12 @@ mod tests {
         let sampling = SamplingConfig::paper();
         let points: Vec<DesignPoint> = engine
             .estimate_batch(&mem, candidates(&w, &mem), N, sampling, 0)
+            .unwrap()
             .into_iter()
             .flatten()
             .take(4)
             .collect();
-        let refined = engine.refine_batch(&points, N, 2);
+        let refined = engine.refine_batch(&points, N, 2).unwrap();
         for (p, got) in points.iter().zip(refined) {
             let expect = refine_with_full_simulation(p, &w, N);
             assert_eq!(expect.metrics, got.metrics);
@@ -376,10 +395,10 @@ mod tests {
         let sampling = SamplingConfig::paper();
         let plain = EvalEngine::new(&w, N);
         let cached = plain.clone().with_cache(Arc::new(EvalCache::new()));
-        let a = plain.estimate_batch(&mem, cands.clone(), N, sampling, 0);
+        let a = plain.estimate_batch(&mem, cands.clone(), N, sampling, 0).unwrap();
         // Run the cached engine twice: the second pass answers from cache.
-        let b1 = cached.estimate_batch(&mem, cands.clone(), N, sampling, 0);
-        let b2 = cached.estimate_batch(&mem, cands, N, sampling, 3);
+        let b1 = cached.estimate_batch(&mem, cands.clone(), N, sampling, 0).unwrap();
+        let b2 = cached.estimate_batch(&mem, cands, N, sampling, 3).unwrap();
         let stats = cached.cache().unwrap().stats();
         assert!(stats.hits > 0, "second pass must hit: {stats:?}");
         for ((pa, pb1), pb2) in a.iter().zip(&b1).zip(&b2) {
@@ -397,6 +416,7 @@ mod tests {
         let sampling = SamplingConfig::paper();
         let reference: Vec<Option<Metrics>> = EvalEngine::new(&w, N)
             .estimate_batch(&mem, cands.clone(), N, sampling, 1)
+            .unwrap()
             .into_iter()
             .map(|p| p.map(|p| p.metrics))
             .collect();
@@ -404,6 +424,7 @@ mod tests {
             let engine = EvalEngine::new(&w, N).with_cache(Arc::new(EvalCache::new()));
             let got: Vec<Option<Metrics>> = engine
                 .estimate_batch(&mem, cands.clone(), N, sampling, threads)
+                .unwrap()
                 .into_iter()
                 .map(|p| p.map(|p| p.metrics))
                 .collect();
@@ -419,7 +440,7 @@ mod tests {
         let dup = cands[0].clone();
         cands.push(dup);
         let engine = EvalEngine::new(&w, N).with_cache(Arc::new(EvalCache::new()));
-        let batch = engine.estimate_batch(&mem, cands, N, SamplingConfig::paper(), 0);
+        let batch = engine.estimate_batch(&mem, cands, N, SamplingConfig::paper(), 0).unwrap();
         let first = batch.first().unwrap().as_ref().unwrap();
         let last = batch.last().unwrap().as_ref().unwrap();
         assert_eq!(first.metrics, last.metrics);
@@ -438,10 +459,11 @@ mod tests {
         let sampling = SamplingConfig::paper();
         let est: Vec<DesignPoint> = engine
             .estimate_batch(&mem, cands, N, sampling, 0)
+            .unwrap()
             .into_iter()
             .flatten()
             .collect();
-        let refined = engine.refine_batch(&est, N, 0);
+        let refined = engine.refine_batch(&est, N, 0).unwrap();
         // Full simulation must not be answered by the estimate entries.
         for (e, r) in est.iter().zip(&refined) {
             assert!(r.metrics.latency_cycles != 0.0);

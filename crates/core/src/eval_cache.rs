@@ -25,6 +25,7 @@
 
 use crate::design_point::{CanonKey, Metrics};
 use mce_error::MceError;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,12 +37,13 @@ pub const MAX_SHARDS: usize = 16;
 /// Default capacity (total resident entries across all shards).
 pub const DEFAULT_CAPACITY: usize = 65_536;
 
-/// Version tag of the spill format.
-const SPILL_VERSION: u64 = 1;
+/// Version tag of the spill format. Version 2 added the per-entry
+/// checksum field; version-1 files are rejected (re-warm the cache).
+const SPILL_VERSION: u64 = 2;
 
 /// Aggregate cache statistics, monotonically increasing over the cache's
 /// lifetime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
@@ -166,14 +168,62 @@ impl EvalCache {
         }
     }
 
+    // -- checkpoint support ------------------------------------------------
+
+    /// Every resident entry in exact insertion (FIFO) order: shards in
+    /// stripe order, each shard's queue oldest-first.
+    ///
+    /// Feeding this to [`EvalCache::from_entries_fifo`] with the same
+    /// capacity reconstructs an identical cache — same membership *and*
+    /// same future eviction order — which checkpoint/resume relies on to
+    /// keep a resumed run's hit/miss/eviction sequence bit-identical.
+    pub fn entries_fifo(&self) -> Vec<(CanonKey, Metrics)> {
+        let mut entries = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            for key in &shard.order {
+                if let Some(m) = shard.map.get(key) {
+                    entries.push((*key, *m));
+                }
+            }
+        }
+        entries
+    }
+
+    /// Rebuilds a cache from [`EvalCache::entries_fifo`] output.
+    ///
+    /// Statistics start at zero (the inserts performed here are then
+    /// erased); restore the originals with [`EvalCache::restore_stats`].
+    pub fn from_entries_fifo(
+        entries: impl IntoIterator<Item = (CanonKey, Metrics)>,
+        capacity: usize,
+    ) -> Self {
+        let cache = Self::with_capacity(capacity);
+        for (key, m) in entries {
+            cache.insert(key, m);
+        }
+        cache.restore_stats(CacheStats::default());
+        cache
+    }
+
+    /// Overwrites the lifetime statistics (checkpoint restore).
+    pub fn restore_stats(&self, stats: CacheStats) {
+        self.hits.store(stats.hits, Ordering::Relaxed);
+        self.misses.store(stats.misses, Ordering::Relaxed);
+        self.inserts.store(stats.inserts, Ordering::Relaxed);
+        self.evictions.store(stats.evictions, Ordering::Relaxed);
+    }
+
     // -- spill / warm-start ------------------------------------------------
 
     /// Serializes every resident entry to the JSON spill form.
     ///
     /// Keys and f64 bit patterns are hex strings — exact round-trips with
-    /// no dependence on any reader's float precision. Entries are sorted
-    /// by key, so the output is byte-stable regardless of insertion or
-    /// shard order.
+    /// no dependence on any reader's float precision — and each entry
+    /// carries an FNV-1a checksum over its other four fields, so a
+    /// corrupted entry (a flipped bit inside a hex digit still parses) is
+    /// detected rather than silently wrong. Entries are sorted by key, so
+    /// the output is byte-stable regardless of insertion or shard order.
     pub fn to_spill_json(&self) -> String {
         let mut entries: Vec<(CanonKey, Metrics)> = Vec::new();
         for shard in &self.shards {
@@ -181,7 +231,7 @@ impl EvalCache {
             entries.extend(shard.map.iter().map(|(k, m)| (*k, *m)));
         }
         entries.sort_unstable_by_key(|(k, _)| *k);
-        let mut out = String::with_capacity(64 + entries.len() * 96);
+        let mut out = String::with_capacity(64 + entries.len() * 116);
         out.push_str("{\"version\":");
         out.push_str(&SPILL_VERSION.to_string());
         out.push_str(",\"entries\":[");
@@ -189,37 +239,54 @@ impl EvalCache {
             if i > 0 {
                 out.push(',');
             }
+            let [key, cost, lat, energy, check] = format_spill_entry(key, m);
             out.push_str(&format!(
-                "[\"{}\",\"{}\",\"{:016x}\",\"{:016x}\"]",
-                key.to_hex(),
-                m.cost_gates,
-                m.latency_cycles.to_bits(),
-                m.energy_nj.to_bits()
+                "[\"{key}\",\"{cost}\",\"{lat}\",\"{energy}\",\"{check}\"]"
             ));
         }
         out.push_str("]}");
         out
     }
 
-    /// Writes the spill JSON to `path`.
+    /// Writes the spill JSON to `path` atomically (write a sibling
+    /// temporary, then rename), so a crash mid-save never leaves a
+    /// truncated spill behind.
     ///
     /// # Errors
     ///
     /// Returns [`MceError::Io`] if the file cannot be written.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), MceError> {
-        let path = path.as_ref();
-        std::fs::write(path, self.to_spill_json())
-            .map_err(|e| MceError::io(format!("writing eval cache `{}`", path.display()), e))
+        mce_error::atomic_write(path, self.to_spill_json().as_bytes())
     }
 
     /// Parses a spill document into a fresh cache with the given
-    /// `capacity`.
+    /// `capacity`, rejecting the whole document on any bad entry.
     ///
     /// # Errors
     ///
     /// Returns [`MceError::Json`] on malformed documents, unknown
-    /// versions, or entries carrying non-finite / negative metrics.
+    /// versions, or entries that are truncated, checksum-mismatched, or
+    /// carry non-finite / negative metrics.
     pub fn from_spill_json(text: &str, capacity: usize) -> Result<Self, MceError> {
+        Self::parse_spill(text, capacity, false).map(|(cache, _)| cache)
+    }
+
+    /// [`EvalCache::from_spill_json`] in salvage mode: individually
+    /// corrupt entries are skipped (returned as the dropped count)
+    /// instead of failing the load; only document-level damage — not
+    /// valid JSON, wrong version, missing `entries` — is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::Json`] on document-level damage.
+    pub fn from_spill_json_salvage(
+        text: &str,
+        capacity: usize,
+    ) -> Result<(Self, usize), MceError> {
+        Self::parse_spill(text, capacity, true)
+    }
+
+    fn parse_spill(text: &str, capacity: usize, salvage: bool) -> Result<(Self, usize), MceError> {
         let ctx = "parsing eval cache spill";
         let doc = mce_obs::json::parse(text).map_err(|e| MceError::json(ctx, e))?;
         let version = doc
@@ -229,7 +296,7 @@ impl EvalCache {
         if version != SPILL_VERSION {
             return Err(MceError::json(
                 ctx,
-                format!("unsupported spill version {version}"),
+                format!("unsupported spill version {version} (expected {SPILL_VERSION})"),
             ));
         }
         let entries = doc
@@ -237,59 +304,134 @@ impl EvalCache {
             .and_then(|v| v.as_array())
             .ok_or_else(|| MceError::json(ctx, "missing `entries` array"))?;
         let cache = Self::with_capacity(capacity);
+        let mut dropped = 0usize;
         for (i, entry) in entries.iter().enumerate() {
-            let fields = entry
-                .as_array()
-                .filter(|f| f.len() == 4)
-                .ok_or_else(|| MceError::json(ctx, format!("entry {i}: expected 4 fields")))?;
-            let field = |j: usize, what: &str| {
-                fields[j]
-                    .as_str()
-                    .ok_or_else(|| MceError::json(ctx, format!("entry {i}: bad {what}")))
-            };
-            let key = CanonKey::from_hex(field(0, "key")?)
-                .ok_or_else(|| MceError::json(ctx, format!("entry {i}: bad key")))?;
-            let cost_gates: u64 = field(1, "cost")?
-                .parse()
-                .map_err(|_| MceError::json(ctx, format!("entry {i}: bad cost")))?;
-            let bits = |j: usize, what: &str| {
-                u64::from_str_radix(field(j, what)?, 16)
-                    .map_err(|_| MceError::json(ctx, format!("entry {i}: bad {what}")))
-            };
-            let latency_cycles = f64::from_bits(bits(2, "latency")?);
-            let energy_nj = f64::from_bits(bits(3, "energy")?);
-            if !(latency_cycles.is_finite() && latency_cycles >= 0.0)
-                || !(energy_nj.is_finite() && energy_nj >= 0.0)
-            {
-                return Err(MceError::json(
-                    ctx,
-                    format!("entry {i}: non-finite or negative metrics"),
-                ));
+            match parse_spill_entry(entry) {
+                Ok((key, m)) => {
+                    cache.insert(key, m);
+                }
+                Err(why) if salvage => {
+                    let _ = why;
+                    dropped += 1;
+                }
+                Err(why) => {
+                    return Err(MceError::json(ctx, format!("entry {i}: {why}")));
+                }
             }
-            cache.insert(
-                key,
-                Metrics {
-                    cost_gates,
-                    latency_cycles,
-                    energy_nj,
-                },
-            );
         }
-        Ok(cache)
+        cache.restore_stats(CacheStats::default());
+        Ok((cache, dropped))
     }
 
-    /// Loads a spill file into a fresh cache with the given `capacity`.
+    /// Loads a spill file into a fresh cache with the given `capacity`,
+    /// salvaging what it can: individually corrupt entries are dropped
+    /// (with an `eval_cache.salvage_dropped` counter and a log line), and
+    /// only an unreadable, non-JSON or wrong-version file is an error.
     ///
     /// # Errors
     ///
-    /// Returns [`MceError::Io`] if the file cannot be read, plus the
-    /// [`EvalCache::from_spill_json`] errors.
+    /// Returns [`MceError::Io`] if the file cannot be read, or
+    /// [`MceError::Json`] on document-level damage.
     pub fn load(path: impl AsRef<Path>, capacity: usize) -> Result<Self, MceError> {
+        Self::load_salvage(path, capacity).map(|(cache, _)| cache)
+    }
+
+    /// [`EvalCache::load`], also returning how many corrupt entries were
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalCache::load`].
+    pub fn load_salvage(
+        path: impl AsRef<Path>,
+        capacity: usize,
+    ) -> Result<(Self, usize), MceError> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path)
             .map_err(|e| MceError::io(format!("reading eval cache `{}`", path.display()), e))?;
-        Self::from_spill_json(&text, capacity)
+        let (cache, dropped) = Self::from_spill_json_salvage(&text, capacity)?;
+        if dropped > 0 {
+            mce_obs::counter_add("eval_cache.salvage_dropped", dropped as u64);
+            mce_obs::info(|| {
+                format!(
+                    "eval cache `{}`: dropped {dropped} corrupt entr{} during load",
+                    path.display(),
+                    if dropped == 1 { "y" } else { "ies" }
+                )
+            });
+        }
+        Ok((cache, dropped))
     }
+}
+
+/// FNV-1a 64 over an entry's four serialized fields (with a separator
+/// folded in after each), the per-entry corruption check of spill
+/// version 2.
+fn entry_checksum(key_hex: &str, cost: &str, lat_hex: &str, energy_hex: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for field in [key_hex, cost, lat_hex, energy_hex] {
+        for b in field.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        h = (h ^ 0xff).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Formats one cache entry as its five spill fields — key hex, decimal
+/// gate cost, the two f64 metric bit patterns, and the FNV-1a checksum
+/// over the other four. Shared by the spill format and the session
+/// checkpoint, so both carry the same per-entry corruption detection.
+pub fn format_spill_entry(key: &CanonKey, m: &Metrics) -> [String; 5] {
+    let key = key.to_hex();
+    let cost = m.cost_gates.to_string();
+    let lat = format!("{:016x}", m.latency_cycles.to_bits());
+    let energy = format!("{:016x}", m.energy_nj.to_bits());
+    let check = format!("{:016x}", entry_checksum(&key, &cost, &lat, &energy));
+    [key, cost, lat, energy, check]
+}
+
+/// Decodes one spill entry produced by [`format_spill_entry`], verifying
+/// shape, checksum and metric sanity. The error is a short reason,
+/// suitable for wrapping in [`MceError::Json`].
+pub fn parse_spill_entry(entry: &mce_obs::json::Value) -> Result<(CanonKey, Metrics), String> {
+    let fields = entry
+        .as_array()
+        .filter(|f| f.len() == 5)
+        .ok_or("expected 5 fields")?;
+    let field = |j: usize, what: &str| fields[j].as_str().ok_or_else(|| format!("bad {what}"));
+    let (key_hex, cost, lat, energy) = (
+        field(0, "key")?,
+        field(1, "cost")?,
+        field(2, "latency")?,
+        field(3, "energy")?,
+    );
+    let check = u64::from_str_radix(field(4, "checksum")?, 16).map_err(|_| "bad checksum")?;
+    if check != entry_checksum(key_hex, cost, lat, energy) {
+        return Err("checksum mismatch".to_owned());
+    }
+    let key = CanonKey::from_hex(key_hex).ok_or("bad key")?;
+    let cost_gates: u64 = cost.parse().map_err(|_| "bad cost")?;
+    let bits = |s: &str, what: &str| {
+        u64::from_str_radix(s, 16).map_err(|_| format!("bad {what}"))
+    };
+    let latency_cycles = f64::from_bits(bits(lat, "latency")?);
+    let energy_nj = f64::from_bits(bits(energy, "energy")?);
+    if !(latency_cycles.is_finite() && latency_cycles >= 0.0)
+        || !(energy_nj.is_finite() && energy_nj >= 0.0)
+    {
+        return Err("non-finite or negative metrics".to_owned());
+    }
+    Ok((
+        key,
+        Metrics {
+            cost_gates,
+            latency_cycles,
+            energy_nj,
+        },
+    ))
 }
 
 impl Default for EvalCache {
@@ -429,20 +571,107 @@ mod tests {
         assert_eq!(back.get(key(7)), Some(metrics(7)));
     }
 
+    /// A syntactically valid v2 entry whose fields are nonsense (the
+    /// checksum is correct, so deeper validation must catch it).
+    fn checksummed_entry(key: &str, cost: &str, lat: &str, energy: &str) -> String {
+        format!(
+            "[\"{key}\",\"{cost}\",\"{lat}\",\"{energy}\",\"{:016x}\"]",
+            super::entry_checksum(key, cost, lat, energy)
+        )
+    }
+
     #[test]
     fn malformed_spills_are_errors() {
+        let nan = checksummed_entry(
+            "00000000000000000000000000000001",
+            "1",
+            "7ff8000000000000",
+            "0",
+        );
+        let short_key = checksummed_entry("short", "1", "0", "0");
         for bad in [
-            "{not json",
-            "{}",
-            r#"{"version":99,"entries":[]}"#,
-            r#"{"version":1,"entries":[["short","1","0","0"]]}"#,
-            r#"{"version":1,"entries":[[1,2,3,4]]}"#,
-            // NaN latency bits.
-            r#"{"version":1,"entries":[["00000000000000000000000000000001","1","7ff8000000000000","0"]]}"#,
+            "{not json".to_owned(),
+            "{}".to_owned(),
+            r#"{"version":99,"entries":[]}"#.to_owned(),
+            // Version 1 (pre-checksum) spills are rejected, not guessed at.
+            r#"{"version":1,"entries":[["short","1","0","0"]]}"#.to_owned(),
+            format!(r#"{{"version":2,"entries":[{short_key}]}}"#),
+            r#"{"version":2,"entries":[[1,2,3,4,5]]}"#.to_owned(),
+            // A four-field (v1-shaped) entry inside a v2 document.
+            r#"{"version":2,"entries":[["00000000000000000000000000000001","1","0","0"]]}"#
+                .to_owned(),
+            // NaN latency bits behind a valid checksum.
+            format!(r#"{{"version":2,"entries":[{nan}]}}"#),
         ] {
-            let err = EvalCache::from_spill_json(bad, 16).unwrap_err();
+            let err = EvalCache::from_spill_json(&bad, 16).unwrap_err();
             assert!(matches!(err, MceError::Json { .. }), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn corrupt_entries_fail_their_checksum() {
+        let cache = EvalCache::with_capacity(16);
+        cache.insert(key(1), metrics(1));
+        let spill = cache.to_spill_json();
+        // Flip one hex digit inside the latency field: still valid JSON,
+        // still parseable hex — only the checksum knows.
+        let lat = format!("{:016x}", metrics(1).latency_cycles.to_bits());
+        let tampered_digit = if lat.as_bytes()[0] == b'0' { "1" } else { "0" };
+        let tampered = spill.replace(&lat, &format!("{tampered_digit}{}", &lat[1..]));
+        assert_ne!(spill, tampered, "tampering must change the document");
+        let err = EvalCache::from_spill_json(&tampered, 16).unwrap_err();
+        assert!(matches!(err, MceError::Json { .. }), "{err}");
+    }
+
+    #[test]
+    fn salvage_skips_corrupt_entries_and_keeps_the_rest() {
+        let cache = EvalCache::with_capacity(16);
+        cache.insert(key(1), metrics(1));
+        cache.insert(key(2), metrics(2));
+        let spill = cache.to_spill_json();
+        // Corrupt exactly one entry's checksum field.
+        let k1 = key(1).to_hex();
+        let cost = metrics(1).cost_gates.to_string();
+        let lat = format!("{:016x}", metrics(1).latency_cycles.to_bits());
+        let energy = format!("{:016x}", metrics(1).energy_nj.to_bits());
+        let good = checksummed_entry(&k1, &cost, &lat, &energy);
+        let bad = format!(
+            "[\"{k1}\",\"{cost}\",\"{lat}\",\"{energy}\",\"0000000000000000\"]"
+        );
+        let tampered = spill.replace(&good, &bad);
+        assert_ne!(spill, tampered);
+        let (back, dropped) = EvalCache::from_spill_json_salvage(&tampered, 16).unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.get(key(2)), Some(metrics(2)));
+        // Salvage never rescues document-level damage.
+        assert!(EvalCache::from_spill_json_salvage("{nope", 16).is_err());
+        assert!(
+            EvalCache::from_spill_json_salvage(r#"{"version":1,"entries":[]}"#, 16).is_err(),
+            "version mismatch stays fatal in salvage mode"
+        );
+    }
+
+    #[test]
+    fn entries_fifo_round_trips_order_and_stats() {
+        // Capacity 2 → one or two shards with tiny quotas; insert enough
+        // to exercise eviction, then rebuild and check the clone evicts
+        // identically.
+        let cache = EvalCache::with_capacity(4);
+        for i in 0..6 {
+            cache.insert(key(i), metrics(i));
+        }
+        let entries = cache.entries_fifo();
+        assert_eq!(entries.len(), cache.len());
+        let clone = EvalCache::from_entries_fifo(entries.clone(), 4);
+        assert_eq!(clone.entries_fifo(), entries, "FIFO order preserved");
+        assert_eq!(clone.stats(), CacheStats::default(), "stats start fresh");
+        clone.restore_stats(cache.stats());
+        assert_eq!(clone.stats(), cache.stats());
+        // The same future insert produces the same eviction on both.
+        cache.insert(key(100), metrics(100));
+        clone.insert(key(100), metrics(100));
+        assert_eq!(clone.entries_fifo(), cache.entries_fifo());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::cluster::{cluster_levels, ClusterOrder};
 use crate::design_point::{DesignPoint, Metrics};
 use crate::engine::EvalEngine;
 use crate::pareto::{hypervolume_proxy, Axis, ParetoFront};
+use mce_error::MceError;
 use mce_obs as obs;
 use mce_appmodel::Workload;
 use mce_connlib::ConnectivityLibrary;
@@ -157,6 +158,28 @@ pub struct FrontierSnapshot {
     pub hypervolume: f64,
 }
 
+/// The resumable working state of Phase I: everything accumulated after
+/// each memory architecture completes.
+///
+/// [`ConexExplorer::explore_with_engine_resumable`] folds every
+/// architecture's results into one of these and hands it to a callback at
+/// each architecture boundary — the natural checkpoint granularity, since
+/// an architecture's estimation is the unit of work lost on a crash. A
+/// state persisted there and fed back in resumes the loop at
+/// [`archs_done`](Phase1State::archs_done) and produces results
+/// bit-identical to an uninterrupted run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Phase1State {
+    /// Memory architectures fully processed so far.
+    pub archs_done: usize,
+    /// Every estimated design point, in exploration order.
+    pub estimated: Vec<DesignPoint>,
+    /// The locally selected (pruned) shortlist accumulated so far.
+    pub shortlist: Vec<DesignPoint>,
+    /// Frontier-evolution samples taken so far.
+    pub frontier_evolution: Vec<FrontierSnapshot>,
+}
+
 /// The result of a ConEx exploration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConexResult {
@@ -267,11 +290,16 @@ impl ConexExplorer {
     /// calls.
     ///
     /// Returns estimated design points, unsorted and unpruned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
+    /// (parallel pass and serial retry).
     pub fn connectivity_exploration(
         &self,
         workload: &Workload,
         mem: &MemoryArchitecture,
-    ) -> Vec<DesignPoint> {
+    ) -> Result<Vec<DesignPoint>, MceError> {
         let engine = EvalEngine::new(workload, self.config.trace_len);
         self.connectivity_exploration_with(&engine, mem)
     }
@@ -281,11 +309,16 @@ impl ConexExplorer {
     ///
     /// The engine must be built for the explored workload with a compiled
     /// length of at least [`ConexConfig::trace_len`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
+    /// (parallel pass and serial retry).
     pub fn connectivity_exploration_with(
         &self,
         engine: &EvalEngine,
         mem: &MemoryArchitecture,
-    ) -> Vec<DesignPoint> {
+    ) -> Result<Vec<DesignPoint>, MceError> {
         let _span = obs::span("conex.connectivity_exploration");
         let workload = engine.workload();
         // `Brg::profile_blocks` replays the trace and builds the block
@@ -335,7 +368,7 @@ impl ConexExplorer {
                     self.config.trace_len,
                     self.config.sampling,
                     self.config.threads,
-                )
+                )?
                 .into_iter()
                 .flatten()
                 .collect()
@@ -346,7 +379,7 @@ impl ConexExplorer {
             (enumerated - estimated.len()) as u64,
         );
         obs::counter_add("conex.candidates_estimated", estimated.len() as u64);
-        estimated
+        Ok(estimated)
     }
 
     /// Phase-I local selection: the most promising points of one memory
@@ -419,7 +452,16 @@ impl ConexExplorer {
     /// Compiles a fresh evaluation engine (no cache) for the run; use
     /// [`ConexExplorer::explore_with_engine`] to reuse an engine's
     /// compiled trace and memoization cache across runs.
-    pub fn explore(&self, workload: &Workload, mem_archs: Vec<MemoryArchitecture>) -> ConexResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
+    /// (parallel pass and serial retry).
+    pub fn explore(
+        &self,
+        workload: &Workload,
+        mem_archs: Vec<MemoryArchitecture>,
+    ) -> Result<ConexResult, MceError> {
         let engine = EvalEngine::new(workload, self.config.trace_len);
         self.explore_with_engine(&engine, mem_archs)
     }
@@ -428,11 +470,126 @@ impl ConexExplorer {
     ///
     /// The engine must be built for the explored workload with a compiled
     /// length of at least [`ConexConfig::trace_len`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
+    /// (parallel pass and serial retry).
     pub fn explore_with_engine(
         &self,
         engine: &EvalEngine,
         mem_archs: Vec<MemoryArchitecture>,
-    ) -> ConexResult {
+    ) -> Result<ConexResult, MceError> {
+        self.explore_with_engine_resumable(engine, mem_archs, Phase1State::default(), &mut |_| {
+            Ok(())
+        })
+    }
+
+    /// One Phase-I step: explores `mem_archs[k]` and folds the results
+    /// into `state`. The single code path for fresh runs, resumed runs
+    /// and checkpoint replay, so all three are bit-identical.
+    fn explore_arch(
+        &self,
+        engine: &EvalEngine,
+        mem_archs: &[MemoryArchitecture],
+        k: usize,
+        state: &mut Phase1State,
+    ) -> Result<(), MceError> {
+        let points = self.connectivity_exploration_with(engine, &mem_archs[k])?;
+        let selected: Vec<DesignPoint> =
+            self.select_local(&points).into_iter().cloned().collect();
+        obs::counter_add(
+            "conex.candidates_pruned",
+            (points.len() - selected.len()) as u64,
+        );
+        state.shortlist.extend(selected);
+        state.estimated.extend(points);
+        let sample_every = self.config.frontier_sample_every;
+        if sample_every > 0 && ((k + 1) % sample_every == 0 || k + 1 == mem_archs.len()) {
+            let metrics: Vec<Metrics> = state.estimated.iter().map(|p| p.metrics).collect();
+            let axes = [Axis::Cost, Axis::Latency];
+            let front = ParetoFront::of(&metrics, &axes);
+            obs::gauge_max("conex.frontier_size_max", front.len() as u64);
+            state.frontier_evolution.push(FrontierSnapshot {
+                archs_explored: k + 1,
+                estimated: state.estimated.len(),
+                frontier_size: front.len(),
+                hypervolume: hypervolume_proxy(&metrics, axes),
+            });
+        }
+        state.archs_done = k + 1;
+        Ok(())
+    }
+
+    /// Reconstructs the Phase-I state of the first `upto` architectures
+    /// by re-running them — the resume path's replay step.
+    ///
+    /// Driven against an engine whose cache was restored from a
+    /// checkpoint, every evaluation is answered by a cache hit (evicted
+    /// entries re-simulate, bit-identically), so this is cheap and the
+    /// returned state equals what the original run had accumulated.
+    /// Observability counters do pick up the replay's contributions; a
+    /// resuming caller is expected to overwrite them afterwards with the
+    /// checkpointed values (see
+    /// [`counter_restore`](mce_obs::counter_restore)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::Checkpoint`] when `upto` exceeds
+    /// `mem_archs.len()`, and propagates evaluation errors.
+    pub fn phase1_partial(
+        &self,
+        engine: &EvalEngine,
+        mem_archs: &[MemoryArchitecture],
+        upto: usize,
+    ) -> Result<Phase1State, MceError> {
+        if upto > mem_archs.len() {
+            return Err(MceError::checkpoint(format!(
+                "checkpoint claims {upto} completed architectures but the run has {}",
+                mem_archs.len()
+            )));
+        }
+        let mut state = Phase1State::default();
+        for k in 0..upto {
+            self.explore_arch(engine, mem_archs, k, &mut state)?;
+        }
+        Ok(state)
+    }
+
+    /// [`ConexExplorer::explore_with_engine`], resumable at memory-
+    /// architecture granularity.
+    ///
+    /// Phase I starts from `state` — [`Phase1State::default`] for a fresh
+    /// run, or a state previously observed by `after_arch` to resume one —
+    /// and skips the first [`archs_done`](Phase1State::archs_done)
+    /// architectures. `after_arch` runs on the updated state after each
+    /// architecture completes (the checkpoint hook); an error from it
+    /// aborts the run.
+    ///
+    /// A resumed run is bit-identical to an uninterrupted one: the skipped
+    /// architectures' points come from `state` in their original order,
+    /// and per-run totals (`conex.shortlist`, Phase-II counters) are only
+    /// added after the loop, so they are never double-counted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::Checkpoint`] when `state` claims more completed
+    /// architectures than `mem_archs` holds, [`MceError::WorkerPanic`]
+    /// when an evaluation panics twice, or any error `after_arch` returns.
+    pub fn explore_with_engine_resumable(
+        &self,
+        engine: &EvalEngine,
+        mem_archs: Vec<MemoryArchitecture>,
+        mut state: Phase1State,
+        after_arch: &mut dyn FnMut(&Phase1State) -> Result<(), MceError>,
+    ) -> Result<ConexResult, MceError> {
+        if state.archs_done > mem_archs.len() {
+            return Err(MceError::checkpoint(format!(
+                "phase-I state claims {} completed architectures but the run has {}",
+                state.archs_done,
+                mem_archs.len()
+            )));
+        }
         let workload = engine.workload();
         let start = Instant::now();
         let _run = obs::span("conex.explore");
@@ -444,43 +601,23 @@ impl ConexExplorer {
                 self.config.strategy
             )
         });
-        let mut all_estimated = Vec::new();
-        let mut combined: Vec<DesignPoint> = Vec::new();
-        let mut frontier_evolution: Vec<FrontierSnapshot> = Vec::new();
         // Phase I.
         {
             let _phase1 = obs::span("conex.phase1");
-            let sample_every = self.config.frontier_sample_every;
-            for (k, mem) in mem_archs.iter().enumerate() {
-                let points = self.connectivity_exploration_with(engine, mem);
-                let selected: Vec<DesignPoint> =
-                    self.select_local(&points).into_iter().cloned().collect();
-                obs::counter_add(
-                    "conex.candidates_pruned",
-                    (points.len() - selected.len()) as u64,
-                );
-                combined.extend(selected);
-                all_estimated.extend(points);
-                if sample_every > 0
-                    && ((k + 1) % sample_every == 0 || k + 1 == mem_archs.len())
-                {
-                    let metrics: Vec<Metrics> =
-                        all_estimated.iter().map(|p| p.metrics).collect();
-                    let axes = [Axis::Cost, Axis::Latency];
-                    let front = ParetoFront::of(&metrics, &axes);
-                    obs::gauge_max("conex.frontier_size_max", front.len() as u64);
-                    frontier_evolution.push(FrontierSnapshot {
-                        archs_explored: k + 1,
-                        estimated: all_estimated.len(),
-                        frontier_size: front.len(),
-                        hypervolume: hypervolume_proxy(&metrics, axes),
-                    });
-                }
+            for k in state.archs_done..mem_archs.len() {
+                self.explore_arch(engine, &mem_archs, k, &mut state)?;
+                after_arch(&state)?;
             }
-            obs::counter_add("conex.shortlist", combined.len() as u64);
+            obs::counter_add("conex.shortlist", state.shortlist.len() as u64);
             // Workers have joined; totals are deterministic here.
             obs::snapshot_counters();
         }
+        let Phase1State {
+            estimated: all_estimated,
+            shortlist: combined,
+            frontier_evolution,
+            ..
+        } = state;
         obs::info(|| {
             format!(
                 "conex: phase I kept {} of {} estimated candidates for full simulation",
@@ -491,18 +628,18 @@ impl ConexExplorer {
         // Phase II: full simulation of the combined shortlist.
         let simulated: Vec<DesignPoint> = {
             let _phase2 = obs::span("conex.phase2");
-            engine.refine_batch(&combined, self.config.trace_len, self.config.threads)
+            engine.refine_batch(&combined, self.config.trace_len, self.config.threads)?
         };
         // Phase II simulates exactly the shortlist: simulated == shortlist.
         obs::counter_add("conex.simulated", simulated.len() as u64);
         obs::snapshot_counters();
-        ConexResult {
+        Ok(ConexResult {
             workload_name: workload.name().to_owned(),
             estimated: all_estimated,
             simulated,
             frontier_evolution,
             elapsed: start.elapsed(),
-        }
+        })
     }
 }
 
@@ -536,7 +673,7 @@ mod tests {
         let w = benchmarks::vocoder();
         let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
-        let points = explorer.connectivity_exploration(&w, &mem);
+        let points = explorer.connectivity_exploration(&w, &mem).unwrap();
         assert!(points.len() >= 5, "{} candidates", points.len());
         assert!(points.iter().all(|p| p.estimated));
     }
@@ -546,7 +683,7 @@ mod tests {
         let w = benchmarks::compress();
         let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8));
-        let points = explorer.connectivity_exploration(&w, &mem);
+        let points = explorer.connectivity_exploration(&w, &mem).unwrap();
         let costs: Vec<u64> = points.iter().map(|p| p.metrics.cost_gates).collect();
         let lats: Vec<f64> = points.iter().map(|p| p.metrics.latency_cycles).collect();
         assert!(costs.iter().max() > costs.iter().min());
@@ -558,7 +695,7 @@ mod tests {
     #[test]
     fn two_phase_result_is_simulated() {
         let w = benchmarks::vocoder();
-        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w));
+        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w)).unwrap();
         assert!(!result.simulated().is_empty());
         assert!(result.simulated().iter().all(|p| !p.estimated));
         assert!(result.estimated().len() >= result.simulated().len());
@@ -567,9 +704,9 @@ mod tests {
     #[test]
     fn pruned_simulates_fewer_than_full() {
         let w = benchmarks::vocoder();
-        let pruned = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w));
+        let pruned = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w)).unwrap();
         let full = ConexExplorer::new(ConexConfig::preset(Preset::Fast).with_strategy(ExplorationStrategy::Full))
-            .explore(&w, one_arch(&w));
+            .explore(&w, one_arch(&w)).unwrap();
         assert!(
             pruned.simulated().len() < full.simulated().len(),
             "pruned {} vs full {}",
@@ -582,13 +719,13 @@ mod tests {
     #[test]
     fn neighborhood_between_pruned_and_full() {
         let w = benchmarks::vocoder();
-        let p = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w));
+        let p = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w)).unwrap();
         let n = ConexExplorer::new(
             ConexConfig::preset(Preset::Fast).with_strategy(ExplorationStrategy::Neighborhood),
         )
-        .explore(&w, one_arch(&w));
+        .explore(&w, one_arch(&w)).unwrap();
         let f = ConexExplorer::new(ConexConfig::preset(Preset::Fast).with_strategy(ExplorationStrategy::Full))
-            .explore(&w, one_arch(&w));
+            .explore(&w, one_arch(&w)).unwrap();
         assert!(p.simulated().len() <= n.simulated().len());
         assert!(n.simulated().len() <= f.simulated().len());
     }
@@ -596,7 +733,7 @@ mod tests {
     #[test]
     fn pareto_front_is_nondominated() {
         let w = benchmarks::vocoder();
-        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w));
+        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w)).unwrap();
         let front = result.pareto_cost_latency();
         for a in &front {
             for b in &front {
@@ -630,8 +767,8 @@ mod tests {
             .unwrap();
         let mut cfg = ConexConfig::preset(Preset::Fast);
         cfg.max_logical_connections = 2; // only the fully merged level
-        let limited = ConexExplorer::new(cfg).connectivity_exploration(&w, &mem);
-        let unlimited = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).connectivity_exploration(&w, &mem);
+        let limited = ConexExplorer::new(cfg).connectivity_exploration(&w, &mem).unwrap();
+        let unlimited = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).connectivity_exploration(&w, &mem).unwrap();
         assert!(
             limited.len() < unlimited.len(),
             "{} vs {}",
@@ -650,7 +787,7 @@ mod tests {
     #[test]
     fn elapsed_is_recorded() {
         let w = benchmarks::vocoder();
-        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w));
+        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w)).unwrap();
         assert!(result.elapsed() > Duration::ZERO);
     }
 
@@ -662,7 +799,7 @@ mod tests {
             MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8)),
         ];
         let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
-        let result = explorer.explore(&w, archs.clone());
+        let result = explorer.explore(&w, archs.clone()).unwrap();
         let evo = result.frontier_evolution();
         assert_eq!(evo.len(), 2, "one snapshot per architecture at period 1");
         assert_eq!(evo[0].archs_explored, 1);
@@ -674,12 +811,74 @@ mod tests {
             assert!(s.hypervolume > 0.0 && s.hypervolume < 1.0, "{s:?}");
         }
         // Snapshots are a pure function of the estimate cloud.
-        let again = explorer.explore(&w, archs);
+        let again = explorer.explore(&w, archs).unwrap();
         assert_eq!(evo, again.frontier_evolution());
 
         let mut off = ConexConfig::preset(Preset::Fast);
         off.frontier_sample_every = 0;
-        let none = ConexExplorer::new(off).explore(&w, one_arch(&w));
+        let none = ConexExplorer::new(off).explore(&w, one_arch(&w)).unwrap();
         assert!(none.frontier_evolution().is_empty());
+    }
+
+    #[test]
+    fn resumable_run_matches_uninterrupted_run() {
+        let w = benchmarks::vocoder();
+        let archs = vec![
+            MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4)),
+            MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8)),
+        ];
+        let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
+        let engine = EvalEngine::new(&w, explorer.config().trace_len);
+        let clean = explorer.explore_with_engine(&engine, archs.clone()).unwrap();
+        // Capture the state after the first architecture, then restart the
+        // run from that state, as a resume after a crash would.
+        let mut saved: Option<Phase1State> = None;
+        explorer
+            .explore_with_engine_resumable(
+                &engine,
+                archs.clone(),
+                Phase1State::default(),
+                &mut |s| {
+                    if s.archs_done == 1 {
+                        saved = Some(s.clone());
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+        let saved = saved.unwrap();
+        // Replay reconstructs the same state from nothing but the count.
+        let replayed = explorer.phase1_partial(&engine, &archs, 1).unwrap();
+        assert_eq!(replayed, saved);
+        let resumed = explorer
+            .explore_with_engine_resumable(&engine, archs, saved, &mut |_| Ok(()))
+            .unwrap();
+        assert_eq!(clean.estimated(), resumed.estimated());
+        assert_eq!(clean.simulated(), resumed.simulated());
+        assert_eq!(clean.frontier_evolution(), resumed.frontier_evolution());
+    }
+
+    #[test]
+    fn phase1_partial_rejects_stale_counts() {
+        let w = benchmarks::vocoder();
+        let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
+        let engine = EvalEngine::new(&w, explorer.config().trace_len);
+        let err = explorer.phase1_partial(&engine, &one_arch(&w), 2).unwrap_err();
+        assert!(matches!(err, MceError::Checkpoint { .. }), "{err}");
+    }
+
+    #[test]
+    fn stale_phase1_state_is_a_checkpoint_error() {
+        let w = benchmarks::vocoder();
+        let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
+        let engine = EvalEngine::new(&w, explorer.config().trace_len);
+        let state = Phase1State {
+            archs_done: 3,
+            ..Phase1State::default()
+        };
+        let err = explorer
+            .explore_with_engine_resumable(&engine, one_arch(&w), state, &mut |_| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, MceError::Checkpoint { .. }), "{err}");
     }
 }

@@ -40,8 +40,9 @@
 //!
 //! let w = benchmarks::vocoder();
 //! let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
-//! let result =
-//!     ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, apex.selected());
+//! let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
+//!     .explore(&w, apex.selected())
+//!     .expect("exploration completed");
 //! assert!(!result.pareto_cost_latency().is_empty());
 //! ```
 
@@ -68,7 +69,9 @@ pub use cluster::{cluster_levels, Cluster, ClusterOrder, Clustering};
 pub use design_point::{CanonKey, DesignPoint, EvalMode, Metrics};
 pub use engine::EvalEngine;
 pub use eval_cache::{CacheStats, EvalCache};
-pub use explore::{ConexConfig, ConexExplorer, ConexResult, ExplorationStrategy, FrontierSnapshot};
+pub use explore::{
+    ConexConfig, ConexExplorer, ConexResult, ExplorationStrategy, FrontierSnapshot, Phase1State,
+};
 pub use memorex::{MemorEx, MemorExResult};
 pub use pareto::{hypervolume_proxy, Axis, CoverageReport, ParetoFront};
 pub use reconfig::{PhaseChoice, ReconfigReport};

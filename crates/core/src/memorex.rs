@@ -6,6 +6,7 @@
 
 use crate::explore::{ConexConfig, ConexExplorer, ConexResult};
 use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
+use mce_error::MceError;
 use mce_appmodel::Workload;
 use mce_sim::Preset;
 use serde::{Deserialize, Serialize};
@@ -59,10 +60,15 @@ impl MemorEx {
     }
 
     /// Runs APEX then ConEx on `workload`.
-    pub fn run(&self, workload: &Workload) -> MemorExResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
+    /// (parallel pass and serial retry).
+    pub fn run(&self, workload: &Workload) -> Result<MemorExResult, MceError> {
         let apex = self.apex.explore(workload);
-        let conex = self.conex.explore(workload, apex.selected());
-        MemorExResult { apex, conex }
+        let conex = self.conex.explore(workload, apex.selected())?;
+        Ok(MemorExResult { apex, conex })
     }
 }
 
@@ -74,7 +80,7 @@ mod tests {
     #[test]
     fn end_to_end_vocoder() {
         let w = benchmarks::vocoder();
-        let result = MemorEx::preset(Preset::Fast).run(&w);
+        let result = MemorEx::preset(Preset::Fast).run(&w).unwrap();
         assert!(!result.apex.selected().is_empty());
         assert!(!result.conex.simulated().is_empty());
         assert!(!result.conex.pareto_cost_latency().is_empty());
@@ -83,7 +89,7 @@ mod tests {
     #[test]
     fn conex_extends_apex_cost_with_connectivity() {
         let w = benchmarks::vocoder();
-        let result = MemorEx::preset(Preset::Fast).run(&w);
+        let result = MemorEx::preset(Preset::Fast).run(&w).unwrap();
         // Every combined design costs at least its memory architecture.
         for p in result.conex.simulated() {
             assert!(p.metrics.cost_gates >= p.system.mem().gate_cost());
@@ -96,7 +102,7 @@ mod tests {
         // simulated designs, the best latency should clearly beat the worst
         // (same memory architectures, different connectivity).
         let w = benchmarks::compress();
-        let result = MemorEx::preset(Preset::Fast).run(&w);
+        let result = MemorEx::preset(Preset::Fast).run(&w).unwrap();
         let lats: Vec<f64> = result
             .conex
             .simulated()

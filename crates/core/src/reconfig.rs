@@ -19,6 +19,7 @@ use crate::estimate::refine_with_full_simulation;
 use crate::explore::ConexExplorer;
 use crate::pareto::{Axis, ParetoFront};
 use mce_appmodel::{DataStructure, Phase, Workload, WorkloadBuilder};
+use mce_error::MceError;
 use mce_memlib::MemoryArchitecture;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -127,15 +128,21 @@ impl ConexExplorer {
     /// Evaluates per-phase reconfigurable connectivity for `mem` on a
     /// phased `workload`.
     ///
-    /// Returns `None` for workloads with fewer than two phases (nothing to
-    /// reconfigure between). Per-phase selections are constrained to the
-    /// static best design's cost, so the comparison isolates the benefit
-    /// of *reconfiguration* rather than of spending more gates.
+    /// Returns `Ok(None)` for workloads with fewer than two phases
+    /// (nothing to reconfigure between). Per-phase selections are
+    /// constrained to the static best design's cost, so the comparison
+    /// isolates the benefit of *reconfiguration* rather than of spending
+    /// more gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
+    /// (parallel pass and serial retry).
     pub fn explore_reconfigurable(
         &self,
         workload: &Workload,
         mem: &MemoryArchitecture,
-    ) -> Option<ReconfigReport> {
+    ) -> Result<Option<ReconfigReport>, MceError> {
         self.explore_reconfigurable_with_budget(workload, mem, u64::MAX)
     }
 
@@ -148,14 +155,19 @@ impl ConexExplorer {
     /// suits it — the per-phase optima (each within the same budget) are
     /// never worse in aggregate than any single configuration, minus the
     /// switch penalty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
+    /// (parallel pass and serial retry).
     pub fn explore_reconfigurable_with_budget(
         &self,
         workload: &Workload,
         mem: &MemoryArchitecture,
         budget_gates: u64,
-    ) -> Option<ReconfigReport> {
+    ) -> Result<Option<ReconfigReport>, MceError> {
         if workload.phases().len() < 2 {
-            return None;
+            return Ok(None);
         }
         // Exposure matching: simulate whole super-periods of the phase
         // schedule so every phase contributes exactly its declared share to
@@ -171,15 +183,18 @@ impl ConexExplorer {
         // alias with the workload's phase period and skip entire phases
         // (see `mce-sim::sampling`), which would make the static design
         // look far better than it is and the comparison meaningless.
-        let static_points = self.connectivity_exploration(workload, mem);
-        let static_best = static_points
+        let static_points = self.connectivity_exploration(workload, mem)?;
+        let Some(static_best) = static_points
             .iter()
             .filter(|p| p.metrics.cost_gates <= budget_gates)
             .min_by(|a, b| {
                 a.metrics
                     .latency_cycles
                     .total_cmp(&b.metrics.latency_cycles)
-            })?;
+            })
+        else {
+            return Ok(None);
+        };
         let static_best = refine_with_full_simulation(static_best, workload, static_len);
         // Per-phase selections compete under the same budget (or, with an
         // unconstrained budget, under the static best's cost so the
@@ -196,8 +211,10 @@ impl ConexExplorer {
         let mut max_cost = 0u64;
         for (i, phase) in workload.phases().iter().enumerate() {
             let sub = phase_workload(workload, i);
-            let points = self.connectivity_exploration(&sub, mem);
-            let design = best_within_budget(&points, budget)?;
+            let points = self.connectivity_exploration(&sub, mem)?;
+            let Some(design) = best_within_budget(&points, budget) else {
+                return Ok(None);
+            };
             let sub_len = (periods * phase.accesses()) as usize;
             let design = refine_with_full_simulation(&design, &sub, sub_len);
             // Switch penalty amortized over the phase.
@@ -214,14 +231,14 @@ impl ConexExplorer {
         }
         let reconfig_latency_cycles = weighted / total_accesses as f64;
         let static_latency = static_best.metrics.latency_cycles;
-        Some(ReconfigReport {
+        Ok(Some(ReconfigReport {
             workload_name: workload.name().to_owned(),
             static_best,
             per_phase,
             reconfig_latency_cycles,
             reconfig_cost_gates: max_cost + RECONFIG_CONTROLLER_GATES,
             improvement_pct: (static_latency - reconfig_latency_cycles) / static_latency * 100.0,
-        })
+        }))
     }
 }
 
@@ -244,7 +261,7 @@ mod tests {
     fn unphased_workload_yields_none() {
         let w = benchmarks::vocoder();
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(2));
-        assert!(explorer().explore_reconfigurable(&w, &mem).is_none());
+        assert!(explorer().explore_reconfigurable(&w, &mem).unwrap().is_none());
     }
 
     #[test]
@@ -253,6 +270,7 @@ mod tests {
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
         let report = explorer()
             .explore_reconfigurable(&w, &mem)
+            .unwrap()
             .expect("jpeg is phased");
         assert_eq!(report.per_phase.len(), 3);
         // Cost accounting: max phase cost + controller.
@@ -286,7 +304,7 @@ mod tests {
     fn per_phase_selections_respect_budget() {
         let w = benchmarks::jpeg();
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
-        let report = explorer().explore_reconfigurable(&w, &mem).unwrap();
+        let report = explorer().explore_reconfigurable(&w, &mem).unwrap().unwrap();
         for c in &report.per_phase {
             assert!(
                 c.design.metrics.cost_gates <= report.static_best.metrics.cost_gates,
@@ -302,10 +320,11 @@ mod tests {
     fn tight_budget_forces_cheaper_designs() {
         let w = benchmarks::jpeg();
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
-        let rich = explorer().explore_reconfigurable(&w, &mem).unwrap();
+        let rich = explorer().explore_reconfigurable(&w, &mem).unwrap().unwrap();
         // A budget at the median candidate cost is guaranteed feasible.
         let mut costs: Vec<u64> = explorer()
             .connectivity_exploration(&w, &mem)
+            .unwrap()
             .iter()
             .map(|p| p.metrics.cost_gates)
             .collect();
@@ -313,6 +332,7 @@ mod tests {
         let cheap_budget = costs[costs.len() / 2];
         let tight = explorer()
             .explore_reconfigurable_with_budget(&w, &mem, cheap_budget)
+            .unwrap()
             .expect("median budget is feasible");
         assert!(tight.static_best.metrics.cost_gates <= cheap_budget);
         for c in &tight.per_phase {
@@ -331,6 +351,7 @@ mod tests {
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
         assert!(explorer()
             .explore_reconfigurable_with_budget(&w, &mem, 1)
+            .unwrap()
             .is_none());
     }
 
@@ -347,7 +368,7 @@ mod tests {
     fn report_display_lists_phases() {
         let w = benchmarks::jpeg();
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
-        let report = explorer().explore_reconfigurable(&w, &mem).unwrap();
+        let report = explorer().explore_reconfigurable(&w, &mem).unwrap().unwrap();
         let text = report.to_string();
         assert!(text.contains("dct"), "{text}");
         assert!(text.contains("entropy"), "{text}");

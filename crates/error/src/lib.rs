@@ -52,6 +52,24 @@ pub enum MceError {
         /// What was missing or inconsistent.
         reason: String,
     },
+    /// One or more worker closures panicked and the serial retry failed
+    /// too. A single panic never surfaces here — the parallel map retries
+    /// the item serially first; this is the "failed twice" verdict.
+    WorkerPanic {
+        /// The parallel region the panic escaped from.
+        region: String,
+        /// How many items still failed after the serial retry.
+        failed_items: usize,
+        /// The first panic's payload, when it was a string.
+        first_panic: String,
+    },
+    /// A checkpoint file that cannot be used: corrupt bytes (digest
+    /// mismatch), an unknown schema, or a config/workload that does not
+    /// match the run being resumed.
+    Checkpoint {
+        /// Why the checkpoint was rejected.
+        reason: String,
+    },
 }
 
 impl MceError {
@@ -84,6 +102,26 @@ impl MceError {
             reason: reason.into(),
         }
     }
+
+    /// A twice-failed worker panic in the named parallel region.
+    pub fn worker_panic(
+        region: impl Into<String>,
+        failed_items: usize,
+        first_panic: impl Into<String>,
+    ) -> Self {
+        MceError::WorkerPanic {
+            region: region.into(),
+            failed_items,
+            first_panic: first_panic.into(),
+        }
+    }
+
+    /// An unusable-checkpoint failure.
+    pub fn checkpoint(reason: impl Into<String>) -> Self {
+        MceError::Checkpoint {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for MceError {
@@ -94,6 +132,16 @@ impl fmt::Display for MceError {
             MceError::Json { context, reason } => write!(f, "{context}: invalid JSON: {reason}"),
             MceError::Library { reason } => write!(f, "invalid connectivity library: {reason}"),
             MceError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            MceError::WorkerPanic {
+                region,
+                failed_items,
+                first_panic,
+            } => write!(
+                f,
+                "worker panic in `{region}`: {failed_items} item(s) failed twice; \
+                 first panic: {first_panic}"
+            ),
+            MceError::Checkpoint { reason } => write!(f, "unusable checkpoint: {reason}"),
         }
     }
 }
@@ -114,6 +162,37 @@ impl From<io::Error> for MceError {
             source,
         }
     }
+}
+
+/// Writes `bytes` to `path` atomically: the content lands in
+/// `<path>.tmp` first and is renamed over the destination only once
+/// fully written, so a crash mid-write never leaves a truncated or
+/// half-written file behind — the previous version (or no file at all)
+/// survives intact. The temp file lives in the destination's directory,
+/// keeping the rename on one filesystem.
+///
+/// # Errors
+///
+/// Returns [`MceError::Io`] when the temp file cannot be written or the
+/// rename fails; the temp file is cleaned up on failure.
+pub fn atomic_write(path: impl AsRef<std::path::Path>, bytes: &[u8]) -> Result<(), MceError> {
+    let path = path.as_ref();
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("out"));
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let attempt = (|| -> io::Result<()> {
+        #[cfg(feature = "fault-injection")]
+        mce_faultinject::on_write(path)?;
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    })();
+    attempt.map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        MceError::io(format!("writing `{}` atomically", path.display()), e)
+    })
 }
 
 #[cfg(test)]
@@ -156,5 +235,38 @@ mod tests {
         assert!(MceError::invalid_input("missing workload")
             .to_string()
             .contains("missing workload"));
+    }
+
+    #[test]
+    fn worker_panic_and_checkpoint_render() {
+        let s = MceError::worker_panic("conex.estimate", 2, "boom").to_string();
+        assert!(s.contains("conex.estimate"), "{s}");
+        assert!(s.contains("2 item(s)"), "{s}");
+        assert!(s.contains("boom"), "{s}");
+        assert!(MceError::checkpoint("digest mismatch")
+            .to_string()
+            .contains("digest mismatch"));
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_replaces() {
+        let path = std::env::temp_dir().join(format!("mce_atomic_{}.txt", std::process::id()));
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temp file left behind.
+        let tmp = path.with_file_name(format!(
+            "{}.tmp",
+            path.file_name().unwrap().to_string_lossy()
+        ));
+        assert!(!tmp.exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_write_to_bad_directory_is_io_error() {
+        let err = atomic_write("/nonexistent/dir/file.txt", b"x").unwrap_err();
+        assert!(matches!(err, MceError::Io { .. }), "{err}");
     }
 }

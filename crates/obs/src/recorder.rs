@@ -223,6 +223,58 @@ pub fn gauge_max(name: &'static str, value: u64) {
     *entry = (*entry).max(value);
 }
 
+/// Interns a runtime string as a `&'static str` so restored registry
+/// names (which arrive from checkpoint files, not string literals) can
+/// live in the same registries as literal names. Each unique name leaks
+/// once; repeats reuse the interned copy, so the leak is bounded by the
+/// (small, fixed) set of counter/gauge names.
+fn intern(name: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<std::collections::BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(|| Mutex::new(std::collections::BTreeSet::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// Sets the named counter to an absolute `value`, replacing any current
+/// total. Used when resuming from a checkpoint: restored totals pick up
+/// exactly where the interrupted run's registry left off, so subsequent
+/// [`counter_add`] calls produce the same final totals an uninterrupted
+/// run would have. No-op when tracing is disabled (matching
+/// [`counter_add`]).
+pub fn counter_restore(name: &str, value: u64) {
+    if !tracing_enabled() {
+        return;
+    }
+    let name = intern(name);
+    let mut counters = global()
+        .counters
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    counters.insert(name, value);
+}
+
+/// Sets the named gauge's high-water mark to an absolute `value` (the
+/// checkpoint-resume counterpart of [`gauge_max`]). Later `gauge_max`
+/// calls still only raise it. No-op when tracing is disabled.
+pub fn gauge_restore(name: &str, value: u64) {
+    if !tracing_enabled() {
+        return;
+    }
+    let name = intern(name);
+    let mut gauges = global()
+        .gauges
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    gauges.insert(name, value);
+}
+
 /// Records `value` into the named histogram (see [`crate::hist`] for the
 /// deterministic bucket layout). Worker threads may call this
 /// concurrently: the registry is lock-striped by name, and bucket totals

@@ -14,7 +14,9 @@ fn main() {
     let workload = benchmarks::compress();
     println!("{workload}");
 
-    let result = MemorEx::preset(Preset::Fast).run(&workload);
+    let result = MemorEx::preset(Preset::Fast)
+        .run(&workload)
+        .expect("exploration runs");
 
     // Figure 6-style analysis: the labelled cost/performance pareto.
     println!("Cost/performance pareto (Figure 6 style):");

@@ -44,7 +44,9 @@ fn main() {
     let workload = benchmarks::li();
     let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&workload);
     let explorer = ConexExplorer::with_library(ConexConfig::preset(Preset::Fast), library);
-    let result = explorer.explore(&workload, apex.selected());
+    let result = explorer
+        .explore(&workload, apex.selected())
+        .expect("exploration runs");
 
     println!("Cost/performance pareto with the extended library:");
     for p in result.pareto_cost_latency() {

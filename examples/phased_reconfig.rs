@@ -26,7 +26,7 @@ fn main() {
 
     // Unconstrained: the static design can afford the configuration every
     // phase wants, so reconfiguration should only lose the switch penalty.
-    let Some(rich) = explorer.explore_reconfigurable(&workload, &mem) else {
+    let Some(rich) = explorer.explore_reconfigurable(&workload, &mem).expect("exploration runs") else {
         println!("workload has no phases — nothing to reconfigure");
         return;
     };
@@ -43,7 +43,10 @@ fn main() {
     let top = rich.static_best.metrics.cost_gates;
     for cut in [0u64, 10_000, 20_000, 40_000, 80_000] {
         let budget = top.saturating_sub(cut);
-        match explorer.explore_reconfigurable_with_budget(&workload, &mem, budget) {
+        match explorer
+            .explore_reconfigurable_with_budget(&workload, &mem, budget)
+            .expect("exploration runs")
+        {
             Some(r) => println!(
                 "  ≤{budget:>7} gates: static {:>6.2} cyc vs reconfig {:>6.2} cyc ({:+.1}%)",
                 r.static_best.metrics.latency_cycles, r.reconfig_latency_cycles, r.improvement_pct

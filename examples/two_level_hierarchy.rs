@@ -66,7 +66,9 @@ fn main() {
     println!("\nConEx over the two-level architecture:");
     let mut cfg = ConexConfig::preset(Preset::Fast);
     cfg.trace_len = 10_000;
-    let result = ConexExplorer::new(cfg).explore(&workload, vec![two_level]);
+    let result = ConexExplorer::new(cfg)
+        .explore(&workload, vec![two_level])
+        .expect("exploration runs");
     for p in result.pareto_cost_latency() {
         println!(
             "  {:>8} gates  {:>6.2} cyc  {:>5.2} nJ  {}",

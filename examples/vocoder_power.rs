@@ -12,7 +12,9 @@ use memory_conex::prelude::*;
 
 fn main() {
     let workload = benchmarks::vocoder();
-    let result = MemorEx::preset(Preset::Fast).run(&workload);
+    let result = MemorEx::preset(Preset::Fast)
+        .run(&workload)
+        .expect("exploration runs");
 
     // The unconstrained cost/performance view first.
     println!("Cost/performance pareto for {}:", workload.name());

@@ -8,11 +8,15 @@
 //!                                              simulate a cache-only baseline
 //! mce explore  <workload> [--preset fast|paper] [--out FILE] [--threads N]
 //!              [--eval-cache FILE] [--trace-out FILE] [--report-out FILE]
+//!              [--checkpoint FILE] [--checkpoint-every N]
 //!              [--out-dir DIR] [--progress]
 //!                                              full APEX + ConEx exploration
 //! mce report   <report.json>... [--out FILE] [--html]
 //!                                              render run reports as
 //!                                              markdown/HTML summaries
+//! mce cache-check <spill.json> [--capacity N] [--repair]
+//!                                              validate (and optionally
+//!                                              repair) an eval-cache spill
 //! mce bench-gate [--baseline FILE] [--current FILE] [--tolerance T]
 //!              [--warn-only]                   compare BENCH_eval.json to a
 //!                                              committed baseline
@@ -37,6 +41,19 @@
 //! The textual exploration summary is also logged under `--out-dir`
 //! (default `target/experiments/`).
 //!
+//! `--checkpoint FILE` makes the exploration crash-safe: progress is
+//! checkpointed atomically after each Phase-I architecture (or every N
+//! with `--checkpoint-every N`), and re-running the same command after a
+//! kill resumes from the checkpoint, producing results bit-identical to
+//! an uninterrupted run. The checkpoint is deleted on success; a corrupt
+//! checkpoint or one from a different workload/configuration is a clean
+//! error, never a silent cold start.
+//!
+//! All file outputs (`--out`, `--report-out`, `--trace-out`, eval-cache
+//! spills, checkpoints, experiment logs) are written atomically — a
+//! sibling temporary plus rename — so a crash mid-write never leaves a
+//! torn file behind.
+//!
 //! [`RunReport`]: memory_conex::RunReport
 
 use memory_conex::apex::classify;
@@ -47,11 +64,20 @@ use memory_conex::obs;
 use memory_conex::report;
 use memory_conex::sim::{simulate, Preset, SystemConfig};
 use memory_conex::ExplorationSession;
+use mce_error::atomic_write;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
+    // Fault-injection test builds arm faults from `MCE_FAULT` so
+    // subprocess kill-and-resume tests can crash this binary mid-run;
+    // plain builds compile no hook at all.
+    #[cfg(feature = "fault-injection")]
+    if let Err(e) = mce_faultinject::arm_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -74,8 +100,10 @@ const USAGE: &str = "usage:
   mce simulate <workload> [--cache KIB] [--trace N]
   mce explore  <workload> [--preset fast|paper] [--out FILE] [--threads N]
                [--eval-cache FILE] [--trace-out FILE] [--report-out FILE]
+               [--checkpoint FILE] [--checkpoint-every N]
                [--out-dir DIR] [--progress]
   mce report   <report.json>... [--out FILE] [--html]
+  mce cache-check <spill.json> [--capacity N] [--repair]
   mce bench-gate [--baseline FILE] [--current FILE] [--tolerance T] [--warn-only]
 
 <workload> = compress | li | vocoder | adpcm | jpeg | mix | path/to/workload.json
@@ -90,6 +118,11 @@ explore options:
                    (open in chrome://tracing or https://ui.perfetto.dev)
   --report-out FILE write the run-report JSON (schema v1; byte-stable
                    except for its wall_clock section)
+  --checkpoint FILE crash-safe mode: checkpoint progress to FILE and
+                   resume from it if it exists; results are bit-identical
+                   to an uninterrupted run; deleted on success
+  --checkpoint-every N checkpoint every N Phase-I architectures
+                   (default 1; the last architecture always checkpoints)
   --out-dir DIR    directory for experiment logs (default target/experiments)
   --progress       print live progress lines to stderr (MCE_LOG=debug
                    for more detail)
@@ -97,6 +130,11 @@ explore options:
 report options:
   --out FILE       write the summary to FILE instead of stdout
   --html           render a self-contained HTML document instead of markdown
+
+cache-check options:
+  --capacity N     resident-entry capacity used when loading (default 65536)
+  --repair         rewrite the spill with corrupt entries dropped
+                   (atomic; without it a corrupt spill only reports)
 
 bench-gate options:
   --baseline FILE  committed baseline (default crates/bench/BENCH_eval.baseline.json)
@@ -115,6 +153,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "simulate" => cmd_simulate(&args[1..]),
         "explore" => cmd_explore(&args[1..]),
         "report" => cmd_report(&args[1..]),
+        "cache-check" => cmd_cache_check(&args[1..]),
         "bench-gate" => cmd_bench_gate(&args[1..]),
         other => Err(format!("unknown command `{other}`").into()),
     }
@@ -311,6 +350,37 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     if let Some(path) = cache_file {
         session = session.eval_cache_file(path);
     }
+    // Unlike the output flags, a silently dropped `--checkpoint` would
+    // cost the user the crash safety they asked for, so a missing or
+    // flag-shaped value is an error rather than ignored.
+    let checkpoint_file = match args.iter().position(|a| a == "--checkpoint") {
+        Some(i) => Some(
+            args.get(i + 1)
+                .map(String::as_str)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or("--checkpoint needs a FILE argument")?,
+        ),
+        None => None,
+    };
+    if let Some(path) = checkpoint_file {
+        session = session.checkpoint_file(path);
+        let resuming = std::path::Path::new(path).exists();
+        if resuming {
+            eprintln!("resuming from checkpoint {path}");
+        }
+    }
+    if let Some(n) = flag_value(args, "--checkpoint-every") {
+        if checkpoint_file.is_none() {
+            return Err("--checkpoint-every needs --checkpoint FILE".into());
+        }
+        let n: usize = n
+            .parse()
+            .map_err(|e| format!("invalid --checkpoint-every value `{n}`: {e}"))?;
+        if n == 0 {
+            return Err("--checkpoint-every must be at least 1".into());
+        }
+        session = session.checkpoint_every(n);
+    }
     let report_out = flag_value(args, "--report-out");
     let obs_session = ObsSession::start(
         flag_value(args, "--trace-out"),
@@ -373,12 +443,12 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
         &summary,
     );
     if let Some(path) = report_out {
-        std::fs::write(path, result.report.to_json())
+        atomic_write(path, result.report.to_json().as_bytes())
             .map_err(|e| format!("cannot write report file `{path}`: {e}"))?;
         eprintln!("wrote report {path}");
     }
     if let Some(path) = flag_value(args, "--out") {
-        std::fs::write(path, serde_json::to_string_pretty(&conex)?)?;
+        atomic_write(path, serde_json::to_string_pretty(&conex)?.as_bytes())?;
         eprintln!("wrote {path}");
     }
     Ok(())
@@ -390,7 +460,9 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
 fn write_experiment_log(out_dir: &str, w: &Workload, scale: Preset, summary: &str) {
     let dir = std::path::Path::new(out_dir);
     let path = dir.join(format!("explore_{}_{scale}.txt", w.name()));
-    let written = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, summary));
+    let written = std::fs::create_dir_all(dir)
+        .map_err(|e| e.to_string())
+        .and_then(|()| atomic_write(&path, summary.as_bytes()).map_err(|e| e.to_string()));
     match written {
         Ok(()) => eprintln!("logged {}", path.display()),
         Err(e) => eprintln!("warning: cannot write experiment log {}: {e}", path.display()),
@@ -443,11 +515,66 @@ fn cmd_report(args: &[String]) -> Result<(), CliError> {
     };
     match flag_value(args, "--out") {
         Some(path) => {
-            std::fs::write(path, rendered)
+            atomic_write(path, rendered.as_bytes())
                 .map_err(|e| format!("cannot write summary `{path}`: {e}"))?;
             eprintln!("wrote {path}");
         }
         None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// Offline eval-cache spill validation and repair.
+///
+/// Strictly parses every entry: a fully valid spill reports its entry
+/// count; one with corrupt entries lists how many and fails — unless
+/// `--repair` is given, which atomically rewrites the spill with the
+/// corrupt entries dropped (the same salvage `mce explore --eval-cache`
+/// applies at load time, made permanent). Document-level damage — not
+/// JSON, wrong version — is never repairable.
+fn cmd_cache_check(args: &[String]) -> Result<(), CliError> {
+    use memory_conex::conex::EvalCache;
+
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("cache-check needs a spill file argument")?;
+    let capacity: usize = match flag_value(args, "--capacity") {
+        Some(n) => n
+            .parse()
+            .map_err(|e| format!("invalid --capacity value `{n}`: {e}"))?,
+        None => memory_conex::conex::eval_cache::DEFAULT_CAPACITY,
+    };
+    let repair = args.iter().any(|a| a == "--repair");
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read spill `{path}`: {e}"))?;
+    // Strict first: a clean bill of health needs every entry to parse.
+    match EvalCache::from_spill_json(&body, capacity) {
+        Ok(cache) => {
+            println!("{path}: valid, {} entries", cache.len());
+            return Ok(());
+        }
+        Err(first_error) => {
+            // Entry-level damage salvages; document-level damage re-errors.
+            let (cache, dropped) = EvalCache::from_spill_json_salvage(&body, capacity)
+                .map_err(|_| format!("{path}: unrepairable: {first_error}"))?;
+            println!(
+                "{path}: {} corrupt entr{} ({} intact)",
+                dropped,
+                if dropped == 1 { "y" } else { "ies" },
+                cache.len()
+            );
+            if !repair {
+                return Err(format!(
+                    "{path}: corrupt entries found (re-run with --repair to drop them)"
+                )
+                .into());
+            }
+            cache
+                .save(path)
+                .map_err(|e| format!("cannot rewrite spill `{path}`: {e}"))?;
+            println!("{path}: repaired, {} entries kept", cache.len());
+        }
     }
     Ok(())
 }
@@ -564,6 +691,89 @@ mod tests {
         let err =
             cmd_explore(&s(&["vocoder", "--preset", "bogus", "--scale", "fast"])).unwrap_err();
         assert!(err.to_string().contains("unknown preset"), "{err}");
+    }
+
+    #[test]
+    fn explore_rejects_bad_checkpoint_flags() {
+        let err = cmd_explore(&s(&["vocoder", "--checkpoint-every", "2"])).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint FILE"), "{err}");
+        // A valueless --checkpoint must not silently drop crash safety.
+        let err = cmd_explore(&s(&["vocoder", "--checkpoint"])).unwrap_err();
+        assert!(err.to_string().contains("FILE argument"), "{err}");
+        let err = cmd_explore(&s(&["vocoder", "--checkpoint", "--progress"])).unwrap_err();
+        assert!(err.to_string().contains("FILE argument"), "{err}");
+        let err = cmd_explore(&s(&[
+            "vocoder",
+            "--checkpoint",
+            "ck.json",
+            "--checkpoint-every",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let err = cmd_explore(&s(&[
+            "vocoder",
+            "--checkpoint",
+            "ck.json",
+            "--checkpoint-every",
+            "abc",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--checkpoint-every"), "{err}");
+    }
+
+    #[test]
+    fn cache_check_validates_and_repairs() {
+        use memory_conex::conex::eval_cache::format_spill_entry;
+        use memory_conex::conex::{CanonKey, EvalCache, Metrics};
+
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let path = dir.join(format!("mce_cachecheck_{pid}.json"));
+        let path_s = path.to_str().unwrap();
+
+        // A valid spill passes without flags.
+        let cache = EvalCache::new();
+        cache.insert(
+            CanonKey { hi: 1, lo: 2 },
+            Metrics {
+                cost_gates: 10,
+                latency_cycles: 1.0,
+                energy_nj: 0.5,
+            },
+        );
+        cache.save(&path).unwrap();
+        assert!(cmd_cache_check(&s(&[path_s])).is_ok());
+
+        // Corrupt one entry: reported and failed without --repair,
+        // dropped with it, then clean again.
+        let [key, cost, lat, energy, check] = format_spill_entry(
+            &CanonKey { hi: 3, lo: 4 },
+            &Metrics {
+                cost_gates: 20,
+                latency_cycles: 2.0,
+                energy_nj: 1.0,
+            },
+        );
+        let lat_bad = lat.replace(char::from(lat.as_bytes()[0]), "f");
+        let spill = cache.to_spill_json().replace(
+            "]}",
+            &format!(",[\"{key}\",\"{cost}\",\"{lat_bad}\",\"{energy}\",\"{check}\"]]}}"),
+        );
+        std::fs::write(&path, spill).unwrap();
+        let err = cmd_cache_check(&s(&[path_s])).unwrap_err();
+        assert!(err.to_string().contains("--repair"), "{err}");
+        assert!(cmd_cache_check(&s(&[path_s, "--repair"])).is_ok());
+        assert!(cmd_cache_check(&s(&[path_s])).is_ok(), "repaired spill is valid");
+
+        // Document-level damage is unrepairable.
+        std::fs::write(&path, "{\"version\":999,\"entries\":[]}").unwrap();
+        let err = cmd_cache_check(&s(&[path_s, "--repair"])).unwrap_err();
+        assert!(err.to_string().contains("unrepairable"), "{err}");
+
+        std::fs::remove_file(&path).ok();
+        let err = cmd_cache_check(&s(&["--repair"])).unwrap_err();
+        assert!(err.to_string().contains("spill file"), "{err}");
     }
 
     #[test]

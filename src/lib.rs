@@ -51,6 +51,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod report;
 pub mod session;
 
@@ -62,6 +63,7 @@ pub use mce_error::MceError;
 pub use mce_memlib as memlib;
 pub use mce_obs as obs;
 pub use mce_sim as sim;
+pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
 pub use report::{RunReport, REPORT_SCHEMA};
 pub use session::{ExplorationSession, SessionResult};
 

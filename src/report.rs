@@ -129,6 +129,11 @@ impl ParetoSummary {
 pub struct WallClock {
     /// End-to-end session wall time, seconds.
     pub elapsed_s: f64,
+    /// Whether this run was resumed from a checkpoint. Lives in the
+    /// wall-clock section because it describes how the run executed,
+    /// not what it computed: a resumed run's deterministic sections are
+    /// byte-identical to an uninterrupted run's.
+    pub resumed: bool,
     /// Every histogram the recorder collected (phase durations from
     /// spans, per-item simulate/estimate latency, cache-probe latency,
     /// per-worker occupancy), in name order.
@@ -178,6 +183,7 @@ impl RunReport {
         cache_stats: &CacheStats,
         conex: &ConexResult,
         elapsed_s: f64,
+        resumed: bool,
     ) -> Self {
         RunReport {
             workload_name: workload.name().to_owned(),
@@ -214,6 +220,7 @@ impl RunReport {
             frontier_evolution: conex.frontier_evolution().to_vec(),
             wall_clock: WallClock {
                 elapsed_s,
+                resumed,
                 histograms: if obs::tracing_enabled() {
                     obs::histograms_snapshot()
                         .into_iter()
@@ -320,6 +327,10 @@ impl RunReport {
         s.push_str(&format!(
             "    \"elapsed_s\": {},\n",
             fmt_f64(self.wall_clock.elapsed_s)
+        ));
+        s.push_str(&format!(
+            "    \"resumed\": {},\n",
+            self.wall_clock.resumed
         ));
         let hists: Vec<String> = self
             .wall_clock
@@ -813,6 +824,7 @@ mod tests {
             }],
             wall_clock: WallClock {
                 elapsed_s: 1.25,
+                resumed: false,
                 histograms: vec![(
                     "conex.simulate.item_us".to_owned(),
                     HistogramSummary {

@@ -22,10 +22,13 @@
 //! by hand; the session produces bit-identical results — the shared
 //! blocks and cache only remove redundant work.
 
+use crate::checkpoint::{config_digest, Checkpoint};
 use crate::report::RunReport;
 use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
 use mce_appmodel::{TraceBlocks, Workload};
+use mce_conex::design_point::workload_digest;
 use mce_conex::eval_cache::DEFAULT_CAPACITY;
+use mce_conex::explore::Phase1State;
 use mce_conex::{CacheStats, ConexConfig, ConexExplorer, ConexResult, EvalCache, EvalEngine};
 use mce_connlib::ConnectivityLibrary;
 use mce_error::MceError;
@@ -43,6 +46,8 @@ pub struct ExplorationSession {
     library: ConnectivityLibrary,
     cache_capacity: usize,
     eval_cache_file: Option<PathBuf>,
+    checkpoint_file: Option<PathBuf>,
+    checkpoint_every: usize,
 }
 
 /// Everything one session run produced.
@@ -63,6 +68,11 @@ pub struct SessionResult {
     /// frontier-evolution samples and (when tracing is enabled) latency
     /// histograms. Serialize with [`RunReport::to_json`].
     pub report: RunReport,
+    /// Whether this run resumed from a checkpoint
+    /// ([`ExplorationSession::checkpoint_file`]). Resumed results are
+    /// bit-identical to uninterrupted ones; this only records how the
+    /// run got there.
+    pub resumed: bool,
 }
 
 impl ExplorationSession {
@@ -76,6 +86,8 @@ impl ExplorationSession {
             library: ConnectivityLibrary::amba(),
             cache_capacity: DEFAULT_CAPACITY,
             eval_cache_file: None,
+            checkpoint_file: None,
+            checkpoint_every: 1,
         }
     }
 
@@ -132,17 +144,70 @@ impl ExplorationSession {
         self
     }
 
-    /// Runs APEX then ConEx over the shared trace and cache.
+    /// Makes the run crash-safe: progress is checkpointed to `path`
+    /// after each Phase-I architecture, and a run finding a valid
+    /// checkpoint there resumes from it instead of starting over —
+    /// producing results bit-identical to an uninterrupted run. The
+    /// checkpoint is deleted when the run completes.
+    ///
+    /// A checkpoint from a different workload or configuration (other
+    /// than the thread count) is rejected with [`MceError::Checkpoint`];
+    /// a corrupt or truncated one likewise — never silently ignored,
+    /// never silently wrong. While resuming, the evaluation cache is
+    /// restored from the checkpoint and any
+    /// [`eval_cache_file`](ExplorationSession::eval_cache_file) is not
+    /// re-read (it is still saved at the end).
+    #[must_use]
+    pub fn checkpoint_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_file = Some(path.into());
+        self
+    }
+
+    /// Checkpoints every `n` completed Phase-I architectures instead of
+    /// every one (the last architecture always checkpoints). Values
+    /// below 1 mean 1.
+    #[must_use]
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = n.max(1);
+        self
+    }
+
+    /// Runs APEX then ConEx over the shared trace and cache, resuming
+    /// from a [`checkpoint_file`](ExplorationSession::checkpoint_file)
+    /// when one is present.
     ///
     /// # Errors
     ///
     /// Returns an [`MceError`] if a configured
     /// [`eval_cache_file`](ExplorationSession::eval_cache_file) exists
-    /// but cannot be parsed, or cannot be written back.
+    /// but cannot be parsed or written back, if a checkpoint exists but
+    /// is corrupt or belongs to a different run
+    /// ([`MceError::Checkpoint`]), if a checkpoint cannot be written, or
+    /// if an evaluation worker panics twice on the same candidate
+    /// ([`MceError::WorkerPanic`]).
     pub fn run(&self) -> Result<SessionResult, MceError> {
         let start = Instant::now();
-        let cache = Arc::new(match &self.eval_cache_file {
-            Some(path) if path.exists() => EvalCache::load(path, self.cache_capacity)?,
+        let w_digest = workload_digest(&self.workload).to_hex();
+        let c_digest = config_digest(&self.apex, &self.conex, &self.library, self.cache_capacity);
+        let resume = match &self.checkpoint_file {
+            Some(path) if path.exists() => {
+                let ck = Checkpoint::load(path)?;
+                ck.ensure_matches(&w_digest, &c_digest)?;
+                Some(ck)
+            }
+            _ => None,
+        };
+        // The run's cache: restored from the checkpoint when resuming —
+        // exact FIFO order and lifetime stats, so eviction behavior and
+        // the report's cache section continue as if never interrupted.
+        let cache = Arc::new(match (&resume, &self.eval_cache_file) {
+            (Some(ck), _) => {
+                let cache =
+                    EvalCache::from_entries_fifo(ck.entries.iter().copied(), self.cache_capacity);
+                cache.restore_stats(ck.cache_stats);
+                cache
+            }
+            (None, Some(path)) if path.exists() => EvalCache::load(path, self.cache_capacity)?,
             _ => EvalCache::with_capacity(self.cache_capacity),
         });
         // One compilation serves both stages: blocks compiled at the
@@ -152,9 +217,62 @@ impl ExplorationSession {
             self.apex.trace_len.max(self.conex.trace_len),
         ));
         let apex = ApexExplorer::new(self.apex.clone()).explore_with_blocks(&self.workload, &blocks);
-        let engine = EvalEngine::with_blocks(&self.workload, blocks).with_cache(cache.clone());
-        let conex = ConexExplorer::with_library(self.conex.clone(), self.library.clone())
-            .explore_with_engine(&engine, apex.selected());
+        let engine =
+            EvalEngine::with_blocks(&self.workload, blocks.clone()).with_cache(cache.clone());
+        let explorer = ConexExplorer::with_library(self.conex.clone(), self.library.clone());
+        let mem_archs = apex.selected();
+        let state = match &resume {
+            Some(ck) => {
+                // Design points are not persisted; replay the completed
+                // architectures through a *scratch* copy of the restored
+                // cache (all hits, so this is cheap) and leave the real
+                // cache exactly as checkpointed.
+                let scratch = Arc::new(EvalCache::from_entries_fifo(
+                    ck.entries.iter().copied(),
+                    self.cache_capacity,
+                ));
+                let scratch_engine =
+                    EvalEngine::with_blocks(&self.workload, blocks).with_cache(scratch);
+                let state = explorer.phase1_partial(&scratch_engine, &mem_archs, ck.archs_done)?;
+                if state.frontier_evolution != ck.frontier {
+                    return Err(MceError::checkpoint(
+                        "replayed frontier diverges from the checkpointed one — the \
+                         checkpoint does not describe this run",
+                    ));
+                }
+                // The replay polluted the global counters; overwrite
+                // them with the checkpointed values so totals continue
+                // exactly where the interrupted run left off.
+                for (name, value) in &ck.counters {
+                    mce_obs::counter_restore(name, *value);
+                }
+                for (name, value) in &ck.gauges {
+                    mce_obs::gauge_restore(name, *value);
+                }
+                state
+            }
+            None => Phase1State::default(),
+        };
+        let resumed = resume.is_some();
+        let every = self.checkpoint_every;
+        let total = mem_archs.len();
+        let ck_path = self.checkpoint_file.clone();
+        let ck_cache = cache.clone();
+        let mut after_arch = move |s: &Phase1State| -> Result<(), MceError> {
+            if let Some(path) = &ck_path {
+                if s.archs_done % every == 0 || s.archs_done == total {
+                    Checkpoint::capture(w_digest.clone(), c_digest.clone(), s, &ck_cache)
+                        .save(path)?;
+                }
+            }
+            Ok(())
+        };
+        let conex =
+            explorer.explore_with_engine_resumable(&engine, mem_archs, state, &mut after_arch)?;
+        // The run completed; the checkpoint has served its purpose.
+        if let Some(path) = &self.checkpoint_file {
+            std::fs::remove_file(path).ok();
+        }
         if let Some(path) = &self.eval_cache_file {
             cache.save(path)?;
         }
@@ -167,12 +285,14 @@ impl ExplorationSession {
             &cache_stats,
             &conex,
             start.elapsed().as_secs_f64(),
+            resumed,
         );
         Ok(SessionResult {
             apex,
             conex,
             cache_stats,
             report,
+            resumed,
         })
     }
 }
@@ -188,8 +308,9 @@ mod tests {
         let session = ExplorationSession::new(w.clone()).preset(Preset::Fast);
         let result = session.run().unwrap();
         let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
-        let conex =
-            ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, apex.selected());
+        let conex = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
+            .explore(&w, apex.selected())
+            .unwrap();
         assert_eq!(result.apex, apex);
         assert_eq!(
             result.conex.simulated().len(),
@@ -220,6 +341,83 @@ mod tests {
         for (a, b) in cold.conex.simulated().iter().zip(warm.conex.simulated()) {
             assert_eq!(a.metrics, b.metrics, "warm cache never changes results");
         }
+    }
+
+    #[test]
+    fn resume_from_a_mid_run_checkpoint_matches_uninterrupted() {
+        let w = benchmarks::vocoder();
+        let ck_path =
+            std::env::temp_dir().join(format!("mce_resume_{}.json", std::process::id()));
+        std::fs::remove_file(&ck_path).ok();
+        let session = ExplorationSession::new(w.clone()).preset(Preset::Fast);
+        let clean = session.run().unwrap();
+        assert!(!clean.resumed);
+        // Hand-build the checkpoint a run killed after its first
+        // architecture would have left behind, then resume from it.
+        let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
+        let cache = Arc::new(EvalCache::with_capacity(DEFAULT_CAPACITY));
+        let engine = EvalEngine::new(&w, ConexConfig::preset(Preset::Fast).trace_len)
+            .with_cache(cache.clone());
+        let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
+        let state = explorer
+            .phase1_partial(&engine, &apex.selected(), 1)
+            .unwrap();
+        Checkpoint::capture(
+            workload_digest(&w).to_hex(),
+            config_digest(
+                &ApexConfig::preset(Preset::Fast),
+                &ConexConfig::preset(Preset::Fast),
+                &ConnectivityLibrary::amba(),
+                DEFAULT_CAPACITY,
+            ),
+            &state,
+            &cache,
+        )
+        .save(&ck_path)
+        .unwrap();
+        let resumed = session.clone().checkpoint_file(&ck_path).run().unwrap();
+        assert!(resumed.resumed);
+        assert!(!ck_path.exists(), "checkpoint consumed on success");
+        assert_eq!(clean.conex.estimated(), resumed.conex.estimated());
+        assert_eq!(clean.conex.simulated(), resumed.conex.simulated());
+        assert_eq!(clean.cache_stats, resumed.cache_stats);
+        // The acceptance bar: byte-identical reports up to wall_clock.
+        assert_eq!(
+            RunReport::stable_json_prefix(&clean.report.to_json()),
+            RunReport::stable_json_prefix(&resumed.report.to_json())
+        );
+    }
+
+    #[test]
+    fn foreign_checkpoint_is_rejected() {
+        let ck_path =
+            std::env::temp_dir().join(format!("mce_foreign_{}.json", std::process::id()));
+        std::fs::remove_file(&ck_path).ok();
+        // A valid checkpoint taken under a different workload…
+        let other = benchmarks::compress();
+        let cache = EvalCache::with_capacity(DEFAULT_CAPACITY);
+        Checkpoint::capture(
+            workload_digest(&other).to_hex(),
+            "not the real config digest".to_owned(),
+            &Phase1State::default(),
+            &cache,
+        )
+        .save(&ck_path)
+        .unwrap();
+        // …must not be resumed by a vocoder session.
+        let err = ExplorationSession::new(benchmarks::vocoder())
+            .checkpoint_file(&ck_path)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, MceError::Checkpoint { .. }), "{err}");
+        // A corrupt checkpoint is an error too, not a silent cold start.
+        std::fs::write(&ck_path, "not a checkpoint").unwrap();
+        let err = ExplorationSession::new(benchmarks::vocoder())
+            .checkpoint_file(&ck_path)
+            .run()
+            .unwrap_err();
+        std::fs::remove_file(&ck_path).ok();
+        assert!(matches!(err, MceError::Checkpoint { .. }), "{err}");
     }
 
     #[test]

@@ -40,8 +40,8 @@ fn apex_is_deterministic() {
 #[test]
 fn full_pipeline_metrics_are_reproducible() {
     let w = benchmarks::vocoder();
-    let a = MemorEx::preset(Preset::Fast).run(&w);
-    let b = MemorEx::preset(Preset::Fast).run(&w);
+    let a = MemorEx::preset(Preset::Fast).run(&w).unwrap();
+    let b = MemorEx::preset(Preset::Fast).run(&w).unwrap();
     let metrics = |r: &memory_conex::conex::MemorExResult| -> Vec<(u64, f64, f64)> {
         r.conex
             .simulated()
@@ -67,8 +67,10 @@ fn parallel_and_serial_exploration_agree() {
     serial_cfg.threads = 1;
     let mut parallel_cfg = ConexConfig::preset(Preset::Fast);
     parallel_cfg.threads = 0; // all cores
-    let serial = ConexExplorer::new(serial_cfg).explore(&w, apex.selected());
-    let parallel = ConexExplorer::new(parallel_cfg).explore(&w, apex.selected());
+    let serial = ConexExplorer::new(serial_cfg).explore(&w, apex.selected()).unwrap();
+    let parallel = ConexExplorer::new(parallel_cfg)
+        .explore(&w, apex.selected())
+        .unwrap();
     let key = |r: &ConexResult| -> Vec<(u64, u64, u64)> {
         r.simulated()
             .iter()

@@ -18,7 +18,8 @@ fn memoized_session_is_bit_identical_to_fresh_pipeline() {
     let w = benchmarks::compress();
     let fresh_apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
     let fresh = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
-        .explore(&w, fresh_apex.selected());
+        .explore(&w, fresh_apex.selected())
+        .unwrap();
     let memoized = ExplorationSession::new(w)
         .preset(Preset::Fast)
         .run()
@@ -104,13 +105,15 @@ fn spill_round_trips_through_the_public_cache_api() {
             })
             .collect()
     };
-    let first = engine.estimate_batch(
-        &mem,
-        candidates.clone(),
-        4_000,
-        memory_conex::sim::SamplingConfig::paper(),
-        1,
-    );
+    let first = engine
+        .estimate_batch(
+            &mem,
+            candidates.clone(),
+            4_000,
+            memory_conex::sim::SamplingConfig::paper(),
+            1,
+        )
+        .expect("estimation runs");
     assert!(
         first.iter().any(Option::is_some),
         "at least one alternative allocation must be feasible"
@@ -129,7 +132,8 @@ fn spill_round_trips_through_the_public_cache_api() {
             4_000,
             memory_conex::sim::SamplingConfig::paper(),
             1,
-        );
+        )
+        .expect("estimation runs");
     assert_eq!(first, again, "reloaded cache reproduces the metrics bit-for-bit");
     assert_eq!(
         reloaded.stats().misses,

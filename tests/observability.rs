@@ -23,7 +23,7 @@ fn record_explore(threads: usize) -> (Vec<obs::Event>, ConexResult) {
     let mut cfg = ConexConfig::preset(Preset::Fast);
     cfg.threads = threads;
     let mem = vec![MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4))];
-    let result = ConexExplorer::new(cfg).explore(&w, mem);
+    let result = ConexExplorer::new(cfg).explore(&w, mem).unwrap();
     obs::uninstall();
     (sink.take(), result)
 }
@@ -166,7 +166,9 @@ fn results_are_bit_identical_with_tracing_on_and_off() {
         }
         let w = benchmarks::vocoder();
         let mem = vec![MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4))];
-        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, mem);
+        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
+            .explore(&w, mem)
+            .unwrap();
         obs::uninstall();
         result
     };

@@ -7,7 +7,9 @@ use memory_conex::conex::MemorEx;
 use memory_conex::prelude::*;
 
 fn run(workload: &Workload) -> memory_conex::conex::MemorExResult {
-    MemorEx::preset(Preset::Fast).run(workload)
+    MemorEx::preset(Preset::Fast)
+        .run(workload)
+        .expect("exploration runs")
 }
 
 #[test]

@@ -10,7 +10,9 @@ use memory_conex::prelude::*;
 fn explore(strategy: ExplorationStrategy) -> ConexResult {
     let w = benchmarks::vocoder();
     let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
-    ConexExplorer::new(ConexConfig::preset(Preset::Fast).with_strategy(strategy)).explore(&w, apex.selected())
+    ConexExplorer::new(ConexConfig::preset(Preset::Fast).with_strategy(strategy))
+        .explore(&w, apex.selected())
+        .unwrap()
 }
 
 #[test]
@@ -95,7 +97,7 @@ fn estimates_rank_like_full_simulation_on_the_shortlist() {
     let apex = ApexExplorer::new(ApexConfig::preset(Preset::Fast)).explore(&w);
     let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
     let mem = apex.selected().remove(0);
-    let estimates = explorer.connectivity_exploration(&w, &mem);
+    let estimates = explorer.connectivity_exploration(&w, &mem).unwrap();
     let mut agree = 0;
     let mut total = 0;
     let refined: Vec<f64> = estimates

@@ -176,9 +176,9 @@ fn two_level_system_explorable_by_conex() {
     cfg.trace_len = 6_000;
     cfg.max_allocations_per_level = 16;
     let explorer = memory_conex::conex::ConexExplorer::new(cfg);
-    let points = explorer.connectivity_exploration(&w, &mem);
+    let points = explorer.connectivity_exploration(&w, &mem).unwrap();
     assert!(points.len() >= 5, "{} points", points.len());
-    let result = explorer.explore(&w, vec![mem]);
+    let result = explorer.explore(&w, vec![mem]).unwrap();
     assert!(!result.pareto_cost_latency().is_empty());
 }
 
