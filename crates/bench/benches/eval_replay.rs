@@ -1,15 +1,21 @@
 //! Evaluation-engine micro-bench: block-compiled trace replay
 //! ([`mce_sim::simulate_blocks`]) against per-access generator dispatch
-//! ([`mce_sim::simulate`]) on the vocoder workload.
+//! ([`mce_sim::simulate`]) on the vocoder workload, plus the
+//! cancellation-token-enabled replay variant
+//! ([`mce_sim::simulate_blocks_cancellable`] polling a live
+//! [`CancelToken`]) so the gate can pin the cooperative-cancellation
+//! check's hot-path cost.
 //!
 //! Besides the criterion groups, the bench writes a `BENCH_eval.json`
-//! summary (median wall time per path and the replay speedup) so the
-//! comparison can be archived next to the experiment outputs.
+//! summary (median wall time per path, the replay speedup, and the
+//! cancellation-check overhead ratio) so the comparison can be archived
+//! next to the experiment outputs and gated by `mce bench-gate`.
 
 use criterion::{criterion_group, Criterion};
 use mce_appmodel::{benchmarks, TraceBlocks};
+use mce_budget::CancelToken;
 use mce_memlib::{CacheConfig, MemoryArchitecture};
-use mce_sim::{simulate, simulate_blocks, SystemConfig};
+use mce_sim::{simulate, simulate_blocks, simulate_blocks_cancellable, SystemConfig};
 use std::time::Instant;
 
 const TRACE_LEN: usize = 30_000;
@@ -32,6 +38,14 @@ fn eval_replay(c: &mut Criterion) {
     group.bench_function("block_replay", |b| {
         b.iter(|| simulate_blocks(&sys, &w, &blocks, TRACE_LEN));
     });
+    group.bench_function("block_replay_cancellable", |b| {
+        // An armed (never-tripping) token, so the per-batch check does
+        // the same atomic work it does inside a bounded exploration.
+        let token = CancelToken::bounded(None, true);
+        b.iter(|| {
+            simulate_blocks_cancellable(&sys, &w, &blocks, TRACE_LEN, &|| token.is_cancelled())
+        });
+    });
     group.finish();
 }
 
@@ -50,26 +64,35 @@ fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
 
 fn write_summary() {
     let (w, sys, blocks) = setup();
-    // Warm up both paths once, then take medians.
+    let token = CancelToken::bounded(None, true);
+    let cancelled = || token.is_cancelled();
+    // Warm up each path once, then take medians.
     simulate(&sys, &w, TRACE_LEN);
     simulate_blocks(&sys, &w, &blocks, TRACE_LEN);
+    simulate_blocks_cancellable(&sys, &w, &blocks, TRACE_LEN, &cancelled);
     let per_access = median_ns(9, || {
         simulate(&sys, &w, TRACE_LEN);
     });
     let block = median_ns(9, || {
         simulate_blocks(&sys, &w, &blocks, TRACE_LEN);
     });
+    let cancellable = median_ns(9, || {
+        simulate_blocks_cancellable(&sys, &w, &blocks, TRACE_LEN, &cancelled);
+    });
     let speedup = per_access as f64 / block as f64;
+    let overhead = cancellable as f64 / block as f64;
     let json = format!(
         "{{\n  \"workload\": \"{}\",\n  \"trace_len\": {TRACE_LEN},\n  \
          \"per_access_dispatch_ns\": {per_access},\n  \"block_replay_ns\": {block},\n  \
-         \"block_replay_speedup\": {speedup:.3}\n}}\n",
+         \"block_replay_speedup\": {speedup:.3},\n  \
+         \"block_replay_cancellable_ns\": {cancellable},\n  \
+         \"block_replay_cancellable_overhead\": {overhead:.3}\n}}\n",
         w.name()
     );
     std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
     eprintln!(
         "BENCH_eval.json: per-access {per_access} ns, block replay {block} ns \
-         ({speedup:.2}x)"
+         ({speedup:.2}x), cancellable replay {cancellable} ns ({overhead:.3}x)"
     );
 }
 

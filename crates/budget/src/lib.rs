@@ -1,0 +1,677 @@
+//! Bounded exploration: cooperative cancellation, deadlines, candidate
+//! watchdogs and logical evaluation budgets.
+//!
+//! Exploration runs are cut short along two very different axes, and this
+//! crate keeps them strictly apart:
+//!
+//! * **Logical budgets** ([`EvalBudget`], `--max-evals` / `--max-archs`)
+//!   count *committed* work units in the engine's canonical (serial probe)
+//!   order. They are consumed on the calling thread only, so a budgeted
+//!   run truncates at exactly the same candidate regardless of thread
+//!   count or cache hit pattern — budgeted results are bit-identical and
+//!   resumable.
+//! * **Wall-clock bounds** ([`CancelToken`] deadlines, SIGINT, and the
+//!   per-candidate [`Watchdog`]) depend on elapsed time and therefore on
+//!   the machine. Their effects are confined to *where* a run stops (a
+//!   safe point: a memory-architecture boundary) and to `degraded`
+//!   annotations — never to the value of any committed evaluation.
+//!
+//! Cancellation is cooperative throughout: a [`CancelToken`] is a cheap
+//! atomic flag that simulation loops poll at block-batch boundaries and
+//! the explorer polls at candidate/architecture boundaries. Nothing is
+//! ever killed mid-evaluation; a hung evaluation is reclaimed by the
+//! [`Watchdog`] flagging its lane, after which the evaluation's own
+//! cancellation checks (or the fault-injection hang loop) observe the
+//! flag and bail out.
+//!
+//! This crate is `std`-only. It contains the workspace's only `unsafe`
+//! block: the minimal `signal(2)` shim behind [`install_sigint_handler`]
+//! (std already links libc on the platforms we run on, so no new
+//! dependency is needed for Ctrl-C handling).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a run (or token) was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The global `--deadline` elapsed.
+    Deadline,
+    /// SIGINT (Ctrl-C) was received.
+    Interrupt,
+}
+
+impl CancelReason {
+    /// Stable lower-case label used in status lines and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CancelReason::Deadline => "deadline",
+            CancelReason::Interrupt => "interrupt",
+        }
+    }
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+const REASON_NONE: u8 = 0;
+const REASON_DEADLINE: u8 = 1;
+const REASON_INTERRUPT: u8 = 2;
+
+struct TokenInner {
+    cancelled: AtomicBool,
+    reason: AtomicU8,
+    deadline: Option<Instant>,
+    watch_interrupt: bool,
+}
+
+/// A cheap, cloneable cooperative-cancellation token.
+///
+/// The hot path ([`CancelToken::is_cancelled`]) is a single relaxed
+/// atomic load once the token has tripped; before that it additionally
+/// compares against the optional deadline and the process-wide SIGINT
+/// flag, latching the first reason observed so later polls stay cheap
+/// and [`CancelToken::reason`] is stable.
+///
+/// Clones share state: cancelling one cancels all.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancelToken {
+    /// A token that can only be cancelled explicitly (never by time or
+    /// signal). This is the default used by unbounded runs; its checks
+    /// are a single relaxed load.
+    pub fn never() -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                reason: AtomicU8::new(REASON_NONE),
+                deadline: None,
+                watch_interrupt: false,
+            }),
+        }
+    }
+
+    /// A token that trips once `deadline` elapses (measured from now)
+    /// and, when `watch_interrupt` is set, when the process-wide SIGINT
+    /// flag (see [`install_sigint_handler`]) is raised.
+    pub fn bounded(deadline: Option<Duration>, watch_interrupt: bool) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                reason: AtomicU8::new(REASON_NONE),
+                deadline: deadline.map(|d| Instant::now() + d),
+                watch_interrupt,
+            }),
+        }
+    }
+
+    /// Polls the token. Latches (and keeps) the first reason observed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.inner.watch_interrupt && interrupted() {
+            self.cancel(CancelReason::Interrupt);
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.cancel(CancelReason::Deadline);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Trips the token with `reason`. The first reason wins; later calls
+    /// only keep the flag set.
+    pub fn cancel(&self, reason: CancelReason) {
+        let code = match reason {
+            CancelReason::Deadline => REASON_DEADLINE,
+            CancelReason::Interrupt => REASON_INTERRUPT,
+        };
+        let _ = self.inner.reason.compare_exchange(
+            REASON_NONE,
+            code,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// The latched reason, if the token has tripped.
+    pub fn reason(&self) -> Option<CancelReason> {
+        match self.inner.reason.load(Ordering::Relaxed) {
+            REASON_DEADLINE => Some(CancelReason::Deadline),
+            REASON_INTERRUPT => Some(CancelReason::Interrupt),
+            _ => None,
+        }
+    }
+
+    /// Whether this token can ever trip on its own (deadline or SIGINT).
+    /// Tokens for which this is false let callers skip bookkeeping that
+    /// only matters when a run may be cut short.
+    pub fn is_armed(&self) -> bool {
+        self.inner.deadline.is_some() || self.inner.watch_interrupt
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::never()
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.inner.cancelled.load(Ordering::Relaxed))
+            .field("reason", &self.reason())
+            .field("deadline", &self.inner.deadline.is_some())
+            .field("watch_interrupt", &self.inner.watch_interrupt)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIGINT
+
+static SIGINT_FLAG: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT has been received since [`install_sigint_handler`] (or
+/// [`raise_interrupt`]) was called.
+pub fn interrupted() -> bool {
+    SIGINT_FLAG.load(Ordering::Relaxed)
+}
+
+/// Sets the process-wide interrupt flag, exactly as the signal handler
+/// would. For tests and for embedders with their own signal handling.
+pub fn raise_interrupt() {
+    SIGINT_FLAG.store(true, Ordering::Relaxed);
+}
+
+/// Clears the interrupt flag (between runs in one process, or in tests).
+pub fn clear_interrupt() {
+    SIGINT_FLAG.store(false, Ordering::Relaxed);
+}
+
+/// Installs a SIGINT handler that sets the flag behind [`interrupted`].
+///
+/// The handler is a single store to a static `AtomicBool` — the only
+/// async-signal-safe action taken — and the run observes it at the next
+/// cooperative check. Returns `false` on platforms without `signal(2)`
+/// (the flag then only ever trips via [`raise_interrupt`]).
+#[cfg(unix)]
+pub fn install_sigint_handler() -> bool {
+    // The one unsafe block in the workspace: registering a handler via
+    // the C `signal` function std already links. No libc crate needed.
+    const SIGINT: i32 = 2;
+    extern "C" fn on_sigint(_sig: i32) {
+        SIGINT_FLAG.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+    true
+}
+
+/// Installs a SIGINT handler (no-op off Unix; returns `false`).
+#[cfg(not(unix))]
+pub fn install_sigint_handler() -> bool {
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Logical budgets
+
+const UNLIMITED: u64 = u64::MAX;
+
+/// A deterministic logical evaluation budget (`--max-evals`).
+///
+/// Units are taken serially, in the engine's canonical probe order —
+/// one per *feasible candidate slot*, whether it is answered by a cache
+/// hit, coalesced with a twin, or simulated. Consumption is therefore
+/// identical across thread counts and with the cache on or off, which is
+/// what makes budget-truncated runs bit-identical and resumable.
+pub struct EvalBudget {
+    remaining: AtomicU64,
+}
+
+impl EvalBudget {
+    /// A budget that never runs out.
+    pub fn unlimited() -> Self {
+        EvalBudget {
+            remaining: AtomicU64::new(UNLIMITED),
+        }
+    }
+
+    /// A budget of exactly `n` evaluations.
+    pub fn limited(n: u64) -> Self {
+        EvalBudget {
+            remaining: AtomicU64::new(n.min(UNLIMITED - 1)),
+        }
+    }
+
+    /// Takes one unit. Returns `false` (without consuming anything) when
+    /// the budget is exhausted.
+    pub fn take(&self) -> bool {
+        let mut cur = self.remaining.load(Ordering::Relaxed);
+        loop {
+            if cur == UNLIMITED {
+                return true;
+            }
+            if cur == 0 {
+                return false;
+            }
+            match self.remaining.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Remaining units, or `None` for an unlimited budget.
+    pub fn remaining(&self) -> Option<u64> {
+        match self.remaining.load(Ordering::Relaxed) {
+            UNLIMITED => None,
+            n => Some(n),
+        }
+    }
+
+    /// Whether the next [`EvalBudget::take`] would fail.
+    pub fn exhausted(&self) -> bool {
+        self.remaining.load(Ordering::Relaxed) == 0
+    }
+}
+
+impl fmt::Debug for EvalBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.remaining() {
+            None => f.write_str("EvalBudget(unlimited)"),
+            Some(n) => write!(f, "EvalBudget({n})"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Candidate watchdog
+
+struct LaneState {
+    /// Microseconds (since the watchdog's epoch) at which the lane
+    /// expires; 0 means idle.
+    deadline_us: AtomicU64,
+    expired: AtomicBool,
+}
+
+struct WatchdogShared {
+    epoch: Instant,
+    timeout: Duration,
+    stop: AtomicBool,
+    lanes: Mutex<Vec<Arc<LaneState>>>,
+}
+
+impl WatchdogShared {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// Guards one in-flight evaluation under a [`Watchdog`].
+///
+/// Dropping the guard (the evaluation finished, however it finished)
+/// retires the lane; the lane's slot is reused by later evaluations.
+pub struct LaneGuard {
+    lane: Arc<LaneState>,
+    epoch: Instant,
+}
+
+impl LaneGuard {
+    /// Whether this evaluation is over its per-candidate timeout.
+    ///
+    /// Checks the watchdog thread's flag (a relaxed load) and, while the
+    /// flag is clear, the lane's own deadline — so a cooperative poll
+    /// observes expiry promptly even between watchdog scans. The
+    /// background thread exists for the lanes that *cannot* poll: it
+    /// keeps flagging wedged lanes so their expiry is already latched
+    /// whenever they next become observable.
+    pub fn expired(&self) -> bool {
+        if self.lane.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        let deadline = self.lane.deadline_us.load(Ordering::Relaxed);
+        if deadline != 0 && self.epoch.elapsed().as_micros() as u64 >= deadline {
+            self.lane.expired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        self.lane.deadline_us.store(0, Ordering::Relaxed);
+        self.lane.expired.store(false, Ordering::Relaxed);
+    }
+}
+
+/// A background thread enforcing `--candidate-timeout` over the worker
+/// lanes of a parallel evaluation batch.
+///
+/// Workers register each evaluation via [`Watchdog::watch`]; the thread
+/// periodically scans the lanes and flags any that have been running
+/// longer than the timeout. Reclamation stays cooperative: the flagged
+/// evaluation notices via [`LaneGuard::expired`] at its next cancellation
+/// check and returns early, and the engine substitutes a degraded result.
+pub struct Watchdog {
+    shared: Arc<WatchdogShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Starts the watchdog thread with the given per-candidate timeout.
+    pub fn start(timeout: Duration) -> Self {
+        let shared = Arc::new(WatchdogShared {
+            epoch: Instant::now(),
+            timeout,
+            stop: AtomicBool::new(false),
+            lanes: Mutex::new(Vec::new()),
+        });
+        let poll = (timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("mce-watchdog".into())
+            .spawn(move || {
+                while !thread_shared.stop.load(Ordering::Relaxed) {
+                    let now = thread_shared.now_us();
+                    for lane in thread_shared.lanes.lock().unwrap().iter() {
+                        let deadline = lane.deadline_us.load(Ordering::Relaxed);
+                        if deadline != 0 && now >= deadline {
+                            lane.expired.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(poll);
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// The configured per-candidate timeout.
+    pub fn timeout(&self) -> Duration {
+        self.shared.timeout
+    }
+
+    /// Registers the calling worker's current evaluation. The returned
+    /// guard must live for the duration of the evaluation.
+    pub fn watch(&self) -> LaneGuard {
+        let deadline = self
+            .shared
+            .now_us()
+            .saturating_add(self.shared.timeout.as_micros() as u64)
+            .max(1);
+        let mut lanes = self.shared.lanes.lock().unwrap();
+        // Reuse a retired lane (only the registry holds it) so the vector
+        // stays bounded by the peak number of concurrent evaluations.
+        for lane in lanes.iter() {
+            if Arc::strong_count(lane) == 1 && lane.deadline_us.load(Ordering::Relaxed) == 0 {
+                lane.expired.store(false, Ordering::Relaxed);
+                lane.deadline_us.store(deadline, Ordering::Relaxed);
+                return LaneGuard {
+                    lane: Arc::clone(lane),
+                    epoch: self.shared.epoch,
+                };
+            }
+        }
+        let lane = Arc::new(LaneState {
+            deadline_us: AtomicU64::new(deadline),
+            expired: AtomicBool::new(false),
+        });
+        lanes.push(Arc::clone(&lane));
+        LaneGuard {
+            lane,
+            epoch: self.shared.epoch,
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("timeout", &self.shared.timeout)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounds: everything the engine needs, bundled
+
+/// Why a bounded run stopped before finishing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The logical `--max-evals` budget ran out.
+    MaxEvals,
+    /// The logical `--max-archs` budget ran out.
+    MaxArchs,
+    /// The wall-clock `--deadline` elapsed.
+    Deadline,
+    /// SIGINT (Ctrl-C).
+    Interrupt,
+}
+
+impl StopReason {
+    /// Stable lower-case label used in status lines and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::MaxEvals => "max-evals",
+            StopReason::MaxArchs => "max-archs",
+            StopReason::Deadline => "deadline",
+            StopReason::Interrupt => "interrupt",
+        }
+    }
+
+    /// Whether this stop is a pure function of the run's inputs (logical
+    /// budgets) rather than of elapsed time.
+    pub fn is_deterministic(self) -> bool {
+        matches!(self, StopReason::MaxEvals | StopReason::MaxArchs)
+    }
+}
+
+impl From<CancelReason> for StopReason {
+    fn from(reason: CancelReason) -> Self {
+        match reason {
+            CancelReason::Deadline => StopReason::Deadline,
+            CancelReason::Interrupt => StopReason::Interrupt,
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The bundle of bounds an evaluation pipeline runs under. Cloneable and
+/// cheap to pass around; all members share state across clones.
+#[derive(Debug, Clone, Default)]
+pub struct Bounds {
+    /// Global cooperative cancellation (deadline and/or SIGINT).
+    pub token: CancelToken,
+    /// Logical evaluation budget, shared across phases and resume replay.
+    pub budget: Option<Arc<EvalBudget>>,
+    /// Cap on Phase-I memory architectures.
+    pub max_archs: Option<usize>,
+    /// Per-candidate wall-clock watchdog.
+    pub watchdog: Option<Arc<Watchdog>>,
+}
+
+impl Bounds {
+    /// Bounds that never constrain anything (the default).
+    pub fn none() -> Self {
+        Bounds::default()
+    }
+
+    /// Whether any bound is set at all. Unbounded pipelines skip the
+    /// bookkeeping this crate adds.
+    pub fn is_active(&self) -> bool {
+        self.token.is_armed()
+            || self.budget.is_some()
+            || self.max_archs.is_some()
+            || self.watchdog.is_some()
+    }
+
+    /// Takes one unit of the logical budget (always succeeds when no
+    /// budget is set).
+    pub fn take_eval(&self) -> bool {
+        self.budget.as_ref().map_or(true, |b| b.take())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_stays_clear_until_cancelled() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert!(!t.is_armed());
+        assert_eq!(t.reason(), None);
+        t.cancel(CancelReason::Deadline);
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+        // First reason wins.
+        t.cancel(CancelReason::Interrupt);
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = CancelToken::never();
+        let b = a.clone();
+        b.cancel(CancelReason::Interrupt);
+        assert!(a.is_cancelled());
+        assert_eq!(a.reason(), Some(CancelReason::Interrupt));
+    }
+
+    #[test]
+    fn deadline_token_trips_after_elapsing() {
+        let t = CancelToken::bounded(Some(Duration::from_millis(5)), false);
+        assert!(t.is_armed());
+        let start = Instant::now();
+        while !t.is_cancelled() {
+            assert!(start.elapsed() < Duration::from_secs(5), "never tripped");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn interrupt_flag_trips_watching_tokens_only() {
+        clear_interrupt();
+        let watching = CancelToken::bounded(None, true);
+        let ignoring = CancelToken::never();
+        assert!(!watching.is_cancelled());
+        raise_interrupt();
+        assert!(watching.is_cancelled());
+        assert_eq!(watching.reason(), Some(CancelReason::Interrupt));
+        assert!(!ignoring.is_cancelled());
+        clear_interrupt();
+    }
+
+    #[test]
+    fn budget_counts_down_and_stops() {
+        let b = EvalBudget::limited(3);
+        assert_eq!(b.remaining(), Some(3));
+        assert!(b.take() && b.take() && b.take());
+        assert!(!b.take());
+        assert!(b.exhausted());
+        assert_eq!(b.remaining(), Some(0));
+
+        let u = EvalBudget::unlimited();
+        for _ in 0..1000 {
+            assert!(u.take());
+        }
+        assert_eq!(u.remaining(), None);
+        assert!(!u.exhausted());
+    }
+
+    #[test]
+    fn watchdog_flags_overrunning_lane_and_reuses_slots() {
+        let w = Watchdog::start(Duration::from_millis(10));
+        let lane = w.watch();
+        assert!(!lane.expired());
+        let start = Instant::now();
+        while !lane.expired() {
+            assert!(start.elapsed() < Duration::from_secs(5), "never expired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(lane);
+        // A fresh registration reuses the retired slot and starts clear.
+        let lane2 = w.watch();
+        assert!(!lane2.expired());
+        assert_eq!(w.shared.lanes.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fast_evaluations_never_expire() {
+        let w = Watchdog::start(Duration::from_secs(3600));
+        for _ in 0..100 {
+            let lane = w.watch();
+            assert!(!lane.expired());
+        }
+    }
+
+    #[test]
+    fn bounds_default_is_inactive() {
+        let b = Bounds::none();
+        assert!(!b.is_active());
+        assert!(b.take_eval());
+        let bounded = Bounds {
+            budget: Some(Arc::new(EvalBudget::limited(1))),
+            ..Bounds::none()
+        };
+        assert!(bounded.is_active());
+        assert!(bounded.take_eval());
+        assert!(!bounded.take_eval());
+    }
+
+    #[test]
+    fn stop_reason_labels_and_determinism() {
+        assert_eq!(StopReason::MaxEvals.as_str(), "max-evals");
+        assert!(StopReason::MaxEvals.is_deterministic());
+        assert!(StopReason::MaxArchs.is_deterministic());
+        assert!(!StopReason::Deadline.is_deterministic());
+        assert!(!StopReason::Interrupt.is_deterministic());
+        assert_eq!(StopReason::from(CancelReason::Interrupt), StopReason::Interrupt);
+    }
+}

@@ -30,11 +30,14 @@ use crate::design_point::{
 use crate::eval_cache::EvalCache;
 use crate::par::try_par_map_named;
 use mce_appmodel::{TraceBlocks, Workload};
+use mce_budget::Bounds;
 use mce_error::MceError;
 use mce_connlib::ConnectivityArchitecture;
 use mce_memlib::MemoryArchitecture;
 use mce_obs as obs;
-use mce_sim::{simulate_blocks, simulate_sampled_blocks, SamplingConfig, SystemConfig};
+use mce_sim::{
+    simulate_blocks_cancellable, simulate_sampled_blocks_cancellable, SamplingConfig, SystemConfig,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -48,6 +51,37 @@ enum Slot<T> {
     Job(T, usize),
 }
 
+/// How a bounded batch ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStatus {
+    /// Every slot was answered (possibly with degraded values — see
+    /// [`BoundedBatch::degraded`]).
+    Complete,
+    /// The logical evaluation budget ran out during the serial probe.
+    /// Nothing from this batch was committed: no simulation ran, no cache
+    /// entry was inserted, no counter was bumped. Budget units consumed
+    /// by the partial probe stay consumed — the probe order is canonical,
+    /// so consumption is identical across thread counts and cache state.
+    BudgetExhausted,
+    /// The global cancel token tripped (deadline or SIGINT) before or
+    /// during the batch. As with budget exhaustion, nothing was
+    /// committed; the caller stops at its next safe point.
+    Cancelled,
+}
+
+/// The result of a bounded batch evaluation.
+#[derive(Debug)]
+pub struct BoundedBatch<T> {
+    /// Index-aligned outputs; empty unless
+    /// [`status`](BoundedBatch::status) is [`BatchStatus::Complete`].
+    pub output: Vec<T>,
+    /// Indices (into `output`) answered with a degraded value because
+    /// their simulation hit the per-candidate watchdog timeout.
+    pub degraded: Vec<usize>,
+    /// How the batch ended.
+    pub status: BatchStatus,
+}
+
 /// The memoizing evaluation engine for one workload.
 ///
 /// Construct one per exploration (or share one across APEX and ConEx via
@@ -59,6 +93,7 @@ pub struct EvalEngine {
     workload_key: CanonKey,
     blocks: Arc<TraceBlocks>,
     cache: Option<Arc<EvalCache>>,
+    bounds: Bounds,
 }
 
 impl EvalEngine {
@@ -82,6 +117,7 @@ impl EvalEngine {
             workload_key: workload_digest(workload),
             blocks,
             cache: None,
+            bounds: Bounds::none(),
         }
     }
 
@@ -90,6 +126,21 @@ impl EvalEngine {
     pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Attaches evaluation bounds: a cancel token checked per batch and
+    /// at simulation block boundaries, a logical budget consumed per
+    /// feasible candidate in canonical probe order, and a per-candidate
+    /// watchdog. [`Bounds::none`] (the default) changes nothing.
+    #[must_use]
+    pub fn with_bounds(mut self, bounds: Bounds) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// The engine's bounds ([`Bounds::none`] unless set).
+    pub fn bounds(&self) -> &Bounds {
+        &self.bounds
     }
 
     /// The workload this engine evaluates against.
@@ -133,9 +184,34 @@ impl EvalEngine {
         sampling: SamplingConfig,
         threads: usize,
     ) -> Result<Vec<Option<DesignPoint>>, MceError> {
+        let batch = self.estimate_batch_bounded(mem, candidates, trace_len, sampling, threads)?;
+        expect_complete(batch)
+    }
+
+    /// [`EvalEngine::estimate_batch`] under the engine's [`Bounds`].
+    ///
+    /// A batch cut short by the logical budget or the cancel token comes
+    /// back with an empty output and the corresponding
+    /// [`BatchStatus`] — nothing from it was committed. A candidate whose
+    /// sampled simulation hit the per-candidate watchdog timeout has no
+    /// cheaper estimator to fall back to, so it is dropped from the batch
+    /// (its slot answers `None`, exactly like an infeasible pairing) and
+    /// recorded in [`BoundedBatch::degraded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice.
+    pub fn estimate_batch_bounded(
+        &self,
+        mem: &MemoryArchitecture,
+        candidates: Vec<ConnectivityArchitecture>,
+        trace_len: usize,
+        sampling: SamplingConfig,
+        threads: usize,
+    ) -> Result<BoundedBatch<Option<DesignPoint>>, MceError> {
         let mem_key = mem_digest(mem, &self.workload);
         let mode = EvalMode::Estimated(sampling);
-        let slots = self.run_batch(
+        let (slots, status) = self.run_batch(
             "conex.estimate",
             candidates.len(),
             threads,
@@ -147,27 +223,55 @@ impl EvalEngine {
                 let key = eval_key(self.workload_key, mem_key, conn_key, trace_len, mode);
                 Some((key, sys))
             },
-            |sys| {
+            |sys, cancelled| {
                 let _t = obs::time_scope("conex.estimate.item_us");
                 #[cfg(feature = "fault-injection")]
-                mce_faultinject::on_eval();
-                let stats =
-                    simulate_sampled_blocks(sys, &self.workload, &self.blocks, trace_len, sampling);
-                Metrics::new(
+                if mce_faultinject::on_eval_blocking(cancelled) {
+                    return None;
+                }
+                let stats = simulate_sampled_blocks_cancellable(
+                    sys,
+                    &self.workload,
+                    &self.blocks,
+                    trace_len,
+                    sampling,
+                    cancelled,
+                )?;
+                Some(Metrics::new(
                     sys.gate_cost(),
                     stats.avg_latency_cycles,
                     stats.avg_energy_nj,
-                )
+                ))
             },
         )?;
-        Ok(slots
+        if status != BatchStatus::Complete {
+            return Ok(BoundedBatch {
+                output: Vec::new(),
+                degraded: Vec::new(),
+                status,
+            });
+        }
+        let mut degraded = Vec::new();
+        let output = slots
             .into_iter()
-            .map(|(slot, metrics)| match slot {
+            .enumerate()
+            .map(|(i, (slot, metrics))| match slot {
                 Slot::Infeasible => None,
                 Slot::Hit(sys, m) => Some(DesignPoint::new(sys, m, true)),
+                // A timed-out estimate has no fallback value: drop the
+                // candidate, as if infeasible, and annotate the slot.
+                Slot::Job(_, _) if metrics.is_none() => {
+                    degraded.push(i);
+                    None
+                }
                 Slot::Job(sys, _) => Some(DesignPoint::new(sys, metrics.unwrap(), true)),
             })
-            .collect())
+            .collect();
+        Ok(BoundedBatch {
+            output,
+            degraded,
+            status,
+        })
     }
 
     /// Phase-II full simulation of a shortlist of design points.
@@ -186,7 +290,33 @@ impl EvalEngine {
         trace_len: usize,
         threads: usize,
     ) -> Result<Vec<DesignPoint>, MceError> {
-        let slots = self.run_batch(
+        let batch = self.refine_batch_bounded(points, trace_len, threads)?;
+        expect_complete(batch)
+    }
+
+    /// [`EvalEngine::refine_batch`] under the engine's [`Bounds`].
+    ///
+    /// A batch cut short by the logical budget or the cancel token comes
+    /// back with an empty output and the corresponding [`BatchStatus`].
+    /// A point whose full simulation hit the per-candidate watchdog
+    /// timeout degrades gracefully: the simulation result is replaced by
+    /// the estimator's value (the point's existing metrics, which Phase I
+    /// already committed deterministically), the point keeps its
+    /// `estimated` flag, and its index is recorded in
+    /// [`BoundedBatch::degraded`]. Degraded values are never inserted
+    /// into the eval cache, so a timeout can not poison memoization
+    /// across runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice.
+    pub fn refine_batch_bounded(
+        &self,
+        points: &[DesignPoint],
+        trace_len: usize,
+        threads: usize,
+    ) -> Result<BoundedBatch<DesignPoint>, MceError> {
+        let (slots, status) = self.run_batch(
             "conex.simulate",
             points.len(),
             threads,
@@ -201,42 +331,89 @@ impl EvalEngine {
                 );
                 Some((key, sys.clone()))
             },
-            |sys| {
+            |sys, cancelled| {
                 let _t = obs::time_scope("conex.simulate.item_us");
                 #[cfg(feature = "fault-injection")]
-                mce_faultinject::on_eval();
-                let stats = simulate_blocks(sys, &self.workload, &self.blocks, trace_len);
-                Metrics::new(
+                if mce_faultinject::on_eval_blocking(cancelled) {
+                    return None;
+                }
+                let stats = simulate_blocks_cancellable(
+                    sys,
+                    &self.workload,
+                    &self.blocks,
+                    trace_len,
+                    cancelled,
+                )?;
+                Some(Metrics::new(
                     sys.gate_cost(),
                     stats.avg_latency_cycles,
                     stats.avg_energy_nj,
-                )
+                ))
             },
         )?;
-        Ok(slots
+        if status != BatchStatus::Complete {
+            return Ok(BoundedBatch {
+                output: Vec::new(),
+                degraded: Vec::new(),
+                status,
+            });
+        }
+        let mut degraded = Vec::new();
+        let output = slots
             .into_iter()
-            .map(|(slot, metrics)| match slot {
+            .enumerate()
+            .map(|(i, (slot, metrics))| match slot {
                 Slot::Infeasible => unreachable!("refine inputs are always feasible"),
                 Slot::Hit(sys, m) => DesignPoint::new(sys, m, false),
+                // Timed out: fall back to the estimator's value for this
+                // point; it stays marked as an estimate.
+                Slot::Job(sys, _) if metrics.is_none() => {
+                    degraded.push(i);
+                    DesignPoint::new(sys, points[i].metrics, true)
+                }
                 Slot::Job(sys, _) => DesignPoint::new(sys, metrics.unwrap(), false),
             })
-            .collect())
+            .collect();
+        Ok(BoundedBatch {
+            output,
+            degraded,
+            status,
+        })
     }
 
     /// The shared probe → simulate → populate machinery.
     ///
     /// `prepare(i)` keys slot `i` (returning `None` for infeasible
-    /// pairings); `evaluate` runs the unique simulation jobs in parallel.
-    /// Returns each slot paired with its job's metrics (`None` for
-    /// non-job slots).
+    /// pairings); `evaluate` runs the unique simulation jobs in parallel,
+    /// returning `None` when its cancellation check cut the simulation
+    /// short. Returns each slot paired with its job's metrics (`None` for
+    /// non-job slots and for timed-out jobs), plus the batch status.
+    ///
+    /// Bounds discipline:
+    /// * the cancel token is checked once before the probe and inside
+    ///   every simulation (at block-batch boundaries via `evaluate`'s
+    ///   check); a tripped token discards the whole batch
+    ///   ([`BatchStatus::Cancelled`], nothing committed);
+    /// * one logical budget unit is taken per feasible slot, serially in
+    ///   probe order (hit, coalesced and job slots all count one) — the
+    ///   canonical order makes consumption thread-count and cache
+    ///   independent. Exhaustion discards the batch
+    ///   ([`BatchStatus::BudgetExhausted`], nothing committed);
+    /// * each parallel job registers with the watchdog (when one is set);
+    ///   an expired lane makes `evaluate`'s check trip for that job only,
+    ///   which surfaces as `None` metrics — a timeout, not a cancel.
     fn run_batch(
         &self,
         region: &'static str,
         len: usize,
         threads: usize,
         prepare: impl Fn(usize) -> Option<(CanonKey, SystemConfig)>,
-        evaluate: impl Fn(&SystemConfig) -> Metrics + Sync,
-    ) -> Result<Vec<(Slot<SystemConfig>, Option<Metrics>)>, MceError> {
+        evaluate: impl Fn(&SystemConfig, &(dyn Fn() -> bool + Sync)) -> Option<Metrics> + Sync,
+    ) -> Result<(Vec<(Slot<SystemConfig>, Option<Metrics>)>, BatchStatus), MceError> {
+        let bounds = &self.bounds;
+        if bounds.token.is_cancelled() {
+            return Ok((Vec::new(), BatchStatus::Cancelled));
+        }
         // Serial probe phase: classify every slot, deduplicating within
         // the batch so each unique key simulates at most once.
         let mut slots: Vec<Slot<SystemConfig>> = Vec::with_capacity(len);
@@ -248,9 +425,14 @@ impl EvalEngine {
                 slots.push(Slot::Infeasible);
                 continue;
             };
+            if !bounds.take_eval() {
+                return Ok((Vec::new(), BatchStatus::BudgetExhausted));
+            }
+            // Peek, don't get: hit/miss statistics are tallied only when
+            // the batch commits, so a discarded batch pollutes nothing.
             if let Some(m) = self.cache.as_ref().and_then(|c| {
                 let _t = obs::time_scope("eval_cache.probe_us");
-                c.get(key)
+                c.peek(key)
             }) {
                 hits += 1;
                 slots.push(Slot::Hit(sys, m));
@@ -267,19 +449,41 @@ impl EvalEngine {
         // Parallel phase: only the unique misses simulate. A twice-failed
         // evaluation surfaces here as a clean error instead of unwinding
         // through the batch.
-        let results: Vec<Metrics> = try_par_map_named(region, &jobs, threads, |&(_, owner)| {
-            match &slots[owner] {
-                Slot::Job(sys, _) => evaluate(sys),
+        let results: Vec<Option<Metrics>> =
+            try_par_map_named(region, &jobs, threads, |&(_, owner)| match &slots[owner] {
+                Slot::Job(sys, _) => {
+                    let lane = bounds.watchdog.as_ref().map(|w| w.watch());
+                    let cancelled = || {
+                        bounds.token.is_cancelled()
+                            || lane.as_ref().is_some_and(|l| l.expired())
+                    };
+                    evaluate(sys, &cancelled)
+                }
                 _ => unreachable!("job owners are Job slots"),
-            }
-        })?;
+            })?;
+        // A tripped token discards the whole batch: partially cancelled
+        // results must never be committed, or resumed runs would diverge.
+        if bounds.token.is_cancelled() {
+            return Ok((Vec::new(), BatchStatus::Cancelled));
+        }
+        let timeouts = results.iter().filter(|m| m.is_none()).count() as u64;
+        if timeouts > 0 {
+            obs::counter_add("budget.timeouts", timeouts);
+        }
         // Serial populate phase: insert in probe order, so cache contents
-        // (and FIFO eviction order) are thread-count independent.
+        // (and FIFO eviction order) are thread-count independent. Timed-
+        // out jobs have no value to insert — degraded results are never
+        // cached.
         let mut inserts = 0u64;
         if let Some(cache) = &self.cache {
+            // Every probed candidate that was not a hit missed — whether
+            // it became a job or coalesced onto one.
+            cache.tally_probes(hits, jobs.len() as u64 + coalesced);
             for (&(key, _), m) in jobs.iter().zip(&results) {
-                if cache.insert(key, *m) {
-                    inserts += 1;
+                if let Some(m) = m {
+                    if cache.insert(key, *m) {
+                        inserts += 1;
+                    }
                 }
             }
             obs::counter_add("eval_cache.hits", hits);
@@ -296,16 +500,28 @@ impl EvalEngine {
             },
             jobs.len() as u64,
         );
-        Ok(slots
+        let out = slots
             .into_iter()
             .map(|slot| {
                 let m = match &slot {
-                    Slot::Job(_, j) => Some(results[*j]),
+                    Slot::Job(_, j) => results[*j],
                     _ => None,
                 };
                 (slot, m)
             })
-            .collect())
+            .collect();
+        Ok((out, BatchStatus::Complete))
+    }
+}
+
+/// Unwraps a bounded batch for the unbounded entry points, which cannot
+/// express truncation.
+fn expect_complete<T>(batch: BoundedBatch<T>) -> Result<Vec<T>, MceError> {
+    match batch.status {
+        BatchStatus::Complete => Ok(batch.output),
+        status => Err(MceError::invalid_input(format!(
+            "batch truncated ({status:?}) under active bounds — use the *_bounded API"
+        ))),
     }
 }
 
@@ -448,6 +664,122 @@ mod tests {
         let stats = engine.cache().unwrap().stats();
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.inserts as usize, batch.iter().flatten().count() - 1);
+    }
+
+    #[test]
+    fn ample_bounds_are_bit_identical_to_unbounded() {
+        use mce_budget::{Bounds, EvalBudget};
+        let w = benchmarks::vocoder();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+        let cands = candidates(&w, &mem);
+        let sampling = SamplingConfig::paper();
+        let plain = EvalEngine::new(&w, N)
+            .estimate_batch(&mem, cands.clone(), N, sampling, 0)
+            .unwrap();
+        let bounds = Bounds {
+            budget: Some(Arc::new(EvalBudget::limited(1_000_000))),
+            ..Bounds::none()
+        };
+        let bounded = EvalEngine::new(&w, N)
+            .with_bounds(bounds)
+            .estimate_batch_bounded(&mem, cands, N, sampling, 2)
+            .unwrap();
+        assert_eq!(bounded.status, BatchStatus::Complete);
+        assert!(bounded.degraded.is_empty());
+        let m = |ps: &[Option<DesignPoint>]| -> Vec<Option<Metrics>> {
+            ps.iter().map(|p| p.as_ref().map(|p| p.metrics)).collect()
+        };
+        assert_eq!(m(&plain), m(&bounded.output));
+    }
+
+    #[test]
+    fn exhausted_budget_discards_the_batch_deterministically() {
+        use mce_budget::{Bounds, EvalBudget};
+        let w = benchmarks::vocoder();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+        let cands = candidates(&w, &mem);
+        assert!(cands.len() >= 4);
+        let sampling = SamplingConfig::paper();
+        let mut consumed = Vec::new();
+        for threads in [1, 4] {
+            for with_cache in [false, true] {
+                let budget = Arc::new(EvalBudget::limited(2));
+                let mut engine = EvalEngine::new(&w, N).with_bounds(Bounds {
+                    budget: Some(Arc::clone(&budget)),
+                    ..Bounds::none()
+                });
+                if with_cache {
+                    engine = engine.with_cache(Arc::new(EvalCache::new()));
+                }
+                let batch = engine
+                    .estimate_batch_bounded(&mem, cands.clone(), N, sampling, threads)
+                    .unwrap();
+                assert_eq!(batch.status, BatchStatus::BudgetExhausted);
+                assert!(batch.output.is_empty(), "nothing committed");
+                if let Some(cache) = engine.cache() {
+                    assert_eq!(cache.stats().inserts, 0, "no cache writes");
+                }
+                consumed.push(budget.remaining());
+            }
+        }
+        // Probe-order consumption: identical across threads and cache.
+        assert!(consumed.windows(2).all(|w| w[0] == w[1]), "{consumed:?}");
+    }
+
+    #[test]
+    fn cancelled_token_discards_the_batch() {
+        use mce_budget::{Bounds, CancelReason, CancelToken};
+        let w = benchmarks::vocoder();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+        let cands = candidates(&w, &mem);
+        let token = CancelToken::never();
+        token.cancel(CancelReason::Deadline);
+        let engine = EvalEngine::new(&w, N).with_bounds(Bounds {
+            token,
+            ..Bounds::none()
+        });
+        let batch = engine
+            .estimate_batch_bounded(&mem, cands.clone(), N, SamplingConfig::paper(), 0)
+            .unwrap();
+        assert_eq!(batch.status, BatchStatus::Cancelled);
+        assert!(batch.output.is_empty());
+        // The unbounded entry point cannot express the truncation.
+        let err = engine
+            .estimate_batch(&mem, cands, N, SamplingConfig::paper(), 0)
+            .unwrap_err();
+        assert!(matches!(err, MceError::InvalidInput { .. }), "{err}");
+    }
+
+    #[test]
+    fn watchdog_timeout_degrades_refinement_to_the_estimate() {
+        use mce_budget::{Bounds, Watchdog};
+        use std::time::Duration;
+        let w = benchmarks::vocoder();
+        let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
+        let engine = EvalEngine::new(&w, N);
+        let points: Vec<DesignPoint> = engine
+            .estimate_batch(&mem, candidates(&w, &mem), N, SamplingConfig::paper(), 0)
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .take(3)
+            .collect();
+        // A zero timeout expires every lane before its first block batch:
+        // every refinement degrades to its Phase-I estimate.
+        let bounded = engine
+            .clone()
+            .with_bounds(Bounds {
+                watchdog: Some(Arc::new(Watchdog::start(Duration::ZERO))),
+                ..Bounds::none()
+            })
+            .refine_batch_bounded(&points, N, 2)
+            .unwrap();
+        assert_eq!(bounded.status, BatchStatus::Complete);
+        assert_eq!(bounded.degraded, vec![0, 1, 2]);
+        for (p, d) in points.iter().zip(&bounded.output) {
+            assert_eq!(p.metrics, d.metrics, "falls back to the estimate");
+            assert!(d.estimated, "degraded point stays an estimate");
+        }
     }
 
     #[test]

@@ -112,12 +112,31 @@ impl EvalCache {
 
     /// Looks up a key, counting a hit or miss.
     pub fn get(&self, key: CanonKey) -> Option<Metrics> {
-        let found = self.shard(key).lock().expect("cache shard poisoned").map.get(&key).copied();
+        let found = self.peek(key);
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         found
+    }
+
+    /// Looks up a key without touching the hit/miss statistics.
+    ///
+    /// For probes whose outcome may be thrown away: the evaluation
+    /// engine peeks during the batch probe phase and calls
+    /// [`tally_probes`](EvalCache::tally_probes) only when the batch
+    /// commits, so a discarded (cancelled or budget-exhausted) batch
+    /// leaves the lifetime statistics — which checkpoints persist —
+    /// untouched.
+    pub fn peek(&self, key: CanonKey) -> Option<Metrics> {
+        self.shard(key).lock().expect("cache shard poisoned").map.get(&key).copied()
+    }
+
+    /// Records the hit/miss outcomes of [`peek`](EvalCache::peek)ed
+    /// probes after their batch committed.
+    pub fn tally_probes(&self, hits: u64, misses: u64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
     }
 
     /// Stores an evaluation. Returns `false` (and changes nothing) if the

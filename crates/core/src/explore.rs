@@ -17,8 +17,9 @@ use crate::allocate::enumerate_allocations_filtered;
 use crate::brg::Brg;
 use crate::cluster::{cluster_levels, ClusterOrder};
 use crate::design_point::{DesignPoint, Metrics};
-use crate::engine::EvalEngine;
+use crate::engine::{BatchStatus, BoundedBatch, EvalEngine};
 use crate::pareto::{hypervolume_proxy, Axis, ParetoFront};
+use mce_budget::{CancelToken, StopReason};
 use mce_error::MceError;
 use mce_obs as obs;
 use mce_appmodel::Workload;
@@ -180,6 +181,34 @@ pub struct Phase1State {
     pub frontier_evolution: Vec<FrontierSnapshot>,
 }
 
+/// A candidate whose simulation hit the per-candidate watchdog timeout
+/// and was answered with a degraded value: a Phase-II point falls back to
+/// its Phase-I estimate, a Phase-I candidate is dropped (no cheaper
+/// estimator exists). See [`EvalEngine::refine_batch_bounded`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedEval {
+    /// `"estimate"` (Phase I) or `"refine"` (Phase II).
+    pub phase: String,
+    /// Phase-I memory-architecture index; `None` for Phase II.
+    pub arch: Option<usize>,
+    /// Candidate-slot index within the phase's batch (Phase I: the
+    /// architecture's enumerated candidates; Phase II: the shortlist).
+    pub index: usize,
+    /// What went wrong (currently always `"timeout"`).
+    pub reason: String,
+}
+
+impl DegradedEval {
+    fn timeout(phase: &str, arch: Option<usize>, index: usize) -> Self {
+        DegradedEval {
+            phase: phase.to_owned(),
+            arch,
+            index,
+            reason: "timeout".to_owned(),
+        }
+    }
+}
+
 /// The result of a ConEx exploration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConexResult {
@@ -187,6 +216,8 @@ pub struct ConexResult {
     estimated: Vec<DesignPoint>,
     simulated: Vec<DesignPoint>,
     frontier_evolution: Vec<FrontierSnapshot>,
+    stop: Option<String>,
+    degraded: Vec<DegradedEval>,
     elapsed: Duration,
 }
 
@@ -216,6 +247,27 @@ impl ConexResult {
     /// when [`ConexConfig::frontier_sample_every`] is 0).
     pub fn frontier_evolution(&self) -> &[FrontierSnapshot] {
         &self.frontier_evolution
+    }
+
+    /// Why the run stopped before finishing (a [`StopReason`] label:
+    /// `"max-evals"`, `"max-archs"`, `"deadline"` or `"interrupt"`), or
+    /// `None` for a run that ran to completion.
+    pub fn stop_reason(&self) -> Option<&str> {
+        self.stop.as_deref()
+    }
+
+    /// Whether a bound cut the exploration short. A truncated result is
+    /// still valid — it holds everything committed up to the last safe
+    /// point (Phase-I architecture boundary or the whole of Phase II).
+    pub fn is_truncated(&self) -> bool {
+        self.stop.is_some()
+    }
+
+    /// Candidates answered with degraded values because their simulation
+    /// hit the per-candidate watchdog timeout (empty without
+    /// `--candidate-timeout`).
+    pub fn degraded(&self) -> &[DegradedEval] {
+        &self.degraded
     }
 
     fn metrics(points: &[DesignPoint]) -> Vec<Metrics> {
@@ -319,6 +371,40 @@ impl ConexExplorer {
         engine: &EvalEngine,
         mem: &MemoryArchitecture,
     ) -> Result<Vec<DesignPoint>, MceError> {
+        let batch = self.connectivity_exploration_bounded(engine, mem)?;
+        if batch.status != BatchStatus::Complete {
+            return Err(MceError::invalid_input(format!(
+                "connectivity exploration truncated ({:?}) under active bounds — \
+                 use `connectivity_exploration_bounded`",
+                batch.status
+            )));
+        }
+        Ok(batch.output.into_iter().flatten().collect())
+    }
+
+    /// [`ConexExplorer::connectivity_exploration_with`] under the
+    /// engine's [`Bounds`](mce_budget::Bounds).
+    ///
+    /// The output is index-aligned with the architecture's enumerated
+    /// candidates; `None` marks an infeasible pairing or a candidate
+    /// dropped by the per-candidate watchdog (the latter are listed in
+    /// [`BoundedBatch::degraded`]). When the logical budget or the cancel
+    /// token cuts the batch short, the output is empty, the status says
+    /// why, and no estimate was committed — though the architecture's
+    /// enumeration counters (`conex.levels_*`,
+    /// `conex.candidates_enumerated`) were already bumped; callers that
+    /// need clean truncation roll the counters back (as
+    /// [`ConexExplorer::explore_with_engine_resumable`] does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
+    /// (parallel pass and serial retry).
+    pub fn connectivity_exploration_bounded(
+        &self,
+        engine: &EvalEngine,
+        mem: &MemoryArchitecture,
+    ) -> Result<BoundedBatch<Option<DesignPoint>>, MceError> {
         let _span = obs::span("conex.connectivity_exploration");
         let workload = engine.workload();
         // `Brg::profile_blocks` replays the trace and builds the block
@@ -359,27 +445,31 @@ impl ConexExplorer {
             )
         });
         let enumerated = candidates.len();
-        let estimated: Vec<DesignPoint> = {
+        let batch = {
             let _s = obs::span("conex.estimate");
-            engine
-                .estimate_batch(
-                    mem,
-                    candidates,
-                    self.config.trace_len,
-                    self.config.sampling,
-                    self.config.threads,
-                )?
-                .into_iter()
-                .flatten()
-                .collect()
+            engine.estimate_batch_bounded(
+                mem,
+                candidates,
+                self.config.trace_len,
+                self.config.sampling,
+                self.config.threads,
+            )?
         };
-        // Funnel reconciliation: estimated == enumerated − infeasible.
+        if batch.status != BatchStatus::Complete {
+            return Ok(batch);
+        }
+        // Funnel reconciliation: estimated == enumerated − infeasible −
+        // degraded (timed-out candidates are dropped, not estimated).
+        let estimated = batch.output.iter().filter(|o| o.is_some()).count();
         obs::counter_add(
             "conex.candidates_infeasible",
-            (enumerated - estimated.len()) as u64,
+            (enumerated - estimated - batch.degraded.len()) as u64,
         );
-        obs::counter_add("conex.candidates_estimated", estimated.len() as u64);
-        Ok(estimated)
+        obs::counter_add("conex.candidates_estimated", estimated as u64);
+        if !batch.degraded.is_empty() {
+            obs::counter_add("budget.degraded_evals", batch.degraded.len() as u64);
+        }
+        Ok(batch)
     }
 
     /// Phase-I local selection: the most promising points of one memory
@@ -488,14 +578,41 @@ impl ConexExplorer {
     /// One Phase-I step: explores `mem_archs[k]` and folds the results
     /// into `state`. The single code path for fresh runs, resumed runs
     /// and checkpoint replay, so all three are bit-identical.
+    ///
+    /// Returns `Some(reason)` — committing **nothing** (state, counters
+    /// and gauges are exactly as before the call) — when a bound cut the
+    /// architecture short; the architecture boundary is the pipeline's
+    /// safe point, so a truncated architecture never half-lands.
     fn explore_arch(
         &self,
         engine: &EvalEngine,
         mem_archs: &[MemoryArchitecture],
         k: usize,
         state: &mut Phase1State,
-    ) -> Result<(), MceError> {
-        let points = self.connectivity_exploration_with(engine, &mem_archs[k])?;
+        degraded: &mut Vec<DegradedEval>,
+    ) -> Result<Option<StopReason>, MceError> {
+        let bounds = engine.bounds();
+        // Snapshot the observability state so a truncated architecture's
+        // partial contributions (enumeration counters, gauges) can be
+        // rolled back — the forced truncation checkpoint must describe
+        // exactly `archs_done` architectures.
+        let rollback = bounds
+            .is_active()
+            .then(|| (obs::counters_snapshot(), obs::gauges_snapshot()));
+        let batch = self.connectivity_exploration_bounded(engine, &mem_archs[k])?;
+        if batch.status != BatchStatus::Complete {
+            if let Some((counters, gauges)) = rollback {
+                restore_obs(&counters, &gauges);
+            }
+            return Ok(Some(stop_reason_of(batch.status, &bounds.token)));
+        }
+        degraded.extend(
+            batch
+                .degraded
+                .iter()
+                .map(|&i| DegradedEval::timeout("estimate", Some(k), i)),
+        );
+        let points: Vec<DesignPoint> = batch.output.into_iter().flatten().collect();
         let selected: Vec<DesignPoint> =
             self.select_local(&points).into_iter().cloned().collect();
         obs::counter_add(
@@ -518,7 +635,7 @@ impl ConexExplorer {
             });
         }
         state.archs_done = k + 1;
-        Ok(())
+        Ok(None)
     }
 
     /// Reconstructs the Phase-I state of the first `upto` architectures
@@ -551,7 +668,17 @@ impl ConexExplorer {
         }
         let mut state = Phase1State::default();
         for k in 0..upto {
-            self.explore_arch(engine, mem_archs, k, &mut state)?;
+            let mut degraded = Vec::new();
+            if let Some(reason) = self.explore_arch(engine, mem_archs, k, &mut state, &mut degraded)?
+            {
+                // A replay engine carries at most the shared logical
+                // budget; running out here means the caller resumed with
+                // a budget smaller than the checkpoint already consumed.
+                return Err(MceError::checkpoint(format!(
+                    "bounds tripped ({reason}) while replaying {upto} checkpointed \
+                     architectures — raise the budget or delete the checkpoint"
+                )));
+            }
         }
         Ok(state)
     }
@@ -568,8 +695,9 @@ impl ConexExplorer {
     ///
     /// A resumed run is bit-identical to an uninterrupted one: the skipped
     /// architectures' points come from `state` in their original order,
-    /// and per-run totals (`conex.shortlist`, Phase-II counters) are only
-    /// added after the loop, so they are never double-counted.
+    /// and per-run totals are never double-counted: Phase-II counters are
+    /// only added after the loop, and `conex.shortlist` is *set* from the
+    /// accumulated state rather than added.
     ///
     /// # Errors
     ///
@@ -601,22 +729,47 @@ impl ConexExplorer {
                 self.config.strategy
             )
         });
-        // Phase I.
+        // Phase I. Bounds are checked at architecture boundaries — the
+        // safe points: a truncated architecture commits nothing, so the
+        // accumulated state always describes exactly `archs_done`
+        // architectures and can be checkpointed or reported as-is.
+        let bounds = engine.bounds();
+        let mut stop: Option<StopReason> = None;
+        let mut degraded: Vec<DegradedEval> = Vec::new();
         {
             let _phase1 = obs::span("conex.phase1");
             for k in state.archs_done..mem_archs.len() {
-                self.explore_arch(engine, &mem_archs, k, &mut state)?;
-                after_arch(&state)?;
+                // The deterministic bound wins when both trip at the same
+                // boundary, keeping logical-budget runs reproducible.
+                if bounds.max_archs.is_some_and(|max| k >= max) {
+                    stop = Some(StopReason::MaxArchs);
+                    break;
+                }
+                if bounds.token.is_cancelled() {
+                    stop = Some(stop_reason_of(BatchStatus::Cancelled, &bounds.token));
+                    break;
+                }
+                match self.explore_arch(engine, &mem_archs, k, &mut state, &mut degraded)? {
+                    None => after_arch(&state)?,
+                    Some(reason) => {
+                        stop = Some(reason);
+                        break;
+                    }
+                }
             }
-            obs::counter_add("conex.shortlist", state.shortlist.len() as u64);
+            // A *set*, not an add: the shortlist total is derived from the
+            // accumulated state, and a truncated run's checkpoint persists
+            // it — an add would re-count the checkpointed portion when the
+            // resumed run sets its own total.
+            obs::counter_restore("conex.shortlist", state.shortlist.len() as u64);
             // Workers have joined; totals are deterministic here.
             obs::snapshot_counters();
         }
         let Phase1State {
+            archs_done,
             estimated: all_estimated,
             shortlist: combined,
             frontier_evolution,
-            ..
         } = state;
         obs::info(|| {
             format!(
@@ -625,21 +778,102 @@ impl ConexExplorer {
                 all_estimated.len()
             )
         });
-        // Phase II: full simulation of the combined shortlist.
-        let simulated: Vec<DesignPoint> = {
+        // Phase II: full simulation of the combined shortlist — skipped
+        // entirely when Phase I was cut short (the shortlist would be
+        // partial, so refining it would waste the remaining budget on
+        // points a resumed run re-refines anyway).
+        let simulated: Vec<DesignPoint> = if stop.is_some() {
+            Vec::new()
+        } else {
             let _phase2 = obs::span("conex.phase2");
-            engine.refine_batch(&combined, self.config.trace_len, self.config.threads)?
+            // Same discipline as a Phase-I architecture: a cancelled
+            // refine batch commits nothing, so its partial simulations'
+            // counter contributions (`sim.*`) are rolled back before the
+            // truncation checkpoint snapshots them.
+            let rollback = bounds
+                .is_active()
+                .then(|| (obs::counters_snapshot(), obs::gauges_snapshot()));
+            let batch =
+                engine.refine_batch_bounded(&combined, self.config.trace_len, self.config.threads)?;
+            match batch.status {
+                BatchStatus::Complete => {
+                    if !batch.degraded.is_empty() {
+                        obs::counter_add("budget.degraded_evals", batch.degraded.len() as u64);
+                        degraded.extend(
+                            batch
+                                .degraded
+                                .iter()
+                                .map(|&i| DegradedEval::timeout("refine", None, i)),
+                        );
+                    }
+                    batch.output
+                }
+                status => {
+                    if let Some((counters, gauges)) = rollback {
+                        restore_obs(&counters, &gauges);
+                    }
+                    stop = Some(stop_reason_of(status, &bounds.token));
+                    Vec::new()
+                }
+            }
         };
+        if stop.is_some_and(|r| !r.is_deterministic()) {
+            obs::counter_add("budget.cancelled", 1);
+        }
         // Phase II simulates exactly the shortlist: simulated == shortlist.
         obs::counter_add("conex.simulated", simulated.len() as u64);
         obs::snapshot_counters();
+        if let Some(reason) = stop {
+            obs::info(|| {
+                format!(
+                    "conex: stopped early ({reason}) after {archs_done} of {} architectures",
+                    mem_archs.len()
+                )
+            });
+        }
         Ok(ConexResult {
             workload_name: workload.name().to_owned(),
             estimated: all_estimated,
             simulated,
             frontier_evolution,
+            stop: stop.map(|r| r.as_str().to_owned()),
+            degraded,
             elapsed: start.elapsed(),
         })
+    }
+}
+
+/// Maps a truncated batch status to the stop reason reported to the user:
+/// budget exhaustion is `max-evals`; a tripped token reports what tripped
+/// it (deadline or SIGINT).
+fn stop_reason_of(status: BatchStatus, token: &CancelToken) -> StopReason {
+    match status {
+        BatchStatus::BudgetExhausted => StopReason::MaxEvals,
+        BatchStatus::Cancelled => token
+            .reason()
+            .map(StopReason::from)
+            .unwrap_or(StopReason::Interrupt),
+        BatchStatus::Complete => unreachable!("a complete batch has no stop reason"),
+    }
+}
+
+/// Rolls the observability counters and gauges back to a snapshot taken
+/// before a truncated architecture: keys that changed are restored, keys
+/// created after the snapshot drop back to zero.
+fn restore_obs(counters: &[(&'static str, u64)], gauges: &[(&'static str, u64)]) {
+    for (name, _) in obs::counters_snapshot() {
+        let old = counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v);
+        obs::counter_restore(name, old);
+    }
+    for (name, _) in obs::gauges_snapshot() {
+        let old = gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v);
+        obs::gauge_restore(name, old);
     }
 }
 

@@ -67,10 +67,11 @@ pub use allocate::{enumerate_allocations, enumerate_allocations_filtered};
 pub use brg::{Brg, BrgArc};
 pub use cluster::{cluster_levels, Cluster, ClusterOrder, Clustering};
 pub use design_point::{CanonKey, DesignPoint, EvalMode, Metrics};
-pub use engine::EvalEngine;
+pub use engine::{BatchStatus, BoundedBatch, EvalEngine};
 pub use eval_cache::{CacheStats, EvalCache};
 pub use explore::{
-    ConexConfig, ConexExplorer, ConexResult, ExplorationStrategy, FrontierSnapshot, Phase1State,
+    ConexConfig, ConexExplorer, ConexResult, DegradedEval, ExplorationStrategy, FrontierSnapshot,
+    Phase1State,
 };
 pub use memorex::{MemorEx, MemorExResult};
 pub use pareto::{hypervolume_proxy, Axis, CoverageReport, ParetoFront};

@@ -4,8 +4,10 @@
 //! configurations → ConEx (connectivity exploration) → selected combined
 //! memory + connectivity configurations`.
 
+use crate::engine::EvalEngine;
 use crate::explore::{ConexConfig, ConexExplorer, ConexResult};
 use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
+use mce_budget::Bounds;
 use mce_error::MceError;
 use mce_appmodel::Workload;
 use mce_sim::Preset;
@@ -66,8 +68,29 @@ impl MemorEx {
     /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
     /// (parallel pass and serial retry).
     pub fn run(&self, workload: &Workload) -> Result<MemorExResult, MceError> {
+        self.run_bounded(workload, Bounds::none())
+    }
+
+    /// [`MemorEx::run`] under [`Bounds`]: the token is checked between
+    /// the APEX and ConEx stages, and ConEx checks it per memory
+    /// architecture (plus inside every simulation). A tripped bound
+    /// yields a truncated but valid [`ConexResult`] — see
+    /// [`ConexResult::stop_reason`](crate::explore::ConexResult::stop_reason).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
+    /// (parallel pass and serial retry).
+    pub fn run_bounded(
+        &self,
+        workload: &Workload,
+        bounds: Bounds,
+    ) -> Result<MemorExResult, MceError> {
         let apex = self.apex.explore(workload);
-        let conex = self.conex.explore(workload, apex.selected())?;
+        let mem_archs = apex.selected();
+        let engine = EvalEngine::new(workload, self.conex.config().trace_len)
+            .with_bounds(bounds);
+        let conex = self.conex.explore_with_engine(&engine, mem_archs)?;
         Ok(MemorExResult { apex, conex })
     }
 }

@@ -52,6 +52,16 @@ pub enum MceError {
         /// What was missing or inconsistent.
         reason: String,
     },
+    /// A rejected command-line argument (out-of-range, unparseable, or a
+    /// missing value), with a one-line usage hint.
+    InvalidArg {
+        /// The flag that was rejected (e.g. `--threads`).
+        flag: String,
+        /// Why its value was rejected.
+        reason: String,
+        /// A one-line hint for correct usage.
+        hint: String,
+    },
     /// One or more worker closures panicked and the serial retry failed
     /// too. A single panic never surfaces here — the parallel map retries
     /// the item serially first; this is the "failed twice" verdict.
@@ -103,6 +113,19 @@ impl MceError {
         }
     }
 
+    /// A rejected command-line argument with a usage hint.
+    pub fn invalid_arg(
+        flag: impl Into<String>,
+        reason: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        MceError::InvalidArg {
+            flag: flag.into(),
+            reason: reason.into(),
+            hint: hint.into(),
+        }
+    }
+
     /// A twice-failed worker panic in the named parallel region.
     pub fn worker_panic(
         region: impl Into<String>,
@@ -132,6 +155,9 @@ impl fmt::Display for MceError {
             MceError::Json { context, reason } => write!(f, "{context}: invalid JSON: {reason}"),
             MceError::Library { reason } => write!(f, "invalid connectivity library: {reason}"),
             MceError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            MceError::InvalidArg { flag, reason, hint } => {
+                write!(f, "invalid argument: {flag}: {reason} (usage: {hint})")
+            }
             MceError::WorkerPanic {
                 region,
                 failed_items,
@@ -235,6 +261,14 @@ mod tests {
         assert!(MceError::invalid_input("missing workload")
             .to_string()
             .contains("missing workload"));
+    }
+
+    #[test]
+    fn invalid_arg_renders_flag_reason_and_hint() {
+        let s = MceError::invalid_arg("--threads", "must be >= 1", "--threads N").to_string();
+        assert!(s.contains("--threads"), "{s}");
+        assert!(s.contains("must be >= 1"), "{s}");
+        assert!(s.contains("usage: --threads N"), "{s}");
     }
 
     #[test]

@@ -60,6 +60,14 @@ pub enum Fault {
         /// 1-based write index that fails.
         nth: u64,
     },
+    /// Hang the `nth` candidate evaluation: the evaluation sleeps in a
+    /// loop until the caller's cancellation check trips (the watchdog
+    /// reclaiming the lane, or a global cancel). Proves `--candidate-
+    /// timeout` degrades a wedged evaluation instead of wedging the run.
+    HangAtEval {
+        /// 1-based evaluation index that hangs.
+        nth: u64,
+    },
 }
 
 struct State {
@@ -126,6 +134,7 @@ pub fn parse_spec(spec: &str) -> Result<Fault, String> {
         "panic_at_eval" => Ok(Fault::PanicAtEval { nth, sticky }),
         "abort_at_eval" if !sticky => Ok(Fault::AbortAtEval { nth }),
         "fail_write" if !sticky => Ok(Fault::FailWrite { nth }),
+        "hang_at_eval" if !sticky => Ok(Fault::HangAtEval { nth }),
         _ => Err(format!("unknown fault spec `{spec}`")),
     }
 }
@@ -153,12 +162,26 @@ pub fn arm_from_env() -> Result<Vec<Fault>, String> {
 }
 
 /// The evaluation hook: counts one candidate evaluation and fires any
-/// armed [`Fault::PanicAtEval`] / [`Fault::AbortAtEval`] whose turn it
-/// is. No-op (one relaxed load) when disarmed.
+/// armed [`Fault::PanicAtEval`] / [`Fault::AbortAtEval`] /
+/// [`Fault::HangAtEval`] whose turn it is. No-op (one relaxed load) when
+/// disarmed.
+///
+/// An armed hang blocks **forever** through this entry point — the
+/// un-reclaimable wedge a caller without cooperative cancellation gets.
+/// Callers that can be reclaimed use [`on_eval_blocking`] instead.
 pub fn on_eval() {
+    on_eval_blocking(&|| false);
+}
+
+/// [`on_eval`] with a cooperative escape hatch for [`Fault::HangAtEval`]:
+/// an injected hang sleeps in a loop until `cancelled` returns `true`
+/// (all other faults behave exactly as in [`on_eval`]). Returns whether
+/// a hang fired — the evaluation was reclaimed and should be treated as
+/// timed out.
+pub fn on_eval_blocking(cancelled: &(dyn Fn() -> bool + Sync)) -> bool {
     let s = state();
     if !s.enabled.load(Ordering::Relaxed) {
-        return;
+        return false;
     }
     let n = s.evals.fetch_add(1, Ordering::SeqCst) + 1;
     let faults = s
@@ -166,6 +189,7 @@ pub fn on_eval() {
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .clone();
+    let mut hung = false;
     for fault in faults {
         match fault {
             Fault::PanicAtEval { nth, sticky } if n == nth || (sticky && n > nth) => {
@@ -175,9 +199,17 @@ pub fn on_eval() {
                 eprintln!("mce-faultinject: aborting process at evaluation {n}");
                 std::process::abort();
             }
+            Fault::HangAtEval { nth } if n == nth => {
+                eprintln!("mce-faultinject: hanging evaluation {n}");
+                while !cancelled() {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                hung = true;
+            }
             _ => {}
         }
     }
+    hung
 }
 
 /// The write hook: counts one atomic file write and fails it when an
@@ -266,9 +298,32 @@ mod tests {
         );
         assert_eq!(parse_spec("abort_at_eval:7"), Ok(Fault::AbortAtEval { nth: 7 }));
         assert_eq!(parse_spec("fail_write:2"), Ok(Fault::FailWrite { nth: 2 }));
-        for bad in ["panic_at_eval", "panic_at_eval:x", "frobnicate:1", "fail_write:0", "abort_at_eval:1+"] {
+        assert_eq!(parse_spec("hang_at_eval:5"), Ok(Fault::HangAtEval { nth: 5 }));
+        for bad in [
+            "panic_at_eval",
+            "panic_at_eval:x",
+            "frobnicate:1",
+            "fail_write:0",
+            "abort_at_eval:1+",
+            "hang_at_eval:3+",
+        ] {
             assert!(parse_spec(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn hang_blocks_until_the_check_trips() {
+        let _guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        arm(vec![Fault::HangAtEval { nth: 2 }]);
+        assert!(!on_eval_blocking(&|| false), "first evaluation is clean");
+        // The second hangs; a check that trips after a few polls reclaims it.
+        let polls = AtomicU64::new(0);
+        let reclaimed =
+            on_eval_blocking(&|| polls.fetch_add(1, Ordering::SeqCst) >= 3);
+        assert!(reclaimed, "hang reports the reclaim");
+        assert!(polls.load(Ordering::SeqCst) >= 3);
+        assert!(!on_eval_blocking(&|| false), "one-shot: the third is clean");
+        disarm();
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub mod system;
 
 pub use engine::{simulate, simulate_trace, Simulator};
 pub use preset::Preset;
-pub use replay::{simulate_blocks, simulate_sampled_blocks};
+pub use replay::{
+    simulate_blocks, simulate_blocks_cancellable, simulate_sampled_blocks,
+    simulate_sampled_blocks_cancellable,
+};
 pub use sampling::{simulate_sampled, SamplingConfig};
 pub use stats::{ChannelStats, ModuleStats, SimStats};
 pub use system::{ChannelEndpoint, SystemConfig, SystemError};

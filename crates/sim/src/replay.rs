@@ -45,6 +45,41 @@ pub fn simulate_blocks(
     sim.finish()
 }
 
+/// [`simulate_blocks`] with a cooperative cancellation check.
+///
+/// `cancelled` is polled once per compiled block batch — coarse enough
+/// to stay off the per-access hot path, fine enough that a tripped
+/// deadline or watchdog reclaims the evaluation within one batch. When
+/// it trips, the partial simulation is discarded and `None` is returned.
+///
+/// With a check that never trips, the access sequence and accumulation
+/// order are identical to [`simulate_blocks`], so the returned stats are
+/// bit-identical — a bounded run that never hits its bounds matches an
+/// unbounded one exactly.
+///
+/// # Panics
+///
+/// Panics if `trace_len` exceeds the compiled length.
+pub fn simulate_blocks_cancellable(
+    sys: &SystemConfig,
+    workload: &Workload,
+    blocks: &TraceBlocks,
+    trace_len: usize,
+    cancelled: &(dyn Fn() -> bool + Sync),
+) -> Option<SimStats> {
+    let _t = obs::time_scope("sim.replay_us");
+    let mut sim = Simulator::new(sys, workload);
+    for batch in blocks.batches(trace_len) {
+        if cancelled() {
+            return None;
+        }
+        for i in batch {
+            sim.step(&blocks.get(i));
+        }
+    }
+    Some(sim.finish())
+}
+
 /// Time-sampled estimation over the first `trace_len` compiled accesses.
 ///
 /// Bit-identical to [`simulate_sampled`](crate::simulate_sampled) with the
@@ -60,12 +95,34 @@ pub fn simulate_sampled_blocks(
     trace_len: usize,
     config: SamplingConfig,
 ) -> SimStats {
+    simulate_sampled_blocks_cancellable(sys, workload, blocks, trace_len, config, &|| false)
+        .expect("a never-tripping check cannot cancel")
+}
+
+/// [`simulate_sampled_blocks`] with a cooperative cancellation check,
+/// polled once per compiled block batch (see
+/// [`simulate_blocks_cancellable`] for the contract).
+///
+/// # Panics
+///
+/// Panics if `trace_len` exceeds the compiled length.
+pub fn simulate_sampled_blocks_cancellable(
+    sys: &SystemConfig,
+    workload: &Workload,
+    blocks: &TraceBlocks,
+    trace_len: usize,
+    config: SamplingConfig,
+    cancelled: &(dyn Fn() -> bool + Sync),
+) -> Option<SimStats> {
     let _t = obs::time_scope("sim.replay_sampled_us");
     let mut sim = Simulator::new(sys, workload);
     let mut in_window = 0u64;
     let mut skipping = false;
     let mut skipped = 0u64;
     for batch in blocks.batches(trace_len) {
+        if cancelled() {
+            return None;
+        }
         for i in batch {
             let acc = blocks.get(i);
             if skipping {
@@ -85,7 +142,7 @@ pub fn simulate_sampled_blocks(
             }
         }
     }
-    sim.finish()
+    Some(sim.finish())
 }
 
 #[cfg(test)]
@@ -148,6 +205,45 @@ mod tests {
         assert_eq!(
             simulate_sampled(&sys, &w, short, cfg),
             simulate_sampled_blocks(&sys, &w, &blocks, short, cfg)
+        );
+    }
+
+    #[test]
+    fn cancellable_replay_with_clear_check_is_bit_identical() {
+        let w = benchmarks::vocoder();
+        let sys = system(&w, 4);
+        let blocks = TraceBlocks::compile(&w, N);
+        assert_eq!(
+            Some(simulate_blocks(&sys, &w, &blocks, N)),
+            simulate_blocks_cancellable(&sys, &w, &blocks, N, &|| false)
+        );
+        let cfg = SamplingConfig::paper();
+        assert_eq!(
+            Some(simulate_sampled_blocks(&sys, &w, &blocks, N, cfg)),
+            simulate_sampled_blocks_cancellable(&sys, &w, &blocks, N, cfg, &|| false)
+        );
+    }
+
+    #[test]
+    fn tripped_check_discards_the_replay() {
+        let w = benchmarks::vocoder();
+        let sys = system(&w, 4);
+        let blocks = TraceBlocks::compile(&w, N);
+        assert_eq!(
+            simulate_blocks_cancellable(&sys, &w, &blocks, N, &|| true),
+            None
+        );
+        // Tripping mid-replay bails out at the next batch boundary.
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let after_two = || calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= 2;
+        assert_eq!(
+            simulate_blocks_cancellable(&sys, &w, &blocks, N, &after_two),
+            None
+        );
+        let cfg = SamplingConfig::paper();
+        assert_eq!(
+            simulate_sampled_blocks_cancellable(&sys, &w, &blocks, N, cfg, &|| true),
+            None
         );
     }
 

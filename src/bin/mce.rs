@@ -9,6 +9,8 @@
 //! mce explore  <workload> [--preset fast|paper] [--out FILE] [--threads N]
 //!              [--eval-cache FILE] [--trace-out FILE] [--report-out FILE]
 //!              [--checkpoint FILE] [--checkpoint-every N]
+//!              [--max-evals N] [--max-archs N]
+//!              [--deadline SECS] [--candidate-timeout MS]
 //!              [--out-dir DIR] [--progress]
 //!                                              full APEX + ConEx exploration
 //! mce report   <report.json>... [--out FILE] [--html]
@@ -49,6 +51,19 @@
 //! checkpoint or one from a different workload/configuration is a clean
 //! error, never a silent cold start.
 //!
+//! `--max-evals N` / `--max-archs N` are deterministic *logical* budgets:
+//! the run stops at the next safe point once N committed evaluations /
+//! Phase-I architectures are reached, and the truncation point is
+//! bit-identical for any `--threads` value, with or without
+//! `--eval-cache`. `--deadline SECS` bounds the run's wall time and
+//! `--candidate-timeout MS` arms a watchdog that reclaims any single
+//! hung evaluation by degrading it to its Phase-I estimate (tagged in
+//! the run report). Ctrl-C (SIGINT) stops the run at the next safe
+//! point just like a deadline: a `--checkpoint` file is written so the
+//! same command line resumes, the partial report is marked
+//! `"truncated"`, and the process still exits 0 with a distinct
+//! `exploration truncated (...)` status line.
+//!
 //! All file outputs (`--out`, `--report-out`, `--trace-out`, eval-cache
 //! spills, checkpoints, experiment logs) are written atomically — a
 //! sibling temporary plus rename — so a crash mid-write never leaves a
@@ -64,7 +79,7 @@ use memory_conex::obs;
 use memory_conex::report;
 use memory_conex::sim::{simulate, Preset, SystemConfig};
 use memory_conex::ExplorationSession;
-use mce_error::atomic_write;
+use mce_error::{atomic_write, MceError};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -80,7 +95,7 @@ fn main() -> ExitCode {
     }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             // A failed bench gate is a verdict, not a usage mistake.
@@ -101,6 +116,8 @@ const USAGE: &str = "usage:
   mce explore  <workload> [--preset fast|paper] [--out FILE] [--threads N]
                [--eval-cache FILE] [--trace-out FILE] [--report-out FILE]
                [--checkpoint FILE] [--checkpoint-every N]
+               [--max-evals N] [--max-archs N]
+               [--deadline SECS] [--candidate-timeout MS]
                [--out-dir DIR] [--progress]
   mce report   <report.json>... [--out FILE] [--html]
   mce cache-check <spill.json> [--capacity N] [--repair]
@@ -110,8 +127,8 @@ const USAGE: &str = "usage:
 
 explore options:
   --preset P       exploration scale: fast or paper (--scale is an alias)
-  --threads N      worker threads for estimation and simulation
-                   (0 = one per core; results are identical for any N)
+  --threads N      worker threads for estimation and simulation, N >= 1
+                   (default: one per core; results are identical for any N)
   --eval-cache FILE persist the candidate-evaluation cache across runs
                    (loaded if present, saved after; results unchanged)
   --trace-out FILE write a Chrome trace-event JSON of the run
@@ -123,7 +140,17 @@ explore options:
                    to an uninterrupted run; deleted on success
   --checkpoint-every N checkpoint every N Phase-I architectures
                    (default 1; the last architecture always checkpoints)
-  --out-dir DIR    directory for experiment logs (default target/experiments)
+  --max-evals N    stop after N committed candidate evaluations (N >= 1);
+                   deterministic: the same N truncates at the same point
+                   for any --threads value, cache or no cache
+  --max-archs N    stop after N Phase-I memory architectures (N >= 1);
+                   deterministic like --max-evals
+  --deadline SECS  stop at the next safe point after SECS seconds of wall
+                   time (fractions allowed); the partial report is marked
+                   truncated and the exit code stays 0
+  --candidate-timeout MS reclaim any single evaluation running longer
+                   than MS milliseconds by degrading it to its estimate
+                   (tagged in the report's wall_clock.degraded section)
   --progress       print live progress lines to stderr (MCE_LOG=debug
                    for more detail)
 
@@ -134,7 +161,9 @@ report options:
 cache-check options:
   --capacity N     resident-entry capacity used when loading (default 65536)
   --repair         rewrite the spill with corrupt entries dropped
-                   (atomic; without it a corrupt spill only reports)
+                   (atomic; without it a corrupt spill only reports);
+                   exits 0 when the spill was already clean, 2 when
+                   corrupt entries were dropped, 1 on unrepairable damage
 
 bench-gate options:
   --baseline FILE  committed baseline (default crates/bench/BENCH_eval.baseline.json)
@@ -144,17 +173,20 @@ bench-gate options:
 
 type CliError = Box<dyn std::error::Error>;
 
-fn run(args: &[String]) -> Result<(), CliError> {
+/// Runs one command; `Ok` carries the process exit code (0 for every
+/// command except `cache-check`, which exits 2 after a repair that
+/// dropped entries so CI can tell "clean" from "repaired").
+fn run(args: &[String]) -> Result<u8, CliError> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
-        "benchmarks" => cmd_benchmarks(),
-        "template" => cmd_template(),
-        "classify" => cmd_classify(&args[1..]),
-        "simulate" => cmd_simulate(&args[1..]),
-        "explore" => cmd_explore(&args[1..]),
-        "report" => cmd_report(&args[1..]),
+        "benchmarks" => cmd_benchmarks().map(|()| 0),
+        "template" => cmd_template().map(|()| 0),
+        "classify" => cmd_classify(&args[1..]).map(|()| 0),
+        "simulate" => cmd_simulate(&args[1..]).map(|()| 0),
+        "explore" => cmd_explore(&args[1..]).map(|()| 0),
+        "report" => cmd_report(&args[1..]).map(|()| 0),
         "cache-check" => cmd_cache_check(&args[1..]),
-        "bench-gate" => cmd_bench_gate(&args[1..]),
+        "bench-gate" => cmd_bench_gate(&args[1..]).map(|()| 0),
         other => Err(format!("unknown command `{other}`").into()),
     }
 }
@@ -165,6 +197,36 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Parses an optional integer `--flag value`, rejecting non-numeric,
+/// negative, overflowing and below-minimum values with a typed
+/// [`MceError::InvalidArg`] carrying a one-line usage hint — never a
+/// panic or a silent clamp.
+fn numeric_flag<T>(
+    args: &[String],
+    flag: &'static str,
+    min: T,
+    hint: &'static str,
+) -> Result<Option<T>, MceError>
+where
+    T: std::str::FromStr + PartialOrd + std::fmt::Display,
+    T::Err: std::fmt::Display,
+{
+    let Some(raw) = flag_value(args, flag) else {
+        return Ok(None);
+    };
+    let v: T = raw
+        .parse()
+        .map_err(|e| MceError::invalid_arg(flag, format!("`{raw}` is not a number: {e}"), hint))?;
+    if v < min {
+        return Err(MceError::invalid_arg(
+            flag,
+            format!("must be at least {min}, got {v}"),
+            hint,
+        ));
+    }
+    Ok(Some(v))
 }
 
 fn load_workload(args: &[String]) -> Result<Workload, CliError> {
@@ -227,7 +289,8 @@ fn cmd_template() -> Result<(), CliError> {
 
 fn cmd_classify(args: &[String]) -> Result<(), CliError> {
     let w = load_workload(args)?;
-    let trace: usize = flag_value(args, "--trace").unwrap_or("30000").parse()?;
+    let trace = numeric_flag::<usize>(args, "--trace", 1, "--trace N (accesses, N >= 1)")?
+        .unwrap_or(30_000);
     println!(
         "pattern extraction for `{}` over {trace} accesses:\n",
         w.name()
@@ -248,8 +311,10 @@ fn cmd_classify(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let w = load_workload(args)?;
-    let kib: u64 = flag_value(args, "--cache").unwrap_or("8").parse()?;
-    let trace: usize = flag_value(args, "--trace").unwrap_or("30000").parse()?;
+    let kib = numeric_flag::<u64>(args, "--cache", 1, "--cache KIB (cache size, KIB >= 1)")?
+        .unwrap_or(8);
+    let trace = numeric_flag::<usize>(args, "--trace", 1, "--trace N (accesses, N >= 1)")?
+        .unwrap_or(30_000);
     let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(kib));
     let sys = SystemConfig::with_shared_bus(&w, mem)?;
     let stats = simulate(&sys, &w, trace);
@@ -340,11 +405,8 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
         .unwrap_or("fast")
         .parse()?;
     let mut session = ExplorationSession::new(w.clone()).preset(scale);
-    if let Some(t) = flag_value(args, "--threads") {
-        session = session.threads(
-            t.parse()
-                .map_err(|e| format!("invalid --threads value `{t}`: {e}"))?,
-        );
+    if let Some(t) = numeric_flag::<usize>(args, "--threads", 1, "--threads N (N >= 1)")? {
+        session = session.threads(t);
     }
     let cache_file = flag_value(args, "--eval-cache");
     if let Some(path) = cache_file {
@@ -369,18 +431,51 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
             eprintln!("resuming from checkpoint {path}");
         }
     }
-    if let Some(n) = flag_value(args, "--checkpoint-every") {
+    if let Some(n) = numeric_flag::<usize>(
+        args,
+        "--checkpoint-every",
+        1,
+        "--checkpoint-every N (N >= 1, requires --checkpoint FILE)",
+    )? {
         if checkpoint_file.is_none() {
             return Err("--checkpoint-every needs --checkpoint FILE".into());
         }
-        let n: usize = n
-            .parse()
-            .map_err(|e| format!("invalid --checkpoint-every value `{n}`: {e}"))?;
-        if n == 0 {
-            return Err("--checkpoint-every must be at least 1".into());
-        }
         session = session.checkpoint_every(n);
     }
+    if let Some(n) = numeric_flag::<u64>(args, "--max-evals", 1, "--max-evals N (N >= 1)")? {
+        session = session.max_evals(n);
+    }
+    if let Some(n) = numeric_flag::<usize>(args, "--max-archs", 1, "--max-archs N (N >= 1)")? {
+        session = session.max_archs(n);
+    }
+    if let Some(raw) = flag_value(args, "--deadline") {
+        let hint = "--deadline SECS (positive seconds, fractions allowed)";
+        let secs: f64 = raw.parse().map_err(|e| {
+            MceError::invalid_arg("--deadline", format!("`{raw}` is not a number: {e}"), hint)
+        })?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(MceError::invalid_arg(
+                "--deadline",
+                format!("must be a positive number of seconds, got `{raw}`"),
+                hint,
+            )
+            .into());
+        }
+        session = session.deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(ms) = numeric_flag::<u64>(
+        args,
+        "--candidate-timeout",
+        1,
+        "--candidate-timeout MS (milliseconds, MS >= 1)",
+    )? {
+        session = session.candidate_timeout(Duration::from_millis(ms));
+    }
+    // Ctrl-C becomes a cooperative stop at the next safe point instead of
+    // killing the process: the checkpoint and a truncated report are
+    // still written, and the exit code stays 0.
+    memory_conex::budget::install_sigint_handler();
+    session = session.watch_interrupt(true);
     let report_out = flag_value(args, "--report-out");
     let obs_session = ObsSession::start(
         flag_value(args, "--trace-out"),
@@ -391,6 +486,26 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     let result = session.run()?;
     obs_session.finish()?;
     let conex = &result.conex;
+    if let Some(reason) = conex.stop_reason() {
+        // The distinct truncation status line: the run stopped at a safe
+        // point, everything below covers the committed part, exit code 0.
+        match checkpoint_file {
+            Some(path) => eprintln!(
+                "exploration truncated ({reason}): checkpoint saved to {path} — \
+                 re-run the same command to resume"
+            ),
+            None => eprintln!(
+                "exploration truncated ({reason}): partial results below \
+                 (add --checkpoint FILE to make truncated runs resumable)"
+            ),
+        }
+    }
+    if !conex.degraded().is_empty() {
+        eprintln!(
+            "{} evaluation(s) hit --candidate-timeout and were degraded to estimates",
+            conex.degraded().len()
+        );
+    }
     if let Some(path) = cache_file {
         let s = result.cache_stats;
         eprintln!(
@@ -532,19 +647,20 @@ fn cmd_report(args: &[String]) -> Result<(), CliError> {
 /// corrupt entries dropped (the same salvage `mce explore --eval-cache`
 /// applies at load time, made permanent). Document-level damage — not
 /// JSON, wrong version — is never repairable.
-fn cmd_cache_check(args: &[String]) -> Result<(), CliError> {
+///
+/// Exit-code contract: 0 when the spill was already clean, 2 when
+/// `--repair` dropped corrupt entries (repaired ≠ clean, so CI scripts
+/// can tell them apart), 1 on any error (corruption without `--repair`,
+/// unrepairable document damage, I/O failures).
+fn cmd_cache_check(args: &[String]) -> Result<u8, CliError> {
     use memory_conex::conex::EvalCache;
 
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or("cache-check needs a spill file argument")?;
-    let capacity: usize = match flag_value(args, "--capacity") {
-        Some(n) => n
-            .parse()
-            .map_err(|e| format!("invalid --capacity value `{n}`: {e}"))?,
-        None => memory_conex::conex::eval_cache::DEFAULT_CAPACITY,
-    };
+    let capacity = numeric_flag::<usize>(args, "--capacity", 1, "--capacity N (N >= 1)")?
+        .unwrap_or(memory_conex::conex::eval_cache::DEFAULT_CAPACITY);
     let repair = args.iter().any(|a| a == "--repair");
     let body = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read spill `{path}`: {e}"))?;
@@ -552,7 +668,7 @@ fn cmd_cache_check(args: &[String]) -> Result<(), CliError> {
     match EvalCache::from_spill_json(&body, capacity) {
         Ok(cache) => {
             println!("{path}: valid, {} entries", cache.len());
-            return Ok(());
+            Ok(0)
         }
         Err(first_error) => {
             // Entry-level damage salvages; document-level damage re-errors.
@@ -573,10 +689,13 @@ fn cmd_cache_check(args: &[String]) -> Result<(), CliError> {
             cache
                 .save(path)
                 .map_err(|e| format!("cannot rewrite spill `{path}`: {e}"))?;
-            println!("{path}: repaired, {} entries kept", cache.len());
+            println!(
+                "{path}: repaired, {} entries kept, {dropped} dropped",
+                cache.len()
+            );
+            Ok(2)
         }
     }
-    Ok(())
 }
 
 fn cmd_bench_gate(args: &[String]) -> Result<(), CliError> {
@@ -605,11 +724,12 @@ fn cmd_bench_gate(args: &[String]) -> Result<(), CliError> {
     for c in &checks {
         regressed |= c.regressed;
         println!(
-            "  {:<24} baseline {:>12.3}  current {:>12.3}  ratio {:>5.2}  {}",
+            "  {:<34} baseline {:>12.3}  current {:>12.3}  ratio {:>5.2}  tol {:>3.0}%  {}",
             c.field,
             c.baseline,
             c.current,
             c.ratio,
+            c.tolerance * 100.0,
             if c.regressed { "REGRESSED" } else { "ok" }
         );
     }
@@ -674,6 +794,58 @@ mod tests {
     fn explore_rejects_bad_threads() {
         let err = cmd_explore(&s(&["vocoder", "--threads", "abc"])).unwrap_err();
         assert!(err.to_string().contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn numeric_flags_reject_garbage_table_driven() {
+        // Every rejected value renders as a typed InvalidArg: the flag
+        // name, the reason, and a one-line usage hint — never a panic or
+        // a silent clamp.
+        let cases: &[(&[&str], &str)] = &[
+            (&["explore", "vocoder", "--threads", "0"], "--threads"),
+            (&["explore", "vocoder", "--threads", "-2"], "--threads"),
+            (&["explore", "vocoder", "--threads", "abc"], "--threads"),
+            (
+                &["explore", "vocoder", "--threads", "99999999999999999999999999"],
+                "--threads",
+            ),
+            (&["explore", "vocoder", "--max-evals", "0"], "--max-evals"),
+            (&["explore", "vocoder", "--max-evals", "ten"], "--max-evals"),
+            (&["explore", "vocoder", "--max-archs", "0"], "--max-archs"),
+            (&["explore", "vocoder", "--max-archs", "-1"], "--max-archs"),
+            (&["explore", "vocoder", "--deadline", "0"], "--deadline"),
+            (&["explore", "vocoder", "--deadline", "-1.5"], "--deadline"),
+            (&["explore", "vocoder", "--deadline", "NaN"], "--deadline"),
+            (&["explore", "vocoder", "--deadline", "inf"], "--deadline"),
+            (&["explore", "vocoder", "--deadline", "soon"], "--deadline"),
+            (
+                &["explore", "vocoder", "--candidate-timeout", "0"],
+                "--candidate-timeout",
+            ),
+            (
+                &["explore", "vocoder", "--candidate-timeout", "2.5"],
+                "--candidate-timeout",
+            ),
+            (
+                &["explore", "vocoder", "--checkpoint", "c.json", "--checkpoint-every", "0"],
+                "--checkpoint-every",
+            ),
+            (&["classify", "vocoder", "--trace", "0"], "--trace"),
+            (&["classify", "vocoder", "--trace", "-5"], "--trace"),
+            (&["simulate", "vocoder", "--cache", "-1"], "--cache"),
+            (&["simulate", "vocoder", "--cache", "0"], "--cache"),
+            (&["cache-check", "spill.json", "--capacity", "0"], "--capacity"),
+            (&["cache-check", "spill.json", "--capacity", "lots"], "--capacity"),
+        ];
+        for (args, flag) in cases {
+            let err = run(&s(args)).unwrap_err().to_string();
+            assert!(
+                err.starts_with("invalid argument:"),
+                "{args:?} should render a typed InvalidArg, got: {err}"
+            );
+            assert!(err.contains(flag), "{args:?}: {err}");
+            assert!(err.contains("usage:"), "{args:?} should carry a hint: {err}");
+        }
     }
 
     #[test]
@@ -743,7 +915,7 @@ mod tests {
             },
         );
         cache.save(&path).unwrap();
-        assert!(cmd_cache_check(&s(&[path_s])).is_ok());
+        assert_eq!(cmd_cache_check(&s(&[path_s])).unwrap(), 0);
 
         // Corrupt one entry: reported and failed without --repair,
         // dropped with it, then clean again.
@@ -763,8 +935,15 @@ mod tests {
         std::fs::write(&path, spill).unwrap();
         let err = cmd_cache_check(&s(&[path_s])).unwrap_err();
         assert!(err.to_string().contains("--repair"), "{err}");
-        assert!(cmd_cache_check(&s(&[path_s, "--repair"])).is_ok());
-        assert!(cmd_cache_check(&s(&[path_s])).is_ok(), "repaired spill is valid");
+        // A repair that dropped entries exits 2 (repaired ≠ clean) …
+        assert_eq!(cmd_cache_check(&s(&[path_s, "--repair"])).unwrap(), 2);
+        // … and the now-clean spill is back to exit 0, --repair or not.
+        assert_eq!(cmd_cache_check(&s(&[path_s])).unwrap(), 0);
+        assert_eq!(
+            cmd_cache_check(&s(&[path_s, "--repair"])).unwrap(),
+            0,
+            "--repair on a clean spill exits 0"
+        );
 
         // Document-level damage is unrepairable.
         std::fs::write(&path, "{\"version\":999,\"entries\":[]}").unwrap();
@@ -803,19 +982,22 @@ mod tests {
         std::fs::write(
             &base,
             "{\"per_access_dispatch_ns\": 100, \"block_replay_ns\": 50, \
-             \"block_replay_speedup\": 2.0}",
+             \"block_replay_speedup\": 2.0, \
+             \"block_replay_cancellable_overhead\": 1.0}",
         )
         .unwrap();
         std::fs::write(
             &good,
             "{\"per_access_dispatch_ns\": 105, \"block_replay_ns\": 52, \
-             \"block_replay_speedup\": 2.0}",
+             \"block_replay_speedup\": 2.0, \
+             \"block_replay_cancellable_overhead\": 1.01}",
         )
         .unwrap();
         std::fs::write(
             &slow,
             "{\"per_access_dispatch_ns\": 100, \"block_replay_ns\": 65, \
-             \"block_replay_speedup\": 1.5}",
+             \"block_replay_speedup\": 1.5, \
+             \"block_replay_cancellable_overhead\": 1.0}",
         )
         .unwrap();
         let gate = |current: &std::path::Path, extra: &[&str]| {

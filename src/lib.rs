@@ -20,6 +20,9 @@
 //!   machinery, exploration strategies and constraint scenarios.
 //! * [`obs`] — structured tracing, counters and progress reporting across
 //!   the whole pipeline (spans, worker lanes, Chrome-trace export).
+//! * [`budget`] — cooperative cancellation and budget primitives (cancel
+//!   tokens, deterministic evaluation budgets, deadline + SIGINT wiring,
+//!   the per-candidate watchdog).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +60,7 @@ pub mod session;
 
 pub use mce_apex as apex;
 pub use mce_appmodel as appmodel;
+pub use mce_budget as budget;
 pub use mce_conex as conex;
 pub use mce_connlib as connlib;
 pub use mce_error::MceError;
@@ -72,6 +76,7 @@ pub mod prelude {
     pub use crate::report::{RunReport, REPORT_SCHEMA};
     pub use crate::session::{ExplorationSession, SessionResult};
     pub use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
+    pub use mce_budget::{Bounds, CancelToken, EvalBudget, StopReason};
     pub use mce_appmodel::{
         AccessKind, AccessPattern, AccessProfile, Addr, DataStructure, DsId, MemAccess, Workload,
         WorkloadBuilder,

@@ -30,14 +30,28 @@ use mce_conex::design_point::workload_digest;
 use mce_conex::eval_cache::DEFAULT_CAPACITY;
 use mce_conex::explore::Phase1State;
 use mce_conex::{CacheStats, ConexConfig, ConexExplorer, ConexResult, EvalCache, EvalEngine};
+use mce_budget::{Bounds, CancelToken, EvalBudget, Watchdog};
 use mce_connlib::ConnectivityLibrary;
 use mce_error::MceError;
 use mce_sim::Preset;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Builder for — and runner of — one end-to-end exploration.
+///
+/// The budget/deadline knobs ([`max_evals`](ExplorationSession::max_evals),
+/// [`max_archs`](ExplorationSession::max_archs),
+/// [`deadline`](ExplorationSession::deadline),
+/// [`candidate_timeout`](ExplorationSession::candidate_timeout),
+/// [`watch_interrupt`](ExplorationSession::watch_interrupt)) bound the run
+/// without changing what it computes: a bounded run stops at the next
+/// safe point, reports *why*
+/// ([`ConexResult::stop_reason`](mce_conex::ConexResult::stop_reason)),
+/// force-writes its checkpoint (when configured) and still returns a
+/// valid, resumable [`SessionResult`]. None of them enter the
+/// configuration digest, so a bounded run resumes an unbounded run's
+/// checkpoint and vice versa.
 #[derive(Debug, Clone)]
 pub struct ExplorationSession {
     workload: Workload,
@@ -48,6 +62,11 @@ pub struct ExplorationSession {
     eval_cache_file: Option<PathBuf>,
     checkpoint_file: Option<PathBuf>,
     checkpoint_every: usize,
+    max_evals: Option<u64>,
+    max_archs: Option<usize>,
+    deadline: Option<Duration>,
+    candidate_timeout: Option<Duration>,
+    watch_interrupt: bool,
 }
 
 /// Everything one session run produced.
@@ -88,6 +107,11 @@ impl ExplorationSession {
             eval_cache_file: None,
             checkpoint_file: None,
             checkpoint_every: 1,
+            max_evals: None,
+            max_archs: None,
+            deadline: None,
+            candidate_timeout: None,
+            watch_interrupt: false,
         }
     }
 
@@ -172,6 +196,60 @@ impl ExplorationSession {
         self
     }
 
+    /// Caps the run at `n` committed candidate evaluations (cache hits,
+    /// coalesced twins and fresh simulations all count one). The budget
+    /// is consumed in canonical probe order, so where it runs out — and
+    /// therefore everything the run commits — is bit-identical across
+    /// thread counts, cache state and checkpoint resumption. A resumed
+    /// run re-consumes the units its replayed architectures consumed, so
+    /// pass the same `n` to continue a budgeted run faithfully.
+    #[must_use]
+    pub fn max_evals(mut self, n: u64) -> Self {
+        self.max_evals = Some(n);
+        self
+    }
+
+    /// Caps Phase I at `n` memory architectures (checked at architecture
+    /// boundaries; deterministic like
+    /// [`max_evals`](ExplorationSession::max_evals)).
+    #[must_use]
+    pub fn max_archs(mut self, n: usize) -> Self {
+        self.max_archs = Some(n);
+        self
+    }
+
+    /// Stops the run at the next safe point once `d` of wall-clock time
+    /// has elapsed (measured from [`run`](ExplorationSession::run)). The
+    /// run still checkpoints and reports; only *where* it stops is
+    /// nondeterministic.
+    #[must_use]
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Bounds each candidate's simulation at `d` of wall-clock time. A
+    /// candidate over the limit degrades gracefully instead of wedging
+    /// the run: a Phase-II point falls back to its Phase-I estimate, a
+    /// Phase-I candidate is dropped. Degraded values are annotated in
+    /// the result and never enter the evaluation cache.
+    #[must_use]
+    pub fn candidate_timeout(mut self, d: Duration) -> Self {
+        self.candidate_timeout = Some(d);
+        self
+    }
+
+    /// Makes the run stop cooperatively on SIGINT (requires the process
+    /// to have installed the flag-raising handler —
+    /// [`mce_budget::install_sigint_handler`] — or to raise the flag
+    /// itself via [`mce_budget::raise_interrupt`]). Off by default:
+    /// library users opt in, the CLI turns it on.
+    #[must_use]
+    pub fn watch_interrupt(mut self, watch: bool) -> Self {
+        self.watch_interrupt = watch;
+        self
+    }
+
     /// Runs APEX then ConEx over the shared trace and cache, resuming
     /// from a [`checkpoint_file`](ExplorationSession::checkpoint_file)
     /// when one is present.
@@ -217,8 +295,27 @@ impl ExplorationSession {
             self.apex.trace_len.max(self.conex.trace_len),
         ));
         let apex = ApexExplorer::new(self.apex.clone()).explore_with_blocks(&self.workload, &blocks);
-        let engine =
-            EvalEngine::with_blocks(&self.workload, blocks.clone()).with_cache(cache.clone());
+        // The run's bounds. The logical budget is created here — fresh
+        // per run() call — and shared with the resume replay below, so a
+        // resumed run re-consumes exactly the units its replayed
+        // architectures consumed and then continues with what is left,
+        // bit-identical to a never-interrupted budgeted run.
+        let budget = self.max_evals.map(|n| Arc::new(EvalBudget::limited(n)));
+        let bounds = Bounds {
+            token: if self.deadline.is_some() || self.watch_interrupt {
+                CancelToken::bounded(self.deadline, self.watch_interrupt)
+            } else {
+                CancelToken::never()
+            },
+            budget: budget.clone(),
+            max_archs: self.max_archs,
+            watchdog: self
+                .candidate_timeout
+                .map(|t| Arc::new(Watchdog::start(t))),
+        };
+        let engine = EvalEngine::with_blocks(&self.workload, blocks.clone())
+            .with_cache(cache.clone())
+            .with_bounds(bounds);
         let explorer = ConexExplorer::with_library(self.conex.clone(), self.library.clone());
         let mem_archs = apex.selected();
         let state = match &resume {
@@ -226,13 +323,19 @@ impl ExplorationSession {
                 // Design points are not persisted; replay the completed
                 // architectures through a *scratch* copy of the restored
                 // cache (all hits, so this is cheap) and leave the real
-                // cache exactly as checkpointed.
+                // cache exactly as checkpointed. The replay engine
+                // carries only the shared logical budget — deadlines,
+                // SIGINT and the watchdog never interrupt a replay.
                 let scratch = Arc::new(EvalCache::from_entries_fifo(
                     ck.entries.iter().copied(),
                     self.cache_capacity,
                 ));
-                let scratch_engine =
-                    EvalEngine::with_blocks(&self.workload, blocks).with_cache(scratch);
+                let scratch_engine = EvalEngine::with_blocks(&self.workload, blocks)
+                    .with_cache(scratch)
+                    .with_bounds(Bounds {
+                        budget: budget.clone(),
+                        ..Bounds::none()
+                    });
                 let state = explorer.phase1_partial(&scratch_engine, &mem_archs, ck.archs_done)?;
                 if state.frontier_evolution != ck.frontier {
                     return Err(MceError::checkpoint(
@@ -258,7 +361,12 @@ impl ExplorationSession {
         let total = mem_archs.len();
         let ck_path = self.checkpoint_file.clone();
         let ck_cache = cache.clone();
-        let mut after_arch = move |s: &Phase1State| -> Result<(), MceError> {
+        // Track the latest committed Phase-I state so a truncated run can
+        // force-write its checkpoint: a truncated architecture commits
+        // nothing, so this state always describes the truncation point.
+        let mut last_state = state.clone();
+        let mut after_arch = |s: &Phase1State| -> Result<(), MceError> {
+            last_state = s.clone();
             if let Some(path) = &ck_path {
                 if s.archs_done % every == 0 || s.archs_done == total {
                     Checkpoint::capture(w_digest.clone(), c_digest.clone(), s, &ck_cache)
@@ -269,8 +377,16 @@ impl ExplorationSession {
         };
         let conex =
             explorer.explore_with_engine_resumable(&engine, mem_archs, state, &mut after_arch)?;
-        // The run completed; the checkpoint has served its purpose.
-        if let Some(path) = &self.checkpoint_file {
+        if conex.is_truncated() {
+            // Stopped at a safe point: persist the progress so the next
+            // run resumes here instead of starting over. (The eval-cache
+            // spill below is still written too.)
+            if let Some(path) = &self.checkpoint_file {
+                Checkpoint::capture(w_digest.clone(), c_digest.clone(), &last_state, &cache)
+                    .save(path)?;
+            }
+        } else if let Some(path) = &self.checkpoint_file {
+            // The run completed; the checkpoint has served its purpose.
             std::fs::remove_file(path).ok();
         }
         if let Some(path) = &self.eval_cache_file {

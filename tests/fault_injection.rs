@@ -159,18 +159,38 @@ fn fixture_cache() -> EvalCache {
 
 #[test]
 fn corrupted_spill_files_never_panic_and_never_invent_entries() {
+    // Takes the lock because the salvage accounting below reads the
+    // process-global counter registry.
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    obs::uninstall();
+    obs::install(Arc::new(obs::NullSink::new()));
     let path = tmp("spill_corrupt.json");
     let cache = fixture_cache();
     cache.save(&path).unwrap();
     let originals = cache.entries_fifo();
     let pristine = std::fs::read(&path).unwrap();
 
+    let salvage_counter = || {
+        obs::counters_snapshot()
+            .into_iter()
+            .find(|(n, _)| *n == "eval_cache.salvage_dropped")
+            .map_or(0, |(_, v)| v)
+    };
+
     // Whatever the damage, loading either fails with a clean error or
-    // salvages a subset of the original entries — bit-exact, no more.
+    // salvages a subset of the original entries — bit-exact, no more —
+    // and the `eval_cache.salvage_dropped` counter advances by exactly
+    // the number of corrupt entries dropped.
     let check_load = |what: &str| {
+        let counted_before = salvage_counter();
         match EvalCache::load_salvage(&path, DEFAULT_CAPACITY) {
             Err(e) => {
                 let _ = e.to_string();
+                assert_eq!(
+                    salvage_counter(),
+                    counted_before,
+                    "{what}: a failed load must not count salvaged entries"
+                );
             }
             Ok((salvaged, dropped)) => {
                 let entries = salvaged.entries_fifo();
@@ -184,6 +204,11 @@ fn corrupted_spill_files_never_panic_and_never_invent_entries() {
                         "{what}: salvaged an entry that was never saved"
                     );
                 }
+                assert_eq!(
+                    salvage_counter() - counted_before,
+                    dropped as u64,
+                    "{what}: salvage_dropped must match the corrupt-entry count exactly"
+                );
             }
         }
     };
@@ -202,6 +227,7 @@ fn corrupted_spill_files_never_panic_and_never_invent_entries() {
             check_load(&format!("bit {bit} of byte {byte} flipped"));
         }
     }
+    obs::uninstall();
     std::fs::remove_file(&path).ok();
 }
 
@@ -364,13 +390,21 @@ fn cache_check_cli_round_trip() {
     let len = std::fs::metadata(&path).unwrap().len() as usize;
     fi::flip_bit(&path, len / 2, 2).unwrap();
     let bad = run(&[]);
-    assert!(!bad.status.success(), "corruption must fail the check");
+    assert_eq!(
+        bad.status.code(),
+        Some(1),
+        "corruption without --repair must fail with exit 1"
+    );
+    // The exit-code contract: a repair that dropped entries exits 2, so
+    // CI can tell "was clean" (0) from "had to repair" (2).
     let repaired = run(&["--repair"]);
-    assert!(
-        repaired.status.success(),
-        "repair failed: {}",
+    assert_eq!(
+        repaired.status.code(),
+        Some(2),
+        "repair that dropped entries must exit 2: {}",
         String::from_utf8_lossy(&repaired.stderr)
     );
-    assert!(run(&[]).status.success(), "repaired spill validates");
+    let clean = run(&[]);
+    assert_eq!(clean.status.code(), Some(0), "repaired spill validates");
     std::fs::remove_file(&path).ok();
 }

@@ -124,13 +124,14 @@ fn bench_gate_accepts_baseline_and_flags_injected_regression() {
             .expect("committed baseline parses");
     // The committed baseline compared against itself is always clean.
     let checks = bench_gate_compare(&baseline, &baseline, 0.2).expect("fields present");
-    assert_eq!(checks.len(), 3);
+    assert_eq!(checks.len(), 4);
     assert!(checks.iter().all(|c| !c.regressed), "{checks:?}");
 
     // Inject a 25% block-replay slowdown (and the speedup drop it implies).
     let regressed = obs::json::parse(
         "{\"per_access_dispatch_ns\": 3215000, \"block_replay_ns\": 2625000, \
-         \"block_replay_speedup\": 1.225}",
+         \"block_replay_speedup\": 1.225, \
+         \"block_replay_cancellable_overhead\": 1.0}",
     )
     .unwrap();
     let checks = bench_gate_compare(&baseline, &regressed, 0.2).expect("fields present");
