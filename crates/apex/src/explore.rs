@@ -140,7 +140,12 @@ impl ApexExplorer {
     /// `workload`. Bit-identical to [`ApexExplorer::explore`].
     pub fn explore_with_blocks(&self, workload: &Workload, blocks: &TraceBlocks) -> ApexResult {
         let _run = obs::span("apex.explore");
-        obs::info(|| format!("apex: exploring memory architectures for `{}`", workload.name()));
+        obs::info(|| {
+            format!(
+                "apex: exploring memory architectures for `{}`",
+                workload.name()
+            )
+        });
         let reports = {
             let _s = obs::span("apex.classify");
             classify(workload, self.config.trace_len)

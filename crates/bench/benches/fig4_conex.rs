@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mce_appmodel::benchmarks;
 use mce_conex::{ConexConfig, ConexExplorer};
-use mce_sim::Preset;
 use mce_memlib::{CacheConfig, MemoryArchitecture};
+use mce_sim::Preset;
 
 fn bench_config() -> ConexConfig {
     let mut cfg = ConexConfig::preset(Preset::Fast);

@@ -7,11 +7,11 @@
 
 use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
 use mce_appmodel::{benchmarks, Workload};
-use mce_sim::Preset;
 use mce_conex::{
     Axis, ConexConfig, ConexExplorer, ConexResult, CoverageReport, DesignPoint,
     ExplorationStrategy, Metrics, ParetoFront,
 };
+use mce_sim::Preset;
 use serde::{Deserialize, Serialize};
 
 use crate::report::{render_scatter, render_table};

@@ -552,7 +552,7 @@ impl Bounds {
     /// Takes one unit of the logical budget (always succeeds when no
     /// budget is set).
     pub fn take_eval(&self) -> bool {
-        self.budget.as_ref().map_or(true, |b| b.take())
+        self.budget.as_ref().is_none_or(|b| b.take())
     }
 }
 
@@ -672,6 +672,9 @@ mod tests {
         assert!(StopReason::MaxArchs.is_deterministic());
         assert!(!StopReason::Deadline.is_deterministic());
         assert!(!StopReason::Interrupt.is_deterministic());
-        assert_eq!(StopReason::from(CancelReason::Interrupt), StopReason::Interrupt);
+        assert_eq!(
+            StopReason::from(CancelReason::Interrupt),
+            StopReason::Interrupt
+        );
     }
 }

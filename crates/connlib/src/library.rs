@@ -265,7 +265,10 @@ mod tests {
         let mut lib = ConnectivityLibrary::new();
         let mut params = ConnComponentKind::AmbaAhb.params();
         params.width_bytes = 0;
-        lib.add(ConnComponent::with_params(ConnComponentKind::AmbaAhb, params));
+        lib.add(ConnComponent::with_params(
+            ConnComponentKind::AmbaAhb,
+            params,
+        ));
         let json = serde_json::to_string(&lib).unwrap();
         let err = ConnectivityLibrary::from_json(&json).unwrap_err();
         assert!(err.to_string().contains("width_bytes"), "{err}");

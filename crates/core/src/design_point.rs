@@ -525,7 +525,10 @@ mod tests {
 
         let mut renamed = ConnectivityArchitecture::new(channels());
         let l1 = renamed.add_link("totally", ConnComponent::new(ConnComponentKind::AmbaAhb));
-        let l2 = renamed.add_link("different", ConnComponent::new(ConnComponentKind::OffChipBus));
+        let l2 = renamed.add_link(
+            "different",
+            ConnComponent::new(ConnComponentKind::OffChipBus),
+        );
         renamed.assign(ChannelId::new(0), l1);
         renamed.assign(ChannelId::new(1), l2);
         assert_eq!(digest, conn_digest(&renamed));

@@ -13,13 +13,16 @@
 //!    key (enumeration at adjacent clustering levels re-derives
 //!    structurally identical pairings): simulated once, answered twice.
 //! 3. **Simulated** — block-compiled replay
-//!    ([`simulate_blocks`] / [`simulate_sampled_blocks`]) over the
+//!    ([`simulate_blocks`](mce_sim::replay::simulate_blocks) /
+//!    [`simulate_sampled_blocks`](mce_sim::replay::simulate_sampled_blocks))
+//!    over the
 //!    engine's shared [`TraceBlocks`], compiled once per workload and
 //!    shared immutably across worker threads.
 //!
 //! Determinism: cache probes, coalescing and cache population all run
 //! serially on the calling thread; only the unique simulations fan out
-//! through [`par_map_named`], whose output is order-preserving. Results
+//! through [`par_map_named`](crate::par::par_map_named), whose output
+//! is order-preserving. Results
 //! are therefore bit-identical with the cache on or off and for any
 //! thread count — the cache only removes redundant work, it never
 //! reorders floating-point accumulation within an evaluation.
@@ -31,8 +34,8 @@ use crate::eval_cache::EvalCache;
 use crate::par::try_par_map_named;
 use mce_appmodel::{TraceBlocks, Workload};
 use mce_budget::Bounds;
-use mce_error::MceError;
 use mce_connlib::ConnectivityArchitecture;
+use mce_error::MceError;
 use mce_memlib::MemoryArchitecture;
 use mce_obs as obs;
 use mce_sim::{
@@ -95,6 +98,10 @@ pub struct EvalEngine {
     cache: Option<Arc<EvalCache>>,
     bounds: Bounds,
 }
+
+/// Each slot paired with its job's metrics (`None` for non-job and
+/// timed-out slots), plus how the batch ended.
+type BatchOutput = (Vec<(Slot<SystemConfig>, Option<Metrics>)>, BatchStatus);
 
 impl EvalEngine {
     /// Compiles `workload`'s first `max_trace_len` accesses into shared
@@ -175,7 +182,7 @@ impl EvalEngine {
     ///
     /// Returns [`MceError::WorkerPanic`] when an evaluation panics twice
     /// (parallel pass and serial retry) — see
-    /// [`try_par_map_named`](crate::par::try_par_map_named).
+    /// [`try_par_map_named`].
     pub fn estimate_batch(
         &self,
         mem: &MemoryArchitecture,
@@ -218,8 +225,7 @@ impl EvalEngine {
             |i| {
                 let conn = &candidates[i];
                 let conn_key = conn_digest(conn);
-                let sys =
-                    SystemConfig::new(&self.workload, mem.clone(), conn.clone()).ok()?;
+                let sys = SystemConfig::new(&self.workload, mem.clone(), conn.clone()).ok()?;
                 let key = eval_key(self.workload_key, mem_key, conn_key, trace_len, mode);
                 Some((key, sys))
             },
@@ -409,7 +415,7 @@ impl EvalEngine {
         threads: usize,
         prepare: impl Fn(usize) -> Option<(CanonKey, SystemConfig)>,
         evaluate: impl Fn(&SystemConfig, &(dyn Fn() -> bool + Sync)) -> Option<Metrics> + Sync,
-    ) -> Result<(Vec<(Slot<SystemConfig>, Option<Metrics>)>, BatchStatus), MceError> {
+    ) -> Result<BatchOutput, MceError> {
         let bounds = &self.bounds;
         if bounds.token.is_cancelled() {
             return Ok((Vec::new(), BatchStatus::Cancelled));
@@ -454,8 +460,7 @@ impl EvalEngine {
                 Slot::Job(sys, _) => {
                     let lane = bounds.watchdog.as_ref().map(|w| w.watch());
                     let cancelled = || {
-                        bounds.token.is_cancelled()
-                            || lane.as_ref().is_some_and(|l| l.expired())
+                        bounds.token.is_cancelled() || lane.as_ref().is_some_and(|l| l.expired())
                     };
                     evaluate(sys, &cancelled)
                 }
@@ -567,7 +572,9 @@ mod tests {
         assert!(cands.len() >= 4, "{} candidates", cands.len());
         let engine = EvalEngine::new(&w, N);
         let sampling = SamplingConfig::paper();
-        let batch = engine.estimate_batch(&mem, cands.clone(), N, sampling, 2).unwrap();
+        let batch = engine
+            .estimate_batch(&mem, cands.clone(), N, sampling, 2)
+            .unwrap();
         assert_eq!(batch.len(), cands.len());
         for (conn, got) in cands.into_iter().zip(batch) {
             let expect = estimate_candidate(&w, &mem, conn, N, sampling);
@@ -611,9 +618,13 @@ mod tests {
         let sampling = SamplingConfig::paper();
         let plain = EvalEngine::new(&w, N);
         let cached = plain.clone().with_cache(Arc::new(EvalCache::new()));
-        let a = plain.estimate_batch(&mem, cands.clone(), N, sampling, 0).unwrap();
+        let a = plain
+            .estimate_batch(&mem, cands.clone(), N, sampling, 0)
+            .unwrap();
         // Run the cached engine twice: the second pass answers from cache.
-        let b1 = cached.estimate_batch(&mem, cands.clone(), N, sampling, 0).unwrap();
+        let b1 = cached
+            .estimate_batch(&mem, cands.clone(), N, sampling, 0)
+            .unwrap();
         let b2 = cached.estimate_batch(&mem, cands, N, sampling, 3).unwrap();
         let stats = cached.cache().unwrap().stats();
         assert!(stats.hits > 0, "second pass must hit: {stats:?}");
@@ -656,7 +667,9 @@ mod tests {
         let dup = cands[0].clone();
         cands.push(dup);
         let engine = EvalEngine::new(&w, N).with_cache(Arc::new(EvalCache::new()));
-        let batch = engine.estimate_batch(&mem, cands, N, SamplingConfig::paper(), 0).unwrap();
+        let batch = engine
+            .estimate_batch(&mem, cands, N, SamplingConfig::paper(), 0)
+            .unwrap();
         let first = batch.first().unwrap().as_ref().unwrap();
         let last = batch.last().unwrap().as_ref().unwrap();
         assert_eq!(first.metrics, last.metrics);

@@ -129,7 +129,12 @@ impl EvalCache {
     /// leaves the lifetime statistics — which checkpoints persist —
     /// untouched.
     pub fn peek(&self, key: CanonKey) -> Option<Metrics> {
-        self.shard(key).lock().expect("cache shard poisoned").map.get(&key).copied()
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .map
+            .get(&key)
+            .copied()
     }
 
     /// Records the hit/miss outcomes of [`peek`](EvalCache::peek)ed
@@ -298,10 +303,7 @@ impl EvalCache {
     /// # Errors
     ///
     /// Returns [`MceError::Json`] on document-level damage.
-    pub fn from_spill_json_salvage(
-        text: &str,
-        capacity: usize,
-    ) -> Result<(Self, usize), MceError> {
+    pub fn from_spill_json_salvage(text: &str, capacity: usize) -> Result<(Self, usize), MceError> {
         Self::parse_spill(text, capacity, true)
     }
 
@@ -433,13 +435,13 @@ pub fn parse_spill_entry(entry: &mce_obs::json::Value) -> Result<(CanonKey, Metr
     }
     let key = CanonKey::from_hex(key_hex).ok_or("bad key")?;
     let cost_gates: u64 = cost.parse().map_err(|_| "bad cost")?;
-    let bits = |s: &str, what: &str| {
-        u64::from_str_radix(s, 16).map_err(|_| format!("bad {what}"))
-    };
+    let bits = |s: &str, what: &str| u64::from_str_radix(s, 16).map_err(|_| format!("bad {what}"));
     let latency_cycles = f64::from_bits(bits(lat, "latency")?);
     let energy_nj = f64::from_bits(bits(energy, "energy")?);
-    if !(latency_cycles.is_finite() && latency_cycles >= 0.0)
-        || !(energy_nj.is_finite() && energy_nj >= 0.0)
+    if !(latency_cycles.is_finite()
+        && latency_cycles >= 0.0
+        && energy_nj.is_finite()
+        && energy_nj >= 0.0)
     {
         return Err("non-finite or negative metrics".to_owned());
     }
@@ -654,9 +656,7 @@ mod tests {
         let lat = format!("{:016x}", metrics(1).latency_cycles.to_bits());
         let energy = format!("{:016x}", metrics(1).energy_nj.to_bits());
         let good = checksummed_entry(&k1, &cost, &lat, &energy);
-        let bad = format!(
-            "[\"{k1}\",\"{cost}\",\"{lat}\",\"{energy}\",\"0000000000000000\"]"
-        );
+        let bad = format!("[\"{k1}\",\"{cost}\",\"{lat}\",\"{energy}\",\"0000000000000000\"]");
         let tampered = spill.replace(&good, &bad);
         assert_ne!(spill, tampered);
         let (back, dropped) = EvalCache::from_spill_json_salvage(&tampered, 16).unwrap();

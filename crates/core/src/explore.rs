@@ -19,12 +19,12 @@ use crate::cluster::{cluster_levels, ClusterOrder};
 use crate::design_point::{DesignPoint, Metrics};
 use crate::engine::{BatchStatus, BoundedBatch, EvalEngine};
 use crate::pareto::{hypervolume_proxy, Axis, ParetoFront};
-use mce_budget::{CancelToken, StopReason};
-use mce_error::MceError;
-use mce_obs as obs;
 use mce_appmodel::Workload;
+use mce_budget::{CancelToken, StopReason};
 use mce_connlib::ConnectivityLibrary;
+use mce_error::MceError;
 use mce_memlib::MemoryArchitecture;
+use mce_obs as obs;
 use mce_sim::{Preset, SamplingConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -613,8 +613,7 @@ impl ConexExplorer {
                 .map(|&i| DegradedEval::timeout("estimate", Some(k), i)),
         );
         let points: Vec<DesignPoint> = batch.output.into_iter().flatten().collect();
-        let selected: Vec<DesignPoint> =
-            self.select_local(&points).into_iter().cloned().collect();
+        let selected: Vec<DesignPoint> = self.select_local(&points).into_iter().cloned().collect();
         obs::counter_add(
             "conex.candidates_pruned",
             (points.len() - selected.len()) as u64,
@@ -622,7 +621,7 @@ impl ConexExplorer {
         state.shortlist.extend(selected);
         state.estimated.extend(points);
         let sample_every = self.config.frontier_sample_every;
-        if sample_every > 0 && ((k + 1) % sample_every == 0 || k + 1 == mem_archs.len()) {
+        if sample_every > 0 && ((k + 1).is_multiple_of(sample_every) || k + 1 == mem_archs.len()) {
             let metrics: Vec<Metrics> = state.estimated.iter().map(|p| p.metrics).collect();
             let axes = [Axis::Cost, Axis::Latency];
             let front = ParetoFront::of(&metrics, &axes);
@@ -669,7 +668,8 @@ impl ConexExplorer {
         let mut state = Phase1State::default();
         for k in 0..upto {
             let mut degraded = Vec::new();
-            if let Some(reason) = self.explore_arch(engine, mem_archs, k, &mut state, &mut degraded)?
+            if let Some(reason) =
+                self.explore_arch(engine, mem_archs, k, &mut state, &mut degraded)?
             {
                 // A replay engine carries at most the shared logical
                 // budget; running out here means the caller resumed with
@@ -750,7 +750,18 @@ impl ConexExplorer {
                     break;
                 }
                 match self.explore_arch(engine, &mem_archs, k, &mut state, &mut degraded)? {
-                    None => after_arch(&state)?,
+                    None => {
+                        // The per-architecture boundary is the pipeline's
+                        // deterministic sampling point: counters committed,
+                        // workers joined, nothing half-landed. Logical
+                        // time-series marks fire here (and only here), so
+                        // the logical channel is byte-identical across
+                        // thread counts. Checkpoint replay goes through
+                        // `phase1_partial`, which never marks — a resumed
+                        // run's series continues from the resume point.
+                        obs::timeseries::logical_mark(state.archs_done as u64);
+                        after_arch(&state)?
+                    }
                     Some(reason) => {
                         stop = Some(reason);
                         break;
@@ -793,8 +804,11 @@ impl ConexExplorer {
             let rollback = bounds
                 .is_active()
                 .then(|| (obs::counters_snapshot(), obs::gauges_snapshot()));
-            let batch =
-                engine.refine_batch_bounded(&combined, self.config.trace_len, self.config.threads)?;
+            let batch = engine.refine_batch_bounded(
+                &combined,
+                self.config.trace_len,
+                self.config.threads,
+            )?;
             match batch.status {
                 BatchStatus::Complete => {
                     if !batch.degraded.is_empty() {
@@ -929,7 +943,9 @@ mod tests {
     #[test]
     fn two_phase_result_is_simulated() {
         let w = benchmarks::vocoder();
-        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w)).unwrap();
+        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
+            .explore(&w, one_arch(&w))
+            .unwrap();
         assert!(!result.simulated().is_empty());
         assert!(result.simulated().iter().all(|p| !p.estimated));
         assert!(result.estimated().len() >= result.simulated().len());
@@ -938,9 +954,14 @@ mod tests {
     #[test]
     fn pruned_simulates_fewer_than_full() {
         let w = benchmarks::vocoder();
-        let pruned = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w)).unwrap();
-        let full = ConexExplorer::new(ConexConfig::preset(Preset::Fast).with_strategy(ExplorationStrategy::Full))
-            .explore(&w, one_arch(&w)).unwrap();
+        let pruned = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
+            .explore(&w, one_arch(&w))
+            .unwrap();
+        let full = ConexExplorer::new(
+            ConexConfig::preset(Preset::Fast).with_strategy(ExplorationStrategy::Full),
+        )
+        .explore(&w, one_arch(&w))
+        .unwrap();
         assert!(
             pruned.simulated().len() < full.simulated().len(),
             "pruned {} vs full {}",
@@ -953,13 +974,19 @@ mod tests {
     #[test]
     fn neighborhood_between_pruned_and_full() {
         let w = benchmarks::vocoder();
-        let p = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w)).unwrap();
+        let p = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
+            .explore(&w, one_arch(&w))
+            .unwrap();
         let n = ConexExplorer::new(
             ConexConfig::preset(Preset::Fast).with_strategy(ExplorationStrategy::Neighborhood),
         )
-        .explore(&w, one_arch(&w)).unwrap();
-        let f = ConexExplorer::new(ConexConfig::preset(Preset::Fast).with_strategy(ExplorationStrategy::Full))
-            .explore(&w, one_arch(&w)).unwrap();
+        .explore(&w, one_arch(&w))
+        .unwrap();
+        let f = ConexExplorer::new(
+            ConexConfig::preset(Preset::Fast).with_strategy(ExplorationStrategy::Full),
+        )
+        .explore(&w, one_arch(&w))
+        .unwrap();
         assert!(p.simulated().len() <= n.simulated().len());
         assert!(n.simulated().len() <= f.simulated().len());
     }
@@ -967,7 +994,9 @@ mod tests {
     #[test]
     fn pareto_front_is_nondominated() {
         let w = benchmarks::vocoder();
-        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w)).unwrap();
+        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
+            .explore(&w, one_arch(&w))
+            .unwrap();
         let front = result.pareto_cost_latency();
         for a in &front {
             for b in &front {
@@ -1001,8 +1030,12 @@ mod tests {
             .unwrap();
         let mut cfg = ConexConfig::preset(Preset::Fast);
         cfg.max_logical_connections = 2; // only the fully merged level
-        let limited = ConexExplorer::new(cfg).connectivity_exploration(&w, &mem).unwrap();
-        let unlimited = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).connectivity_exploration(&w, &mem).unwrap();
+        let limited = ConexExplorer::new(cfg)
+            .connectivity_exploration(&w, &mem)
+            .unwrap();
+        let unlimited = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
+            .connectivity_exploration(&w, &mem)
+            .unwrap();
         assert!(
             limited.len() < unlimited.len(),
             "{} vs {}",
@@ -1021,7 +1054,9 @@ mod tests {
     #[test]
     fn elapsed_is_recorded() {
         let w = benchmarks::vocoder();
-        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast)).explore(&w, one_arch(&w)).unwrap();
+        let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
+            .explore(&w, one_arch(&w))
+            .unwrap();
         assert!(result.elapsed() > Duration::ZERO);
     }
 
@@ -1063,7 +1098,9 @@ mod tests {
         ];
         let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
         let engine = EvalEngine::new(&w, explorer.config().trace_len);
-        let clean = explorer.explore_with_engine(&engine, archs.clone()).unwrap();
+        let clean = explorer
+            .explore_with_engine(&engine, archs.clone())
+            .unwrap();
         // Capture the state after the first architecture, then restart the
         // run from that state, as a resume after a crash would.
         let mut saved: Option<Phase1State> = None;
@@ -1097,7 +1134,9 @@ mod tests {
         let w = benchmarks::vocoder();
         let explorer = ConexExplorer::new(ConexConfig::preset(Preset::Fast));
         let engine = EvalEngine::new(&w, explorer.config().trace_len);
-        let err = explorer.phase1_partial(&engine, &one_arch(&w), 2).unwrap_err();
+        let err = explorer
+            .phase1_partial(&engine, &one_arch(&w), 2)
+            .unwrap_err();
         assert!(matches!(err, MceError::Checkpoint { .. }), "{err}");
     }
 

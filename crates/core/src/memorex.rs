@@ -7,9 +7,9 @@
 use crate::engine::EvalEngine;
 use crate::explore::{ConexConfig, ConexExplorer, ConexResult};
 use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
+use mce_appmodel::Workload;
 use mce_budget::Bounds;
 use mce_error::MceError;
-use mce_appmodel::Workload;
 use mce_sim::Preset;
 use serde::{Deserialize, Serialize};
 
@@ -88,8 +88,7 @@ impl MemorEx {
     ) -> Result<MemorExResult, MceError> {
         let apex = self.apex.explore(workload);
         let mem_archs = apex.selected();
-        let engine = EvalEngine::new(workload, self.conex.config().trace_len)
-            .with_bounds(bounds);
+        let engine = EvalEngine::new(workload, self.conex.config().trace_len).with_bounds(bounds);
         let conex = self.conex.explore_with_engine(&engine, mem_archs)?;
         Ok(MemorExResult { apex, conex })
     }

@@ -126,12 +126,21 @@ where
             }
             if tracing {
                 let done = i as u64 + 1;
-                if done % step == 0 || done == total {
+                if done.is_multiple_of(step) || done == total {
                     obs::progress(name, done, total);
                 }
             }
         }
-        return finalize(name, items, slots, &f, panics, first_panic, false, &failed_once);
+        return finalize(
+            name,
+            items,
+            slots,
+            &f,
+            panics,
+            first_panic,
+            false,
+            &failed_once,
+        );
     }
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let mut lanes: Vec<Option<LaneStats>> = (0..threads).map(|_| None).collect();
@@ -186,7 +195,7 @@ where
                         n_items += 1;
                         if tracing {
                             let d = done.fetch_add(1, Ordering::Relaxed) as u64 + 1;
-                            if d % step == 0 || d == total {
+                            if d.is_multiple_of(step) || d == total {
                                 obs::progress(name, d, total);
                             }
                         }
@@ -209,20 +218,43 @@ where
         for (w, lane) in lanes.iter().enumerate() {
             if let Some(stats) = lane {
                 let dur = stats.end_us.saturating_sub(stats.start_us);
-                obs::worker_span(name, (w + 1) as u32, stats.start_us, dur, stats.busy_us, stats.items);
+                obs::worker_span(
+                    name,
+                    (w + 1) as u32,
+                    stats.start_us,
+                    dur,
+                    stats.busy_us,
+                    stats.items,
+                );
                 // Per-worker occupancy distributions: how long each lane
                 // ran and how much of that was inside the mapped closure.
                 obs::histogram_record("par.worker_span_us", dur);
                 obs::histogram_record("par.worker_busy_us", stats.busy_us);
+                // Occupancy ratio (busy/span, percent) feeds the live
+                // wall-channel series behind `mce top`'s worker view.
+                if let Some(pct) = stats.busy_us.saturating_mul(100).checked_div(dur) {
+                    obs::histogram_record("par.worker_occupancy_pct", pct.min(100));
+                }
             }
         }
     }
-    let mut caught = failures.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut caught = failures
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     caught.sort_unstable_by_key(|(i, _)| *i);
     let panics = caught.len() as u64;
     let first_panic = caught.first().map(|(_, msg)| msg.clone());
     let failed_once: Vec<usize> = caught.into_iter().map(|(i, _)| i).collect();
-    finalize(name, items, slots, &f, panics, first_panic, true, &failed_once)
+    finalize(
+        name,
+        items,
+        slots,
+        &f,
+        panics,
+        first_panic,
+        true,
+        &failed_once,
+    )
 }
 
 /// The post-join recovery pass: runs every unfilled slot serially under

@@ -261,7 +261,10 @@ mod tests {
     fn unphased_workload_yields_none() {
         let w = benchmarks::vocoder();
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(2));
-        assert!(explorer().explore_reconfigurable(&w, &mem).unwrap().is_none());
+        assert!(explorer()
+            .explore_reconfigurable(&w, &mem)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -304,7 +307,10 @@ mod tests {
     fn per_phase_selections_respect_budget() {
         let w = benchmarks::jpeg();
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
-        let report = explorer().explore_reconfigurable(&w, &mem).unwrap().unwrap();
+        let report = explorer()
+            .explore_reconfigurable(&w, &mem)
+            .unwrap()
+            .unwrap();
         for c in &report.per_phase {
             assert!(
                 c.design.metrics.cost_gates <= report.static_best.metrics.cost_gates,
@@ -320,7 +326,10 @@ mod tests {
     fn tight_budget_forces_cheaper_designs() {
         let w = benchmarks::jpeg();
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
-        let rich = explorer().explore_reconfigurable(&w, &mem).unwrap().unwrap();
+        let rich = explorer()
+            .explore_reconfigurable(&w, &mem)
+            .unwrap()
+            .unwrap();
         // A budget at the median candidate cost is guaranteed feasible.
         let mut costs: Vec<u64> = explorer()
             .connectivity_exploration(&w, &mem)
@@ -368,7 +377,10 @@ mod tests {
     fn report_display_lists_phases() {
         let w = benchmarks::jpeg();
         let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4));
-        let report = explorer().explore_reconfigurable(&w, &mem).unwrap().unwrap();
+        let report = explorer()
+            .explore_reconfigurable(&w, &mem)
+            .unwrap()
+            .unwrap();
         let text = report.to_string();
         assert!(text.contains("dct"), "{text}");
         assert!(text.contains("entropy"), "{text}");

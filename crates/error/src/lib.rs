@@ -249,7 +249,7 @@ mod tests {
 
     #[test]
     fn io_source_is_chained() {
-        let e = MceError::from(io::Error::new(io::ErrorKind::Other, "root"));
+        let e = MceError::from(io::Error::other("root"));
         assert!(e.source().is_some());
     }
 

@@ -232,10 +232,10 @@ pub fn on_write(path: &Path) -> io::Result<()> {
     for fault in faults {
         if let Fault::FailWrite { nth } = fault {
             if n == nth {
-                return Err(io::Error::new(
-                    io::ErrorKind::Other,
-                    format!("injected failure of write {n} (`{}`)", path.display()),
-                ));
+                return Err(io::Error::other(format!(
+                    "injected failure of write {n} (`{}`)",
+                    path.display()
+                )));
             }
         }
     }
@@ -296,9 +296,15 @@ mod tests {
                 sticky: true
             })
         );
-        assert_eq!(parse_spec("abort_at_eval:7"), Ok(Fault::AbortAtEval { nth: 7 }));
+        assert_eq!(
+            parse_spec("abort_at_eval:7"),
+            Ok(Fault::AbortAtEval { nth: 7 })
+        );
         assert_eq!(parse_spec("fail_write:2"), Ok(Fault::FailWrite { nth: 2 }));
-        assert_eq!(parse_spec("hang_at_eval:5"), Ok(Fault::HangAtEval { nth: 5 }));
+        assert_eq!(
+            parse_spec("hang_at_eval:5"),
+            Ok(Fault::HangAtEval { nth: 5 })
+        );
         for bad in [
             "panic_at_eval",
             "panic_at_eval:x",
@@ -318,8 +324,7 @@ mod tests {
         assert!(!on_eval_blocking(&|| false), "first evaluation is clean");
         // The second hangs; a check that trips after a few polls reclaims it.
         let polls = AtomicU64::new(0);
-        let reclaimed =
-            on_eval_blocking(&|| polls.fetch_add(1, Ordering::SeqCst) >= 3);
+        let reclaimed = on_eval_blocking(&|| polls.fetch_add(1, Ordering::SeqCst) >= 3);
         assert!(reclaimed, "hang reports the reclaim");
         assert!(polls.load(Ordering::SeqCst) >= 3);
         assert!(!on_eval_blocking(&|| false), "one-shot: the third is clean");
@@ -376,7 +381,11 @@ mod tests {
         truncate_file(&path, 2).unwrap();
         assert_eq!(std::fs::read(&path).unwrap().len(), 2);
         truncate_file(&path, 100).unwrap();
-        assert_eq!(std::fs::read(&path).unwrap().len(), 2, "longer keep is a no-op");
+        assert_eq!(
+            std::fs::read(&path).unwrap().len(),
+            2,
+            "longer keep is a no-op"
+        );
         std::fs::remove_file(&path).ok();
     }
 }

@@ -155,7 +155,9 @@ impl Event {
         match &self.kind {
             EventKind::SpanBegin { name } => format!("span_begin:{name}"),
             EventKind::SpanEnd { name, .. } => format!("span_end:{name}"),
-            EventKind::Worker { name, lane, items, .. } => {
+            EventKind::Worker {
+                name, lane, items, ..
+            } => {
                 format!("worker:{name}:{lane}:{items}")
             }
             EventKind::Counter { name, value } => format!("counter:{name}={value}"),
@@ -282,7 +284,11 @@ mod tests {
 
     #[test]
     fn schedule_dependent_classes() {
-        let mk = |kind| Event { seq: 0, t_us: 0, kind };
+        let mk = |kind| Event {
+            seq: 0,
+            t_us: 0,
+            kind,
+        };
         assert!(mk(EventKind::Worker {
             name: "w",
             lane: 1,
@@ -299,7 +305,11 @@ mod tests {
         })
         .schedule_dependent());
         assert!(!mk(EventKind::SpanBegin { name: "s" }).schedule_dependent());
-        assert!(!mk(EventKind::Counter { name: "c", value: 1 }).schedule_dependent());
+        assert!(!mk(EventKind::Counter {
+            name: "c",
+            value: 1
+        })
+        .schedule_dependent());
     }
 
     #[test]

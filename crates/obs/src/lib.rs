@@ -24,6 +24,11 @@
 //! * **Worker lanes** ([`worker_span`]) and **progress ticks**
 //!   ([`progress`]) describe parallel execution; they are the only
 //!   [schedule-dependent](Event::schedule_dependent) events.
+//! * **Time series** ([`timeseries`]) are fixed-capacity ring buffers of
+//!   periodic registry snapshots — deterministic *logical* sampling
+//!   points ([`logical_mark`]) kept strictly separate from wall-clock
+//!   samples taken by a background [`Sampler`] — feeding live status
+//!   files, `mce top` sparklines and the OpenMetrics exporter.
 //!
 //! Events go to a process-global [`Sink`] installed with [`install`]. With
 //! no sink installed (the default), every instrumentation call
@@ -60,7 +65,13 @@
 //! let ids: Vec<String> = events.iter().map(|e| e.identity()).collect();
 //! assert_eq!(
 //!     ids,
-//!     ["span_begin:demo.phase", "span_end:demo.phase", "counter:demo.items=3"]
+//!     [
+//!         "span_begin:demo.phase",
+//!         "span_end:demo.phase",
+//!         "counter:demo.items=3",
+//!         // The span fed its duration into the histogram registry.
+//!         "hist:demo.phase:n=1",
+//!     ]
 //! );
 //! ```
 
@@ -72,6 +83,7 @@ pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod sink;
+pub mod timeseries;
 
 pub use event::{escape_json, Event, EventKind, Level};
 pub use hist::{Histogram, HistogramSummary};
@@ -85,4 +97,8 @@ pub use recorder::{
 pub use sink::{
     render_chrome_trace, ChromeTraceSink, JsonLinesSink, MemorySink, MultiSink, NullSink,
     ProgressReporter, Sink,
+};
+pub use timeseries::{
+    logical_mark, logical_series, series_capacity, set_series_capacity, wall_sample, wall_series,
+    Sampler, SeriesPoint, DEFAULT_SERIES_CAPACITY,
 };

@@ -373,9 +373,10 @@ pub fn gauge_value(name: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// Clears all counters, gauges and histograms (done automatically by
-/// [`install`]), so back-to-back sessions in one process never report
-/// stale totals, peak values or latency samples from a previous run.
+/// Clears all counters, gauges, histograms and time-series rings (done
+/// automatically by [`install`]), so back-to-back sessions in one
+/// process never report stale totals, peak values, latency samples or
+/// sampled series from a previous run.
 pub fn reset_counters() {
     let g = global();
     g.counters
@@ -387,6 +388,7 @@ pub fn reset_counters() {
         .unwrap_or_else(PoisonError::into_inner)
         .clear();
     g.hists.clear();
+    crate::timeseries::clear();
 }
 
 /// Emits one [`EventKind::Counter`] event per counter, one
@@ -490,14 +492,15 @@ pub fn message(level: Level, text: impl FnOnce() -> String) {
     });
 }
 
+/// The recorder is process-global; every in-crate test module that
+/// installs a sink serializes on this one lock.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sink::MemorySink;
-    use std::sync::Mutex as StdMutex;
-
-    /// The recorder is process-global; tests touching it serialize here.
-    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
 
     fn with_recorder<R>(f: impl FnOnce(Arc<MemorySink>) -> R) -> R {
         let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
@@ -592,11 +595,7 @@ mod tests {
         let ids: Vec<String> = events.iter().map(Event::identity).collect();
         assert_eq!(
             ids,
-            vec![
-                "counter:a.first=11",
-                "counter:b.second=2",
-                "gauge:z.high=5"
-            ]
+            vec!["counter:a.first=11", "counter:b.second=2", "gauge:z.high=5"]
         );
     }
 
@@ -661,15 +660,19 @@ mod tests {
     }
 
     /// Regression test: a second back-to-back session in the same process
-    /// must not see the previous session's counter totals, gauge peaks or
-    /// histogram samples ([`install`] resets all three registries).
+    /// must not see the previous session's counter totals, gauge peaks,
+    /// histogram samples or time-series rings ([`install`] resets all
+    /// four registries).
     #[test]
     fn install_resets_counters_gauges_and_histograms() {
         with_recorder(|_| {
             counter_add("s.count", 41);
             gauge_max("s.peak", 99);
             histogram_record("s.lat", 1234);
+            crate::timeseries::logical_mark(1);
+            crate::timeseries::wall_sample();
             assert_eq!(gauge_value("s.peak"), 99);
+            assert!(!crate::timeseries::logical_series().is_empty());
         });
         with_recorder(|_| {
             assert_eq!(counter_value("s.count"), 0, "stale counter total");
@@ -677,6 +680,14 @@ mod tests {
             assert!(
                 histogram_summary("s.lat").is_none(),
                 "stale histogram samples"
+            );
+            assert!(
+                crate::timeseries::logical_series().is_empty(),
+                "stale logical time-series rings"
+            );
+            assert!(
+                crate::timeseries::wall_series().is_empty(),
+                "stale wall time-series rings"
             );
             // A lower peak in the new session must win from scratch.
             gauge_max("s.peak", 5);

@@ -45,12 +45,7 @@ impl MemorySink {
 
     /// Returns the buffered events, leaving the sink empty.
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(
-            &mut self
-                .events
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner),
-        )
+        std::mem::take(&mut self.events.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// A copy of the buffered events.
@@ -143,8 +138,8 @@ impl ChromeTraceSink {
             .unwrap_or_else(|| std::ffi::OsString::from("trace"));
         tmp_name.push(".tmp");
         let tmp = path.with_file_name(tmp_name);
-        let write = std::fs::write(&tmp, self.to_chrome_json())
-            .and_then(|()| std::fs::rename(&tmp, path));
+        let write =
+            std::fs::write(&tmp, self.to_chrome_json()).and_then(|()| std::fs::rename(&tmp, path));
         if write.is_err() {
             std::fs::remove_file(&tmp).ok();
         }

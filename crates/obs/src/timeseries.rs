@@ -1,0 +1,429 @@
+//! Time-series registry: fixed-capacity ring buffers of periodic
+//! registry snapshots, the substrate of live run monitoring (`mce
+//! explore --live-status`, `mce top`, the OpenMetrics exporter).
+//!
+//! Every series is a bounded ring of `(at, value)` points. Two strictly
+//! separated channels exist, because they sit on opposite sides of the
+//! determinism contract:
+//!
+//! * The **logical channel** ([`logical_mark`]) snapshots the counter and
+//!   gauge registries at *logical* sampling points — per-architecture
+//!   boundaries of the Phase-I loop, identified by a caller-supplied tick
+//!   (architectures done). Counter totals are deterministic at those
+//!   boundaries, so the logical channel's contents are byte-identical
+//!   across worker-thread counts and cache persistence. `budget.*`
+//!   counters (watchdog timeouts, cancellations) are timing-dependent
+//!   and are excluded here, mirroring the run report's quarantine.
+//! * The **wall channel** ([`wall_sample`]) snapshots the same registries
+//!   — plus one derived series per histogram — at *wall-clock* instants,
+//!   stamped with microseconds since sink installation. A background
+//!   [`Sampler`] drives it at a fixed interval. Wall samples are
+//!   inherently nondeterministic (how far the run got after N
+//!   milliseconds depends on the machine) and never feed anything
+//!   deterministic.
+//!
+//! Sampling only ever *reads* the registries; like the rest of `mce-obs`
+//! it cannot perturb exploration results, and with no sink installed
+//! every entry point short-circuits on one relaxed atomic load.
+
+use crate::hist::HistogramSummary;
+use crate::recorder;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// Default per-series ring capacity: enough for four minutes of
+/// one-second wall samples, or a few hundred Phase-I architectures,
+/// while bounding live-status files to a few tens of kilobytes.
+pub const DEFAULT_SERIES_CAPACITY: usize = 240;
+
+/// One sampled point of a series: `at` is the logical tick
+/// (architectures done) on the logical channel, or microseconds since
+/// sink installation on the wall channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Sample position: logical tick or `t_us`, depending on the channel.
+    pub at: u64,
+    /// The sampled registry value.
+    pub value: u64,
+}
+
+/// The registry: name → bounded ring, one map per channel.
+struct Registry {
+    capacity: AtomicUsize,
+    logical: Mutex<BTreeMap<&'static str, VecDeque<SeriesPoint>>>,
+    wall: Mutex<BTreeMap<&'static str, VecDeque<SeriesPoint>>>,
+    /// Derived per-histogram wall series need owned names
+    /// (`<hist>.p90`); interning keeps them `&'static` like the rest.
+    hist_names: Mutex<BTreeMap<String, &'static str>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        capacity: AtomicUsize::new(DEFAULT_SERIES_CAPACITY),
+        logical: Mutex::new(BTreeMap::new()),
+        wall: Mutex::new(BTreeMap::new()),
+        hist_names: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Sets the per-series ring capacity (minimum 2, so every series keeps at
+/// least a first and a latest point). Existing series are trimmed from
+/// the front to the new bound.
+pub fn set_series_capacity(capacity: usize) {
+    let r = registry();
+    let capacity = capacity.max(2);
+    r.capacity.store(capacity, Ordering::SeqCst);
+    for channel in [&r.logical, &r.wall] {
+        let mut map = channel.lock().unwrap_or_else(PoisonError::into_inner);
+        for ring in map.values_mut() {
+            while ring.len() > capacity {
+                ring.pop_front();
+            }
+        }
+    }
+}
+
+/// The configured per-series ring capacity.
+pub fn series_capacity() -> usize {
+    registry().capacity.load(Ordering::SeqCst)
+}
+
+fn push(
+    channel: &Mutex<BTreeMap<&'static str, VecDeque<SeriesPoint>>>,
+    capacity: usize,
+    name: &'static str,
+    point: SeriesPoint,
+) {
+    let mut map = channel.lock().unwrap_or_else(PoisonError::into_inner);
+    let ring = map.entry(name).or_default();
+    if ring.len() >= capacity {
+        ring.pop_front();
+    }
+    ring.push_back(point);
+}
+
+/// Records one logical sampling point: every counter (except the
+/// timing-dependent `budget.*` family) and every gauge gets a
+/// `(tick, value)` point appended to its logical series. Call from the
+/// coordinating thread at a deterministic boundary — the Phase-I loop
+/// calls it once per committed architecture with `tick = archs_done` —
+/// so that two runs of the same exploration produce identical logical
+/// channels regardless of thread count. No-op when tracing is disabled.
+pub fn logical_mark(tick: u64) {
+    if !recorder::tracing_enabled() {
+        return;
+    }
+    let r = registry();
+    let capacity = r.capacity.load(Ordering::SeqCst);
+    for (name, value) in recorder::counters_snapshot() {
+        if name.starts_with("budget.") {
+            continue;
+        }
+        push(&r.logical, capacity, name, SeriesPoint { at: tick, value });
+    }
+    for (name, value) in recorder::gauges_snapshot() {
+        push(&r.logical, capacity, name, SeriesPoint { at: tick, value });
+    }
+}
+
+/// Records one wall-clock sample: every counter, every gauge, and one
+/// derived `<histogram>.p90` series per histogram get a `(t_us, value)`
+/// point appended to their wall series, where `t_us` is microseconds
+/// since sink installation. Nondeterministic by construction — call it
+/// from a [`Sampler`] (or anywhere); it only reads the registries.
+/// No-op when tracing is disabled.
+pub fn wall_sample() {
+    if !recorder::tracing_enabled() {
+        return;
+    }
+    let r = registry();
+    let capacity = r.capacity.load(Ordering::SeqCst);
+    let t_us = recorder::now_us();
+    for (name, value) in recorder::counters_snapshot() {
+        push(&r.wall, capacity, name, SeriesPoint { at: t_us, value });
+    }
+    for (name, value) in recorder::gauges_snapshot() {
+        push(&r.wall, capacity, name, SeriesPoint { at: t_us, value });
+    }
+    for (name, hist) in recorder::histograms_snapshot() {
+        let HistogramSummary { p90, .. } = hist.summary();
+        let series = intern_hist_name(name);
+        push(
+            &r.wall,
+            capacity,
+            series,
+            SeriesPoint {
+                at: t_us,
+                value: p90,
+            },
+        );
+    }
+}
+
+/// Interns `<hist>.p90` once per histogram name; the leak is bounded by
+/// the (small, fixed) set of histogram names, like the recorder's own
+/// restore-name interning.
+fn intern_hist_name(name: &'static str) -> &'static str {
+    let mut names = registry()
+        .hist_names
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(&existing) = names.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(format!("{name}.p90").into_boxed_str());
+    names.insert(name.to_owned(), leaked);
+    leaked
+}
+
+fn snapshot(
+    channel: &Mutex<BTreeMap<&'static str, VecDeque<SeriesPoint>>>,
+) -> Vec<(&'static str, Vec<SeriesPoint>)> {
+    channel
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(&name, ring)| (name, ring.iter().copied().collect()))
+        .collect()
+}
+
+/// Every logical series recorded so far, in name order.
+pub fn logical_series() -> Vec<(&'static str, Vec<SeriesPoint>)> {
+    snapshot(&registry().logical)
+}
+
+/// Every wall-clock series recorded so far, in name order.
+pub fn wall_series() -> Vec<(&'static str, Vec<SeriesPoint>)> {
+    snapshot(&registry().wall)
+}
+
+/// Clears both channels (done automatically by
+/// [`install`](crate::install), alongside the counter, gauge and
+/// histogram registries), so back-to-back sessions never report stale
+/// series. The configured capacity is kept.
+pub fn clear() {
+    let r = registry();
+    r.logical
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+    r.wall
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+/// A lightweight background sampler: one thread calling [`wall_sample`]
+/// (then an optional caller hook) at a fixed wall-clock interval, until
+/// stopped or dropped.
+///
+/// The thread polls its stop flag every few milliseconds between
+/// samples, so [`Sampler::stop`] returns promptly even for long
+/// intervals. Sampling reads registries under short-lived locks and
+/// never blocks instrumentation's fast path.
+#[must_use = "a sampler stops sampling when dropped"]
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Starts sampling every `interval`.
+    pub fn start(interval: Duration) -> Self {
+        Sampler::start_with(interval, || {})
+    }
+
+    /// Starts sampling every `interval`, invoking `on_sample` after each
+    /// [`wall_sample`] — the hook live-status publishers attach their
+    /// file write to. The first sample fires after one interval, not
+    /// immediately (callers wanting an initial data point take it
+    /// synchronously before starting the sampler).
+    pub fn start_with(interval: Duration, on_sample: impl Fn() + Send + 'static) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("mce-obs-sampler".to_owned())
+            .spawn(move || {
+                const POLL: Duration = Duration::from_millis(5);
+                loop {
+                    let mut slept = Duration::ZERO;
+                    while slept < interval {
+                        if stop_flag.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let step = POLL.min(interval - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    wall_sample();
+                    on_sample();
+                }
+            })
+            .expect("spawning the sampler thread");
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampler and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{
+        counter_add, gauge_max, histogram_record, install, uninstall, TEST_LOCK,
+    };
+    use crate::sink::MemorySink;
+
+    fn with_recorder<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        install(Arc::new(MemorySink::new()));
+        let r = f();
+        uninstall();
+        r
+    }
+
+    #[test]
+    fn logical_marks_snapshot_counters_and_gauges_at_ticks() {
+        let (logical, wall) = with_recorder(|| {
+            counter_add("ts.count", 3);
+            gauge_max("ts.peak", 9);
+            logical_mark(1);
+            counter_add("ts.count", 4);
+            logical_mark(2);
+            (logical_series(), wall_series())
+        });
+        assert!(wall.is_empty(), "no wall samples were taken");
+        let series: BTreeMap<_, _> = logical.into_iter().collect();
+        assert_eq!(
+            series["ts.count"],
+            vec![
+                SeriesPoint { at: 1, value: 3 },
+                SeriesPoint { at: 2, value: 7 }
+            ]
+        );
+        assert_eq!(
+            series["ts.peak"],
+            vec![
+                SeriesPoint { at: 1, value: 9 },
+                SeriesPoint { at: 2, value: 9 }
+            ]
+        );
+    }
+
+    #[test]
+    fn budget_counters_stay_out_of_the_logical_channel() {
+        let (logical, wall) = with_recorder(|| {
+            counter_add("budget.timeouts", 1);
+            counter_add("ts.ok", 1);
+            logical_mark(1);
+            wall_sample();
+            (logical_series(), wall_series())
+        });
+        assert!(
+            logical.iter().all(|(name, _)| !name.starts_with("budget.")),
+            "timing-dependent budget counters leaked into the logical channel: {logical:?}"
+        );
+        assert!(
+            wall.iter().any(|(name, _)| *name == "budget.timeouts"),
+            "the wall channel carries everything: {wall:?}"
+        );
+    }
+
+    #[test]
+    fn wall_samples_carry_histogram_p90_series() {
+        let wall = with_recorder(|| {
+            for v in [10, 20, 30] {
+                histogram_record("ts.lat_us", v);
+            }
+            wall_sample();
+            wall_series()
+        });
+        let (_, points) = wall
+            .iter()
+            .find(|(name, _)| *name == "ts.lat_us.p90")
+            .expect("derived histogram series present");
+        assert_eq!(points.len(), 1);
+        assert!(points[0].value >= 10, "{points:?}");
+    }
+
+    #[test]
+    fn rings_are_bounded_and_capacity_trims() {
+        with_recorder(|| {
+            set_series_capacity(4);
+            counter_add("ts.ring", 1);
+            for tick in 0..10 {
+                logical_mark(tick);
+            }
+            let series: BTreeMap<_, _> = logical_series().into_iter().collect();
+            let points = &series["ts.ring"];
+            assert_eq!(points.len(), 4, "ring bounded at capacity");
+            assert_eq!(points[0].at, 6, "oldest points evicted first");
+            assert_eq!(points[3].at, 9);
+            // Shrinking trims existing rings from the front.
+            set_series_capacity(2);
+            let series: BTreeMap<_, _> = logical_series().into_iter().collect();
+            assert_eq!(series["ts.ring"].len(), 2);
+            assert_eq!(series["ts.ring"][0].at, 8);
+            set_series_capacity(DEFAULT_SERIES_CAPACITY);
+        });
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        uninstall();
+        clear();
+        logical_mark(1);
+        wall_sample();
+        assert!(logical_series().is_empty());
+        assert!(wall_series().is_empty());
+    }
+
+    #[test]
+    fn sampler_takes_periodic_samples_and_stops() {
+        with_recorder(|| {
+            counter_add("ts.sampled", 1);
+            let fired = Arc::new(AtomicBool::new(false));
+            let fired_flag = fired.clone();
+            let sampler = Sampler::start_with(Duration::from_millis(10), move || {
+                fired_flag.store(true, Ordering::SeqCst);
+            });
+            // Wait for at least one sample without assuming scheduling.
+            for _ in 0..200 {
+                if fired.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            sampler.stop();
+            assert!(fired.load(Ordering::SeqCst), "the on_sample hook ran");
+            let series: BTreeMap<_, _> = wall_series().into_iter().collect();
+            assert!(
+                series.get("ts.sampled").is_some_and(|p| !p.is_empty()),
+                "the sampler recorded wall points: {series:?}"
+            );
+        });
+    }
+}

@@ -26,7 +26,10 @@ fn main() {
 
     // Unconstrained: the static design can afford the configuration every
     // phase wants, so reconfiguration should only lose the switch penalty.
-    let Some(rich) = explorer.explore_reconfigurable(&workload, &mem).expect("exploration runs") else {
+    let Some(rich) = explorer
+        .explore_reconfigurable(&workload, &mem)
+        .expect("exploration runs")
+    else {
         println!("workload has no phases — nothing to reconfigure");
         return;
     };

@@ -11,16 +11,23 @@
 //!              [--checkpoint FILE] [--checkpoint-every N]
 //!              [--max-evals N] [--max-archs N]
 //!              [--deadline SECS] [--candidate-timeout MS]
+//!              [--live-status FILE] [--live-every MS] [--metrics-out FILE]
 //!              [--out-dir DIR] [--progress]
 //!                                              full APEX + ConEx exploration
+//! mce top      <status.json> [--interval MS] [--once]
+//!                                              watch a --live-status file as
+//!                                              a refreshing dashboard
 //! mce report   <report.json>... [--out FILE] [--html]
 //!                                              render run reports as
 //!                                              markdown/HTML summaries
+//! mce export-metrics <status-or-report.json> [--out FILE]
+//!                                              render a live-status or
+//!                                              run-report file as OpenMetrics
 //! mce cache-check <spill.json> [--capacity N] [--repair]
 //!                                              validate (and optionally
 //!                                              repair) an eval-cache spill
 //! mce bench-gate [--baseline FILE] [--current FILE] [--tolerance T]
-//!              [--warn-only]                   compare BENCH_eval.json to a
+//!              [--warn-only] [--enforce-pinned] compare BENCH_eval.json to a
 //!                                              committed baseline
 //! ```
 //!
@@ -64,22 +71,35 @@
 //! `"truncated"`, and the process still exits 0 with a distinct
 //! `exploration truncated (...)` status line.
 //!
+//! `--live-status FILE` continuously publishes a schema-versioned JSON
+//! snapshot of the running exploration (phase, candidate funnel,
+//! evaluation rate, cache hit rate, remaining budget, ETA, frontier
+//! hypervolume, full registries and time series), rewritten atomically
+//! every committed architecture and every `--live-every MS` (default
+//! 500). Watch it with `mce top FILE` — a refreshing dashboard on a TTY,
+//! a single plain-text snapshot otherwise or with `--once`. Publishing
+//! is best-effort: a failed write never fails the run, and results are
+//! bit-identical with live status on or off. `--metrics-out FILE` writes
+//! the end-of-run registries as OpenMetrics text; `mce export-metrics`
+//! renders the same format from any live-status or run-report file.
+//!
 //! All file outputs (`--out`, `--report-out`, `--trace-out`, eval-cache
-//! spills, checkpoints, experiment logs) are written atomically — a
-//! sibling temporary plus rename — so a crash mid-write never leaves a
-//! torn file behind.
+//! spills, checkpoints, experiment logs, live-status snapshots) are
+//! written atomically — a sibling temporary plus rename — so a crash
+//! mid-write never leaves a torn file behind.
 //!
 //! [`RunReport`]: memory_conex::RunReport
 
+use mce_error::{atomic_write, MceError};
 use memory_conex::apex::classify;
 use memory_conex::appmodel::{benchmarks, AccessPattern, DataStructure, Workload, WorkloadBuilder};
 use memory_conex::conex::Scenario;
+use memory_conex::live;
 use memory_conex::memlib::{CacheConfig, MemoryArchitecture};
 use memory_conex::obs;
 use memory_conex::report;
 use memory_conex::sim::{simulate, Preset, SystemConfig};
 use memory_conex::ExplorationSession;
-use mce_error::{atomic_write, MceError};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -118,10 +138,14 @@ const USAGE: &str = "usage:
                [--checkpoint FILE] [--checkpoint-every N]
                [--max-evals N] [--max-archs N]
                [--deadline SECS] [--candidate-timeout MS]
+               [--live-status FILE] [--live-every MS] [--metrics-out FILE]
                [--out-dir DIR] [--progress]
+  mce top      <status.json> [--interval MS] [--once]
   mce report   <report.json>... [--out FILE] [--html]
+  mce export-metrics <status-or-report.json> [--out FILE]
   mce cache-check <spill.json> [--capacity N] [--repair]
   mce bench-gate [--baseline FILE] [--current FILE] [--tolerance T] [--warn-only]
+               [--enforce-pinned]
 
 <workload> = compress | li | vocoder | adpcm | jpeg | mix | path/to/workload.json
 
@@ -151,12 +175,28 @@ explore options:
   --candidate-timeout MS reclaim any single evaluation running longer
                    than MS milliseconds by degrading it to its estimate
                    (tagged in the report's wall_clock.degraded section)
+  --live-status FILE continuously publish a live-status JSON snapshot
+                   to FILE (atomic rewrites; watch it with `mce top`);
+                   best-effort, never changes results or fails the run
+  --live-every MS  live-status / time-series sampling cadence in
+                   milliseconds (default 500, MS >= 10; requires
+                   --live-status)
+  --metrics-out FILE write the end-of-run counters/gauges/histograms
+                   as OpenMetrics text to FILE
   --progress       print live progress lines to stderr (MCE_LOG=debug
                    for more detail)
+
+top options:
+  --interval MS    dashboard refresh interval (default 500, MS >= 50)
+  --once           print one plain-text snapshot and exit (also the
+                   default when stdout is not a terminal)
 
 report options:
   --out FILE       write the summary to FILE instead of stdout
   --html           render a self-contained HTML document instead of markdown
+
+export-metrics options:
+  --out FILE       write the OpenMetrics text to FILE instead of stdout
 
 cache-check options:
   --capacity N     resident-entry capacity used when loading (default 65536)
@@ -169,7 +209,10 @@ bench-gate options:
   --baseline FILE  committed baseline (default crates/bench/BENCH_eval.baseline.json)
   --current FILE   fresh measurement (default BENCH_eval.json)
   --tolerance T    allowed relative regression, e.g. 0.2 = 20% (default 0.2)
-  --warn-only      report regressions without failing";
+  --warn-only      report regressions without failing
+  --enforce-pinned fail only on the pinned contract fields
+                   (block_replay_speedup, block_replay_cancellable_overhead);
+                   other regressions warn";
 
 type CliError = Box<dyn std::error::Error>;
 
@@ -184,7 +227,9 @@ fn run(args: &[String]) -> Result<u8, CliError> {
         "classify" => cmd_classify(&args[1..]).map(|()| 0),
         "simulate" => cmd_simulate(&args[1..]).map(|()| 0),
         "explore" => cmd_explore(&args[1..]).map(|()| 0),
+        "top" => cmd_top(&args[1..]).map(|()| 0),
         "report" => cmd_report(&args[1..]).map(|()| 0),
+        "export-metrics" => cmd_export_metrics(&args[1..]).map(|()| 0),
         "cache-check" => cmd_cache_check(&args[1..]),
         "bench-gate" => cmd_bench_gate(&args[1..]).map(|()| 0),
         other => Err(format!("unknown command `{other}`").into()),
@@ -311,8 +356,8 @@ fn cmd_classify(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let w = load_workload(args)?;
-    let kib = numeric_flag::<u64>(args, "--cache", 1, "--cache KIB (cache size, KIB >= 1)")?
-        .unwrap_or(8);
+    let kib =
+        numeric_flag::<u64>(args, "--cache", 1, "--cache KIB (cache size, KIB >= 1)")?.unwrap_or(8);
     let trace = numeric_flag::<usize>(args, "--trace", 1, "--trace N (accesses, N >= 1)")?
         .unwrap_or(30_000);
     let mem = MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(kib));
@@ -356,8 +401,7 @@ struct ObsSession {
 
 impl ObsSession {
     fn start(trace_out: Option<&str>, progress: bool, need_metrics: bool) -> Self {
-        let chrome =
-            trace_out.map(|path| (Arc::new(obs::ChromeTraceSink::new()), path.to_owned()));
+        let chrome = trace_out.map(|path| (Arc::new(obs::ChromeTraceSink::new()), path.to_owned()));
         let mut sinks: Vec<Arc<dyn obs::Sink>> = Vec::new();
         if let Some((sink, _)) = &chrome {
             sinks.push(sink.clone());
@@ -471,6 +515,36 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     )? {
         session = session.candidate_timeout(Duration::from_millis(ms));
     }
+    // Like --checkpoint: a silently dropped --live-status would cost the
+    // user the monitoring they asked for, so a missing or flag-shaped
+    // value is an error rather than ignored.
+    let live_status = match args.iter().position(|a| a == "--live-status") {
+        Some(i) => Some(
+            args.get(i + 1)
+                .map(String::as_str)
+                .filter(|v| !v.starts_with("--"))
+                .ok_or("--live-status needs a FILE argument")?,
+        ),
+        None => None,
+    };
+    if let Some(path) = live_status {
+        session = session.live_status_file(path);
+    }
+    if let Some(ms) = numeric_flag::<u64>(
+        args,
+        "--live-every",
+        10,
+        "--live-every MS (MS >= 10, requires --live-status FILE)",
+    )? {
+        if live_status.is_none() {
+            return Err("--live-every needs --live-status FILE".into());
+        }
+        session = session.live_every(Duration::from_millis(ms));
+    }
+    let metrics_out = flag_value(args, "--metrics-out");
+    if let Some(path) = metrics_out {
+        session = session.metrics_out(path);
+    }
     // Ctrl-C becomes a cooperative stop at the next safe point instead of
     // killing the process: the checkpoint and a truncated report are
     // still written, and the exit code stays 0.
@@ -480,7 +554,7 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     let obs_session = ObsSession::start(
         flag_value(args, "--trace-out"),
         args.iter().any(|a| a == "--progress"),
-        report_out.is_some(),
+        report_out.is_some() || live_status.is_some() || metrics_out.is_some(),
     );
     eprintln!("exploring `{}` at {scale} scale...", w.name());
     let result = session.run()?;
@@ -512,6 +586,14 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
             "eval-cache {path}: {} hits, {} misses, {} inserts",
             s.hits, s.misses, s.inserts
         );
+    }
+    if let Some(path) = live_status {
+        eprintln!(
+            "live status {path} holds the final snapshot (watch live runs with `mce top {path}`)"
+        );
+    }
+    if let Some(path) = metrics_out {
+        eprintln!("wrote metrics {path}");
     }
     let mut summary = String::new();
     let _ = writeln!(
@@ -580,7 +662,10 @@ fn write_experiment_log(out_dir: &str, w: &Workload, scale: Preset, summary: &st
         .and_then(|()| atomic_write(&path, summary.as_bytes()).map_err(|e| e.to_string()));
     match written {
         Ok(()) => eprintln!("logged {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write experiment log {}: {e}", path.display()),
+        Err(e) => eprintln!(
+            "warning: cannot write experiment log {}: {e}",
+            path.display()
+        ),
     }
 }
 
@@ -639,6 +724,95 @@ fn cmd_report(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Loads and schema-checks one live-status file.
+fn load_live_status(path: &str) -> Result<obs::json::Value, CliError> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read status file `{path}`: {e}"))?;
+    let doc = obs::json::parse(&body)
+        .map_err(|e| format!("status file `{path}` is not valid JSON: {e}"))?;
+    match doc.get("live_schema").and_then(obs::json::Value::as_u64) {
+        Some(live::LIVE_SCHEMA) => Ok(doc),
+        found => Err(format!(
+            "status file `{path}` has unsupported live_schema {found:?} (expected {})",
+            live::LIVE_SCHEMA
+        )
+        .into()),
+    }
+}
+
+/// `mce top`: watches a `--live-status` file. On a TTY it refreshes a
+/// full-screen dashboard every `--interval` until the run leaves the
+/// `running` state; with `--once` or a non-TTY stdout it prints a single
+/// plain-text snapshot, so scripts and CI can capture it.
+///
+/// The status file is rewritten atomically by the exploring process, so
+/// every read sees a complete document; a handful of consecutive read
+/// failures (the file being deleted, say) ends the watch with an error
+/// instead of spinning forever.
+fn cmd_top(args: &[String]) -> Result<(), CliError> {
+    use std::io::{IsTerminal, Write as _};
+
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("top needs a live-status file argument")?;
+    let interval =
+        numeric_flag::<u64>(args, "--interval", 50, "--interval MS (MS >= 50)")?.unwrap_or(500);
+    let once = args.iter().any(|a| a == "--once");
+    if once || !std::io::stdout().is_terminal() {
+        let doc = load_live_status(path)?;
+        print!("{}", live::render_dashboard(path, &doc));
+        return Ok(());
+    }
+    let mut failures = 0u32;
+    loop {
+        match load_live_status(path) {
+            Ok(doc) => {
+                failures = 0;
+                let frame = live::render_dashboard(path, &doc);
+                let mut stdout = std::io::stdout().lock();
+                // Clear + home, then the frame: one write per refresh.
+                let _ = write!(stdout, "\x1b[2J\x1b[H{frame}");
+                let _ = stdout.flush();
+                if doc.get("status").and_then(obs::json::Value::as_str) != Some("running") {
+                    return Ok(());
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                if failures >= 10 {
+                    return Err(e);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(interval));
+    }
+}
+
+/// `mce export-metrics`: renders a live-status or run-report JSON file
+/// as OpenMetrics text (to stdout or `--out FILE`), so any
+/// Prometheus-compatible scraper can ingest a run's registries.
+fn cmd_export_metrics(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("export-metrics needs a live-status or run-report JSON file")?;
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read metrics source `{path}`: {e}"))?;
+    let doc = obs::json::parse(&body)
+        .map_err(|e| format!("metrics source `{path}` is not valid JSON: {e}"))?;
+    let text = live::openmetrics_from_value(&doc).map_err(|e| format!("`{path}`: {e}"))?;
+    match flag_value(args, "--out") {
+        Some(out) => {
+            atomic_write(out, text.as_bytes())
+                .map_err(|e| format!("cannot write metrics `{out}`: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 /// Offline eval-cache spill validation and repair.
 ///
 /// Strictly parses every entry: a fully valid spill reports its entry
@@ -662,8 +836,8 @@ fn cmd_cache_check(args: &[String]) -> Result<u8, CliError> {
     let capacity = numeric_flag::<usize>(args, "--capacity", 1, "--capacity N (N >= 1)")?
         .unwrap_or(memory_conex::conex::eval_cache::DEFAULT_CAPACITY);
     let repair = args.iter().any(|a| a == "--repair");
-    let body = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read spill `{path}`: {e}"))?;
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read spill `{path}`: {e}"))?;
     // Strict first: a clean bill of health needs every entry to parse.
     match EvalCache::from_spill_json(&body, capacity) {
         Ok(cache) => {
@@ -707,6 +881,11 @@ fn cmd_bench_gate(args: &[String]) -> Result<(), CliError> {
         return Err(format!("--tolerance must be a non-negative number, got {tolerance}").into());
     }
     let warn_only = args.iter().any(|a| a == "--warn-only");
+    let enforce_pinned = args.iter().any(|a| a == "--enforce-pinned");
+    // The two fields whose regressions are design-contract violations,
+    // not machine-speed noise; `--enforce-pinned` fails on exactly these
+    // and downgrades everything else to a warning.
+    const PINNED_FIELDS: [&str; 2] = ["block_replay_speedup", "block_replay_cancellable_overhead"];
     let load = |path: &str| -> Result<obs::json::Value, CliError> {
         let body = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read bench summary `{path}`: {e}"))?;
@@ -721,8 +900,10 @@ fn cmd_bench_gate(args: &[String]) -> Result<(), CliError> {
         tolerance * 100.0
     );
     let mut regressed = false;
+    let mut pinned_regressed = false;
     for c in &checks {
         regressed |= c.regressed;
+        pinned_regressed |= c.regressed && PINNED_FIELDS.contains(&c.field);
         println!(
             "  {:<34} baseline {:>12.3}  current {:>12.3}  ratio {:>5.2}  tol {:>3.0}%  {}",
             c.field,
@@ -734,11 +915,26 @@ fn cmd_bench_gate(args: &[String]) -> Result<(), CliError> {
         );
     }
     if regressed {
-        if warn_only {
-            eprintln!("bench gate: regression beyond tolerance (--warn-only, not failing)");
+        // --warn-only never fails; --enforce-pinned fails only when a
+        // pinned contract field regressed; the default fails on any.
+        let fails = if warn_only {
+            false
+        } else if enforce_pinned {
+            pinned_regressed
         } else {
+            true
+        };
+        if fails {
             return Err("bench gate: regression beyond tolerance".into());
         }
+        eprintln!(
+            "bench gate: regression beyond tolerance ({}, not failing)",
+            if warn_only {
+                "--warn-only"
+            } else {
+                "--enforce-pinned: no pinned field regressed"
+            }
+        );
     } else {
         println!("bench gate: within tolerance");
     }
@@ -806,7 +1002,12 @@ mod tests {
             (&["explore", "vocoder", "--threads", "-2"], "--threads"),
             (&["explore", "vocoder", "--threads", "abc"], "--threads"),
             (
-                &["explore", "vocoder", "--threads", "99999999999999999999999999"],
+                &[
+                    "explore",
+                    "vocoder",
+                    "--threads",
+                    "99999999999999999999999999",
+                ],
                 "--threads",
             ),
             (&["explore", "vocoder", "--max-evals", "0"], "--max-evals"),
@@ -827,15 +1028,52 @@ mod tests {
                 "--candidate-timeout",
             ),
             (
-                &["explore", "vocoder", "--checkpoint", "c.json", "--checkpoint-every", "0"],
+                &[
+                    "explore",
+                    "vocoder",
+                    "--checkpoint",
+                    "c.json",
+                    "--checkpoint-every",
+                    "0",
+                ],
                 "--checkpoint-every",
             ),
+            (
+                &[
+                    "explore",
+                    "vocoder",
+                    "--live-status",
+                    "s.json",
+                    "--live-every",
+                    "5",
+                ],
+                "--live-every",
+            ),
+            (
+                &[
+                    "explore",
+                    "vocoder",
+                    "--live-status",
+                    "s.json",
+                    "--live-every",
+                    "soon",
+                ],
+                "--live-every",
+            ),
+            (&["top", "s.json", "--interval", "0"], "--interval"),
+            (&["top", "s.json", "--interval", "abc"], "--interval"),
             (&["classify", "vocoder", "--trace", "0"], "--trace"),
             (&["classify", "vocoder", "--trace", "-5"], "--trace"),
             (&["simulate", "vocoder", "--cache", "-1"], "--cache"),
             (&["simulate", "vocoder", "--cache", "0"], "--cache"),
-            (&["cache-check", "spill.json", "--capacity", "0"], "--capacity"),
-            (&["cache-check", "spill.json", "--capacity", "lots"], "--capacity"),
+            (
+                &["cache-check", "spill.json", "--capacity", "0"],
+                "--capacity",
+            ),
+            (
+                &["cache-check", "spill.json", "--capacity", "lots"],
+                "--capacity",
+            ),
         ];
         for (args, flag) in cases {
             let err = run(&s(args)).unwrap_err().to_string();
@@ -844,7 +1082,10 @@ mod tests {
                 "{args:?} should render a typed InvalidArg, got: {err}"
             );
             assert!(err.contains(flag), "{args:?}: {err}");
-            assert!(err.contains("usage:"), "{args:?} should carry a hint: {err}");
+            assert!(
+                err.contains("usage:"),
+                "{args:?} should carry a hint: {err}"
+            );
         }
     }
 
@@ -892,6 +1133,55 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("--checkpoint-every"), "{err}");
+    }
+
+    #[test]
+    fn explore_rejects_bad_live_flags() {
+        // A valueless --live-status must not silently drop monitoring.
+        let err = cmd_explore(&s(&["vocoder", "--live-status"])).unwrap_err();
+        assert!(err.to_string().contains("FILE argument"), "{err}");
+        let err = cmd_explore(&s(&["vocoder", "--live-status", "--progress"])).unwrap_err();
+        assert!(err.to_string().contains("FILE argument"), "{err}");
+        let err = cmd_explore(&s(&["vocoder", "--live-every", "200"])).unwrap_err();
+        assert!(err.to_string().contains("--live-status FILE"), "{err}");
+    }
+
+    #[test]
+    fn top_validates_its_input() {
+        let err = cmd_top(&s(&["--once"])).unwrap_err();
+        assert!(err.to_string().contains("status file"), "{err}");
+        let err = cmd_top(&s(&["/nonexistent/status.json", "--once"])).unwrap_err();
+        assert!(err.to_string().contains("cannot read"), "{err}");
+        let dir = std::env::temp_dir();
+        let bad = dir.join(format!("mce_top_bad_{}.json", std::process::id()));
+        std::fs::write(&bad, "{\"live_schema\": 99}").unwrap();
+        let err = cmd_top(&s(&[bad.to_str().unwrap(), "--once"])).unwrap_err();
+        std::fs::remove_file(&bad).ok();
+        assert!(err.to_string().contains("unsupported live_schema"), "{err}");
+    }
+
+    #[test]
+    fn export_metrics_renders_openmetrics_from_a_report() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let src = dir.join(format!("mce_xm_src_{pid}.json"));
+        let out = dir.join(format!("mce_xm_out_{pid}.txt"));
+        std::fs::write(
+            &src,
+            "{\"schema\": 1, \"counters\": {\"conex.simulated\": 7}, \"gauges\": {}, \
+             \"wall_clock\": {\"budget\": {}, \"histograms\": []}}",
+        )
+        .unwrap();
+        cmd_export_metrics(&s(&[src.to_str().unwrap(), "--out", out.to_str().unwrap()])).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        std::fs::remove_file(&src).ok();
+        std::fs::remove_file(&out).ok();
+        assert!(text.contains("mce_conex_simulated_total 7"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        let err = cmd_export_metrics(&s(&["/nonexistent/x.json"])).unwrap_err();
+        assert!(err.to_string().contains("cannot read"), "{err}");
+        let err = cmd_export_metrics(&s(&[])).unwrap_err();
+        assert!(err.to_string().contains("export-metrics needs"), "{err}");
     }
 
     #[test]
@@ -1014,7 +1304,30 @@ mod tests {
         assert!(gate(&good, &[]).is_ok(), "+5% stays within 20% tolerance");
         let err = gate(&slow, &[]).unwrap_err();
         assert!(err.to_string().contains("regression"), "{err}");
-        assert!(gate(&slow, &["--warn-only"]).is_ok(), "warn-only never fails");
+        assert!(
+            gate(&slow, &["--warn-only"]).is_ok(),
+            "warn-only never fails"
+        );
+        // --enforce-pinned: a pinned-field regression (the speedup drop
+        // in `slow`) still fails; a wall-time-only regression warns.
+        assert!(
+            gate(&slow, &["--enforce-pinned"]).is_err(),
+            "pinned speedup regression fails under --enforce-pinned"
+        );
+        let dispatch_only = dir.join(format!("mce_gate_dispatch_{pid}.json"));
+        std::fs::write(
+            &dispatch_only,
+            "{\"per_access_dispatch_ns\": 130, \"block_replay_ns\": 50, \
+             \"block_replay_speedup\": 2.0, \
+             \"block_replay_cancellable_overhead\": 1.0}",
+        )
+        .unwrap();
+        assert!(gate(&dispatch_only, &[]).is_err(), "default gate fails it");
+        assert!(
+            gate(&dispatch_only, &["--enforce-pinned"]).is_ok(),
+            "non-pinned regression only warns under --enforce-pinned"
+        );
+        std::fs::remove_file(&dispatch_only).ok();
         assert!(
             gate(&good, &["--tolerance", "0.01"]).is_err(),
             "tight tolerance flags +5%"

@@ -459,20 +459,15 @@ mod tests {
         let ck = sample();
         ck.ensure_matches(&ck.workload_digest, &ck.config_digest)
             .unwrap();
-        let err = ck
-            .ensure_matches("beef", &ck.config_digest)
-            .unwrap_err();
+        let err = ck.ensure_matches("beef", &ck.config_digest).unwrap_err();
         assert!(err.to_string().contains("different workload"), "{err}");
-        let err = ck
-            .ensure_matches(&ck.workload_digest, "beef")
-            .unwrap_err();
+        let err = ck.ensure_matches(&ck.workload_digest, "beef").unwrap_err();
         assert!(err.to_string().contains("reconfigured"), "{err}");
     }
 
     #[test]
     fn save_and_load_round_trip_through_disk() {
-        let path =
-            std::env::temp_dir().join(format!("mce_ckpt_{}.json", std::process::id()));
+        let path = std::env::temp_dir().join(format!("mce_ckpt_{}.json", std::process::id()));
         let ck = sample();
         ck.save(&path).unwrap();
         let back = Checkpoint::load(&path).unwrap();

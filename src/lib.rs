@@ -55,9 +55,12 @@
 #![forbid(unsafe_code)]
 
 pub mod checkpoint;
+pub mod live;
 pub mod report;
 pub mod session;
 
+pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
+pub use live::{LiveShared, LIVE_SCHEMA};
 pub use mce_apex as apex;
 pub use mce_appmodel as appmodel;
 pub use mce_budget as budget;
@@ -67,7 +70,6 @@ pub use mce_error::MceError;
 pub use mce_memlib as memlib;
 pub use mce_obs as obs;
 pub use mce_sim as sim;
-pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
 pub use report::{RunReport, REPORT_SCHEMA};
 pub use session::{ExplorationSession, SessionResult};
 
@@ -76,11 +78,11 @@ pub mod prelude {
     pub use crate::report::{RunReport, REPORT_SCHEMA};
     pub use crate::session::{ExplorationSession, SessionResult};
     pub use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
-    pub use mce_budget::{Bounds, CancelToken, EvalBudget, StopReason};
     pub use mce_appmodel::{
         AccessKind, AccessPattern, AccessProfile, Addr, DataStructure, DsId, MemAccess, Workload,
         WorkloadBuilder,
     };
+    pub use mce_budget::{Bounds, CancelToken, EvalBudget, StopReason};
     pub use mce_conex::{
         CacheStats, ConexConfig, ConexExplorer, ConexResult, DesignPoint, EvalCache, EvalEngine,
         ExplorationStrategy, Metrics, ParetoFront, Scenario,

@@ -150,6 +150,19 @@ pub struct WallClock {
     /// runs), split out of the deterministic `counters` section because
     /// watchdog and deadline events are timing-dependent.
     pub budget_counters: Vec<(String, u64)>,
+    /// The logical time-series channel: per-architecture registry
+    /// snapshots (`(archs_done, value)` points) from
+    /// [`mce_obs::timeseries`]. The *contents* are deterministic — they
+    /// byte-compare across thread counts and cache state — but the
+    /// section lives here anyway: its sibling wall channel cannot leave
+    /// `wall_clock`, and splitting the two channels across the stable
+    /// boundary would invite exactly the confusion the boundary exists
+    /// to prevent. Nothing deterministic may consume it from here.
+    pub timeseries_logical: Vec<(String, Vec<(u64, u64)>)>,
+    /// The wall-clock time-series channel: background-sampler snapshots
+    /// (`(t_us, value)` points, plus derived `<hist>.p90` series). How
+    /// many samples landed and where is machine-speed-dependent.
+    pub timeseries_wall: Vec<(String, Vec<(u64, u64)>)>,
     /// Every histogram the recorder collected (phase durations from
     /// spans, per-item simulate/estimate latency, cache-probe latency,
     /// per-worker occupancy), in name order.
@@ -198,6 +211,7 @@ impl RunReport {
     /// not even read, so a report collected after `uninstall` cannot pick
     /// up stale data from an earlier traced run. Everything else is
     /// derived from the results and is always present.
+    #[allow(clippy::too_many_arguments)]
     pub fn collect(
         workload: &Workload,
         apex: &ApexConfig,
@@ -253,6 +267,16 @@ impl RunReport {
                 threads: conex_cfg.threads,
                 degraded: conex.degraded().to_vec(),
                 budget_counters,
+                timeseries_logical: if obs::tracing_enabled() {
+                    owned_series(obs::logical_series())
+                } else {
+                    Vec::new()
+                },
+                timeseries_wall: if obs::tracing_enabled() {
+                    owned_series(obs::wall_series())
+                } else {
+                    Vec::new()
+                },
                 histograms: if obs::tracing_enabled() {
                     obs::histograms_snapshot()
                         .into_iter()
@@ -285,16 +309,16 @@ impl RunReport {
             escape_json(&self.status)
         ));
         match &self.stop_reason {
-            Some(r) => s.push_str(&format!(
-                "  \"stop_reason\": \"{}\",\n",
-                escape_json(r)
-            )),
+            Some(r) => s.push_str(&format!("  \"stop_reason\": \"{}\",\n", escape_json(r))),
             None => s.push_str("  \"stop_reason\": null,\n"),
         }
         let c = &self.config;
         s.push_str("  \"config\": {\n");
         s.push_str(&format!("    \"apex_trace_len\": {},\n", c.apex_trace_len));
-        s.push_str(&format!("    \"conex_trace_len\": {},\n", c.conex_trace_len));
+        s.push_str(&format!(
+            "    \"conex_trace_len\": {},\n",
+            c.conex_trace_len
+        ));
         s.push_str(&format!(
             "    \"strategy\": \"{}\",\n",
             escape_json(&c.strategy)
@@ -370,14 +394,8 @@ impl RunReport {
             "    \"elapsed_s\": {},\n",
             fmt_f64(self.wall_clock.elapsed_s)
         ));
-        s.push_str(&format!(
-            "    \"resumed\": {},\n",
-            self.wall_clock.resumed
-        ));
-        s.push_str(&format!(
-            "    \"threads\": {},\n",
-            self.wall_clock.threads
-        ));
+        s.push_str(&format!("    \"resumed\": {},\n", self.wall_clock.resumed));
+        s.push_str(&format!("    \"threads\": {},\n", self.wall_clock.threads));
         let degraded: Vec<String> = self
             .wall_clock
             .degraded
@@ -415,6 +433,14 @@ impl RunReport {
                 lines.join(",\n")
             ));
         }
+        s.push_str("    \"timeseries\": {\n");
+        s.push_str(&series_channel(
+            "logical",
+            &self.wall_clock.timeseries_logical,
+        ));
+        s.push_str(",\n");
+        s.push_str(&series_channel("wall", &self.wall_clock.timeseries_wall));
+        s.push_str("\n    },\n");
         let hists: Vec<String> = self
             .wall_clock
             .histograms
@@ -455,6 +481,41 @@ impl RunReport {
             None => json,
         }
     }
+}
+
+/// Converts a borrowed time-series snapshot into the owned
+/// `(name, [(at, value)])` form the report stores.
+fn owned_series(
+    series: Vec<(&'static str, Vec<obs::SeriesPoint>)>,
+) -> Vec<(String, Vec<(u64, u64)>)> {
+    series
+        .into_iter()
+        .map(|(name, points)| {
+            (
+                name.to_owned(),
+                points.into_iter().map(|p| (p.at, p.value)).collect(),
+            )
+        })
+        .collect()
+}
+
+/// One time-series channel as `"key": {"name": [[at, value], ...]}`, at
+/// the `wall_clock.timeseries` nesting depth (no trailing comma).
+fn series_channel(key: &str, series: &[(String, Vec<(u64, u64)>)]) -> String {
+    if series.is_empty() {
+        return format!("      \"{key}\": {{}}");
+    }
+    let lines: Vec<String> = series
+        .iter()
+        .map(|(name, points)| {
+            let pts: Vec<String> = points
+                .iter()
+                .map(|(at, value)| format!("[{at}, {value}]"))
+                .collect();
+            format!("        \"{}\": [{}]", escape_json(name), pts.join(", "))
+        })
+        .collect();
+    format!("      \"{key}\": {{\n{}\n      }}", lines.join(",\n"))
 }
 
 /// Renders a `[(name, value)]` list as one pretty-printed JSON object
@@ -554,6 +615,38 @@ fn render_one(source: &str, report: &Value) -> String {
             g("inserts"),
             g("evictions"),
         ));
+    }
+    if let Some(status) = report.get("status").and_then(|v| v.as_str()) {
+        out.push_str("### Budget & stop reason\n\n");
+        match report.get("stop_reason").and_then(|v| v.as_str()) {
+            Some(reason) => out.push_str(&format!(
+                "Status **{status}**: stopped by the `{reason}` bound at a safe point.\n"
+            )),
+            None => out.push_str(&format!(
+                "Status **{status}**: no bound tripped — the exploration ran to the end.\n"
+            )),
+        }
+        let degraded = report
+            .get("wall_clock")
+            .and_then(|w| w.get("degraded"))
+            .and_then(|v| v.as_array())
+            .map_or(0, <[Value]>::len);
+        if degraded > 0 {
+            out.push_str(&format!(
+                "{degraded} evaluation(s) were degraded to estimates by the \
+                 per-candidate watchdog.\n"
+            ));
+        }
+        if let Some(Value::Object(budget)) = report.get("wall_clock").and_then(|w| w.get("budget"))
+        {
+            if !budget.is_empty() {
+                out.push_str("\n| budget event | count |\n|---|---|\n");
+                for (k, v) in budget {
+                    out.push_str(&format!("| {k} | {} |\n", render_scalar(v)));
+                }
+            }
+        }
+        out.push('\n');
     }
     if let Some(hists) = report
         .get("wall_clock")
@@ -934,6 +1027,11 @@ mod tests {
                 threads: 0,
                 degraded: Vec::new(),
                 budget_counters: Vec::new(),
+                timeseries_logical: vec![(
+                    "conex.candidates_estimated".to_owned(),
+                    vec![(1, 40), (2, 100)],
+                )],
+                timeseries_wall: vec![("conex.simulated".to_owned(), vec![(1500, 4)])],
                 histograms: vec![(
                     "conex.simulate.item_us".to_owned(),
                     HistogramSummary {
@@ -955,11 +1053,11 @@ mod tests {
         let r = sample_report();
         let text = r.to_json();
         let v = json::parse(&text).expect("report JSON parses");
-        assert_eq!(v.get("schema").and_then(|s| s.as_u64()), Some(REPORT_SCHEMA));
         assert_eq!(
-            v.get("workload").and_then(|s| s.as_str()),
-            Some("vocoder")
+            v.get("schema").and_then(|s| s.as_u64()),
+            Some(REPORT_SCHEMA)
         );
+        assert_eq!(v.get("workload").and_then(|s| s.as_str()), Some("vocoder"));
         assert_eq!(
             v.get("eval_cache")
                 .and_then(|c| c.get("hit_rate"))
@@ -977,7 +1075,10 @@ mod tests {
             "\"pareto\"",
             "\"frontier_evolution\"",
         ] {
-            assert!(text.find(key).unwrap() < wc, "{key} must precede wall_clock");
+            assert!(
+                text.find(key).unwrap() < wc,
+                "{key} must precede wall_clock"
+            );
         }
     }
 
@@ -1019,10 +1120,42 @@ mod tests {
         assert!(!prefix.contains("budget.timeouts"));
         assert!(!prefix.contains("\"degraded\""));
         assert!(text.contains("\"reason\": \"timeout\""));
-        // The markdown render warns about truncation.
+        // The markdown render warns about truncation and itemizes the
+        // budget events in the "Budget & stop reason" section.
         let md = render_markdown(&[("r.json".to_owned(), v)]);
         assert!(md.contains("Run truncated"), "{md}");
         assert!(md.contains("`deadline`"), "{md}");
+        assert!(md.contains("### Budget & stop reason"), "{md}");
+        assert!(md.contains("| budget.timeouts | 2 |"), "{md}");
+        assert!(md.contains("1 evaluation(s) were degraded"), "{md}");
+    }
+
+    #[test]
+    fn timeseries_embed_inside_wall_clock_only() {
+        let r = sample_report();
+        let text = r.to_json();
+        let v = json::parse(&text).expect("report with timeseries parses");
+        let logical = v
+            .get("wall_clock")
+            .and_then(|w| w.get("timeseries"))
+            .and_then(|t| t.get("logical"))
+            .and_then(|l| l.get("conex.candidates_estimated"))
+            .and_then(|s| s.as_array())
+            .expect("logical series embedded");
+        assert_eq!(logical.len(), 2);
+        assert_eq!(logical[1].as_array().and_then(|p| p[1].as_u64()), Some(100));
+        assert!(v
+            .get("wall_clock")
+            .and_then(|w| w.get("timeseries"))
+            .and_then(|t| t.get("wall"))
+            .and_then(|wl| wl.get("conex.simulated"))
+            .is_some());
+        // Both channels live inside wall_clock: after budget, before
+        // histograms, and never in the stable prefix.
+        let ts = text.find("\"timeseries\"").expect("has timeseries");
+        assert!(text.find("\"budget\"").unwrap() < ts);
+        assert!(ts < text.find("\"histograms\"").unwrap());
+        assert!(!RunReport::stable_json_prefix(&text).contains("\"timeseries\""));
     }
 
     #[test]
@@ -1071,17 +1204,18 @@ mod tests {
         let v = json::parse(&r.to_json()).unwrap();
         let html = markdown_to_html(&render_markdown(&[("r.json".to_owned(), v)]));
         assert!(html.starts_with("<!DOCTYPE html>"));
-        assert_eq!(html.matches("<table>").count(), html.matches("</table>").count());
+        assert_eq!(
+            html.matches("<table>").count(),
+            html.matches("</table>").count()
+        );
         assert!(html.contains("<svg"));
-        assert!(!html.contains("http://") || html.contains("xmlns"), "no external assets");
+        assert!(
+            !html.contains("http://") || html.contains("xmlns"),
+            "no external assets"
+        );
     }
 
-    fn bench_doc_with_overhead(
-        per_access: f64,
-        block: f64,
-        speedup: f64,
-        overhead: f64,
-    ) -> Value {
+    fn bench_doc_with_overhead(per_access: f64, block: f64, speedup: f64, overhead: f64) -> Value {
         json::parse(&format!(
             "{{\"workload\": \"vocoder\", \"trace_len\": 30000, \
              \"per_access_dispatch_ns\": {per_access}, \"block_replay_ns\": {block}, \

@@ -23,16 +23,17 @@
 //! blocks and cache only remove redundant work.
 
 use crate::checkpoint::{config_digest, Checkpoint};
+use crate::live::LiveShared;
 use crate::report::RunReport;
 use mce_apex::{ApexConfig, ApexExplorer, ApexResult};
 use mce_appmodel::{TraceBlocks, Workload};
+use mce_budget::{Bounds, CancelToken, EvalBudget, Watchdog};
 use mce_conex::design_point::workload_digest;
 use mce_conex::eval_cache::DEFAULT_CAPACITY;
 use mce_conex::explore::Phase1State;
 use mce_conex::{CacheStats, ConexConfig, ConexExplorer, ConexResult, EvalCache, EvalEngine};
-use mce_budget::{Bounds, CancelToken, EvalBudget, Watchdog};
 use mce_connlib::ConnectivityLibrary;
-use mce_error::MceError;
+use mce_error::{atomic_write, MceError};
 use mce_sim::Preset;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -67,6 +68,9 @@ pub struct ExplorationSession {
     deadline: Option<Duration>,
     candidate_timeout: Option<Duration>,
     watch_interrupt: bool,
+    live_status_file: Option<PathBuf>,
+    live_every: Duration,
+    metrics_out: Option<PathBuf>,
 }
 
 /// Everything one session run produced.
@@ -112,6 +116,9 @@ impl ExplorationSession {
             deadline: None,
             candidate_timeout: None,
             watch_interrupt: false,
+            live_status_file: None,
+            live_every: Duration::from_millis(500),
+            metrics_out: None,
         }
     }
 
@@ -250,6 +257,38 @@ impl ExplorationSession {
         self
     }
 
+    /// Continuously publishes a live-status JSON snapshot
+    /// ([`crate::live::LIVE_SCHEMA`]) to `path` while the run executes:
+    /// written atomically at every committed Phase-I architecture and on
+    /// the wall-clock cadence of
+    /// [`live_every`](ExplorationSession::live_every), then finalized
+    /// with the run's status and stop reason. Watch it with `mce top`.
+    /// Publishing is best-effort and read-only — a failed write never
+    /// fails the run, and results are bit-identical with it on or off.
+    #[must_use]
+    pub fn live_status_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.live_status_file = Some(path.into());
+        self
+    }
+
+    /// Wall-clock sampling cadence for the background time-series
+    /// sampler and live-status publisher (default 500 ms, minimum 10 ms).
+    #[must_use]
+    pub fn live_every(mut self, d: Duration) -> Self {
+        self.live_every = d.max(Duration::from_millis(10));
+        self
+    }
+
+    /// Writes the end-of-run counter/gauge/histogram registries to
+    /// `path` as OpenMetrics text
+    /// ([`crate::live::openmetrics_from_registries`]). Families are
+    /// empty unless tracing is enabled for the run.
+    #[must_use]
+    pub fn metrics_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_out = Some(path.into());
+        self
+    }
+
     /// Runs APEX then ConEx over the shared trace and cache, resuming
     /// from a [`checkpoint_file`](ExplorationSession::checkpoint_file)
     /// when one is present.
@@ -294,7 +333,8 @@ impl ExplorationSession {
             &self.workload,
             self.apex.trace_len.max(self.conex.trace_len),
         ));
-        let apex = ApexExplorer::new(self.apex.clone()).explore_with_blocks(&self.workload, &blocks);
+        let apex =
+            ApexExplorer::new(self.apex.clone()).explore_with_blocks(&self.workload, &blocks);
         // The run's bounds. The logical budget is created here — fresh
         // per run() call — and shared with the resume replay below, so a
         // resumed run re-consumes exactly the units its replayed
@@ -309,9 +349,7 @@ impl ExplorationSession {
             },
             budget: budget.clone(),
             max_archs: self.max_archs,
-            watchdog: self
-                .candidate_timeout
-                .map(|t| Arc::new(Watchdog::start(t))),
+            watchdog: self.candidate_timeout.map(|t| Arc::new(Watchdog::start(t))),
         };
         let engine = EvalEngine::with_blocks(&self.workload, blocks.clone())
             .with_cache(cache.clone())
@@ -361,6 +399,40 @@ impl ExplorationSession {
         let total = mem_archs.len();
         let ck_path = self.checkpoint_file.clone();
         let ck_cache = cache.clone();
+        // Live telemetry: shared progress state behind the live-status
+        // file, plus one background sampler feeding the wall-clock
+        // time-series channel (and republishing the status file on its
+        // cadence). Strictly read-only with respect to the exploration,
+        // and publish failures never fail the run.
+        let live = self.live_status_file.as_ref().map(|path| {
+            let shared = Arc::new(LiveShared::new(
+                self.workload.name(),
+                self.conex.threads,
+                self.max_evals,
+                self.deadline.map(|d| d.as_secs_f64()),
+                budget.clone(),
+            ));
+            shared.set_archs_total(total);
+            shared.record_arch(&state);
+            shared.publish(path);
+            (path.clone(), shared)
+        });
+        let sampler = if mce_obs::tracing_enabled() || live.is_some() {
+            let hook: Box<dyn Fn() + Send> = match &live {
+                Some((path, shared)) => {
+                    let (path, shared) = (path.clone(), shared.clone());
+                    Box::new(move || {
+                        shared.publish(&path);
+                    })
+                }
+                None => Box::new(|| {}),
+            };
+            Some(mce_obs::Sampler::start_with(self.live_every, move || {
+                hook()
+            }))
+        } else {
+            None
+        };
         // Track the latest committed Phase-I state so a truncated run can
         // force-write its checkpoint: a truncated architecture commits
         // nothing, so this state always describes the truncation point.
@@ -368,15 +440,24 @@ impl ExplorationSession {
         let mut after_arch = |s: &Phase1State| -> Result<(), MceError> {
             last_state = s.clone();
             if let Some(path) = &ck_path {
-                if s.archs_done % every == 0 || s.archs_done == total {
+                if s.archs_done.is_multiple_of(every) || s.archs_done == total {
                     Checkpoint::capture(w_digest.clone(), c_digest.clone(), s, &ck_cache)
                         .save(path)?;
                 }
+            }
+            if let Some((path, shared)) = &live {
+                shared.record_arch(s);
+                shared.publish(path);
             }
             Ok(())
         };
         let conex =
             explorer.explore_with_engine_resumable(&engine, mem_archs, state, &mut after_arch)?;
+        // Stop the background sampler before finalizing, so the last
+        // status snapshot on disk is the final one, not a racing sample.
+        if let Some(sampler) = sampler {
+            sampler.stop();
+        }
         if conex.is_truncated() {
             // Stopped at a safe point: persist the progress so the next
             // run resumes here instead of starting over. (The eval-cache
@@ -391,6 +472,13 @@ impl ExplorationSession {
         }
         if let Some(path) = &self.eval_cache_file {
             cache.save(path)?;
+        }
+        if let Some((path, shared)) = &live {
+            shared.finish(conex.is_truncated(), conex.stop_reason());
+            shared.publish(path);
+        }
+        if let Some(path) = &self.metrics_out {
+            atomic_write(path, crate::live::openmetrics_from_registries().as_bytes())?;
         }
         let cache_stats = cache.stats();
         let report = RunReport::collect(
@@ -462,8 +550,7 @@ mod tests {
     #[test]
     fn resume_from_a_mid_run_checkpoint_matches_uninterrupted() {
         let w = benchmarks::vocoder();
-        let ck_path =
-            std::env::temp_dir().join(format!("mce_resume_{}.json", std::process::id()));
+        let ck_path = std::env::temp_dir().join(format!("mce_resume_{}.json", std::process::id()));
         std::fs::remove_file(&ck_path).ok();
         let session = ExplorationSession::new(w.clone()).preset(Preset::Fast);
         let clean = session.run().unwrap();
@@ -506,8 +593,7 @@ mod tests {
 
     #[test]
     fn foreign_checkpoint_is_rejected() {
-        let ck_path =
-            std::env::temp_dir().join(format!("mce_foreign_{}.json", std::process::id()));
+        let ck_path = std::env::temp_dir().join(format!("mce_foreign_{}.json", std::process::id()));
         std::fs::remove_file(&ck_path).ok();
         // A valid checkpoint taken under a different workload…
         let other = benchmarks::compress();

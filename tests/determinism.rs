@@ -67,7 +67,9 @@ fn parallel_and_serial_exploration_agree() {
     serial_cfg.threads = 1;
     let mut parallel_cfg = ConexConfig::preset(Preset::Fast);
     parallel_cfg.threads = 0; // all cores
-    let serial = ConexExplorer::new(serial_cfg).explore(&w, apex.selected()).unwrap();
+    let serial = ConexExplorer::new(serial_cfg)
+        .explore(&w, apex.selected())
+        .unwrap();
     let parallel = ConexExplorer::new(parallel_cfg)
         .explore(&w, apex.selected())
         .unwrap();

@@ -32,7 +32,10 @@ fn memoized_session_is_bit_identical_to_fresh_pipeline() {
     }
     let stats = memoized.cache_stats;
     assert!(stats.inserts > 0, "the session populated its cache");
-    assert_eq!(stats.misses, stats.inserts, "cold cache: every miss inserts");
+    assert_eq!(
+        stats.misses, stats.inserts,
+        "cold cache: every miss inserts"
+    );
 }
 
 #[test]
@@ -94,7 +97,7 @@ fn spill_round_trips_through_the_public_cache_api() {
             .map(|c| {
                 let sys = SystemConfig::with_shared_bus(&w, mem.clone()).expect("feasible");
                 let mut conn = sys.conn().clone();
-                let id = conn.add_link("alt", c.clone());
+                let id = conn.add_link("alt", *c);
                 for ci in 0..conn.channels().len() {
                     let ch = ChannelId::new(ci);
                     if !conn.channels()[ci].off_chip {
@@ -134,11 +137,13 @@ fn spill_round_trips_through_the_public_cache_api() {
             1,
         )
         .expect("estimation runs");
-    assert_eq!(first, again, "reloaded cache reproduces the metrics bit-for-bit");
+    assert_eq!(
+        first, again,
+        "reloaded cache reproduces the metrics bit-for-bit"
+    );
     assert_eq!(
         reloaded.stats().misses,
         0,
         "everything answered from the reloaded spill"
     );
 }
-

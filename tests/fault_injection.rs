@@ -306,7 +306,9 @@ fn aborted_cli_run_resumes_bit_identically() {
             .arg(dir.join("experiments"))
             .env_remove("MCE_FAULT");
         if checkpointed {
-            cmd.arg("--checkpoint").arg(&ck).args(["--checkpoint-every", "1"]);
+            cmd.arg("--checkpoint")
+                .arg(&ck)
+                .args(["--checkpoint-every", "1"]);
         }
         if let Some(spec) = fault {
             cmd.env("MCE_FAULT", spec);

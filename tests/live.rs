@@ -1,0 +1,234 @@
+//! Live-telemetry integration: the deterministic logical time-series
+//! channel is byte-identical across thread counts and cache state, wall
+//! samples stay quarantined inside `wall_clock`, live-status publishing
+//! never perturbs results (even when its writes are fault-injected to
+//! fail), and the on-disk artifacts — live-status JSON and OpenMetrics
+//! text — validate end to end.
+
+use mce_faultinject as fi;
+use memory_conex::appmodel::benchmarks;
+use memory_conex::live;
+use memory_conex::obs;
+use memory_conex::obs::json::{self, Value};
+use memory_conex::prelude::*;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Armed faults and the observability recorder are process-global; every
+/// test here serializes on this lock.
+static LIVE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LIVE_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mce_live_it_{}_{name}", std::process::id()))
+}
+
+/// A session at fast scale.
+fn session() -> ExplorationSession {
+    ExplorationSession::new(benchmarks::vocoder()).preset(Preset::Fast)
+}
+
+/// Runs `session` under a fresh recorder (`install` resets every
+/// registry, including the time-series rings) and captures the logical
+/// channel alongside the result, before uninstalling.
+fn run_traced(
+    session: &ExplorationSession,
+) -> (SessionResult, Vec<(&'static str, Vec<obs::SeriesPoint>)>) {
+    obs::install(Arc::new(obs::NullSink::new()));
+    let result = session.run();
+    let logical = obs::logical_series();
+    obs::uninstall();
+    (result.expect("exploration runs"), logical)
+}
+
+/// The `wall_clock.timeseries.logical` object of a parsed report.
+fn embedded_logical(doc: &Value) -> Value {
+    doc.get("wall_clock")
+        .and_then(|w| w.get("timeseries"))
+        .and_then(|t| t.get("logical"))
+        .expect("report embeds wall_clock.timeseries.logical")
+        .clone()
+}
+
+#[test]
+fn logical_series_identical_across_threads_and_cache_state() {
+    let _guard = lock();
+    fi::disarm();
+    obs::uninstall();
+    let spill = tmp("logical_spill.json");
+    let _ = std::fs::remove_file(&spill);
+
+    let (serial, serial_logical) = run_traced(&session().threads(1));
+    let (parallel, parallel_logical) = run_traced(&session().threads(4));
+    let (cold, cold_logical) = run_traced(&session().threads(4).eval_cache_file(&spill));
+
+    // The logical channel snapshots per-architecture boundaries, where
+    // counters are deterministic: same marks, same values, any schedule.
+    assert!(
+        !serial_logical.is_empty(),
+        "a traced run records logical sampling points"
+    );
+    assert!(
+        serial_logical
+            .iter()
+            .any(|(name, _)| *name == "conex.candidates_estimated"),
+        "funnel counters have logical series: {serial_logical:?}"
+    );
+    for (name, points) in &serial_logical {
+        assert!(
+            points.windows(2).all(|w| w[0].at < w[1].at),
+            "logical ticks increase strictly for {name}: {points:?}"
+        );
+    }
+    assert_eq!(
+        serial_logical, parallel_logical,
+        "logical channel must not depend on the thread count"
+    );
+    assert_eq!(
+        serial_logical, cold_logical,
+        "logical channel must not depend on cache persistence"
+    );
+
+    // The same holds for the serialized form the report embeds, and for
+    // the deterministic report prefix around it.
+    let (s_json, p_json, c_json) = (
+        serial.report.to_json(),
+        parallel.report.to_json(),
+        cold.report.to_json(),
+    );
+    assert_eq!(
+        RunReport::stable_json_prefix(&s_json),
+        RunReport::stable_json_prefix(&p_json)
+    );
+    assert_eq!(
+        RunReport::stable_json_prefix(&s_json),
+        RunReport::stable_json_prefix(&c_json)
+    );
+    let s_doc = json::parse(&s_json).expect("report parses");
+    let p_doc = json::parse(&p_json).expect("report parses");
+    let c_doc = json::parse(&c_json).expect("report parses");
+    assert_eq!(embedded_logical(&s_doc), embedded_logical(&p_doc));
+    assert_eq!(embedded_logical(&s_doc), embedded_logical(&c_doc));
+
+    let _ = std::fs::remove_file(&spill);
+}
+
+#[test]
+fn live_status_publishes_valid_snapshots_without_perturbing_the_report() {
+    let _guard = lock();
+    fi::disarm();
+    obs::uninstall();
+    let status = tmp("status.json");
+    let metrics = tmp("metrics.txt");
+    let _ = std::fs::remove_file(&status);
+    let _ = std::fs::remove_file(&metrics);
+
+    let (clean, _) = run_traced(&session().threads(2));
+    let (live_run, _) = run_traced(
+        &session()
+            .threads(2)
+            .live_status_file(&status)
+            .live_every(Duration::from_millis(10))
+            .metrics_out(&metrics),
+    );
+
+    // Live monitoring is read-only: the deterministic report prefix is
+    // byte-identical with `--live-status` on or off.
+    assert_eq!(
+        RunReport::stable_json_prefix(&clean.report.to_json()),
+        RunReport::stable_json_prefix(&live_run.report.to_json()),
+        "live-status publishing must not perturb results"
+    );
+
+    // Wall-clock-sampled series are quarantined inside `wall_clock`:
+    // present in the full report, absent from the stable prefix.
+    let full = live_run.report.to_json();
+    let prefix = RunReport::stable_json_prefix(&full);
+    assert!(
+        !prefix.contains("\"timeseries\""),
+        "time series must live inside wall_clock, not the stable prefix"
+    );
+    let doc = json::parse(&full).expect("report parses");
+    assert!(
+        doc.get("wall_clock")
+            .and_then(|w| w.get("timeseries"))
+            .and_then(|t| t.get("wall"))
+            .is_some(),
+        "the report embeds the wall channel under wall_clock"
+    );
+
+    // The final on-disk snapshot is the finished run.
+    let text = std::fs::read_to_string(&status).expect("live-status file exists");
+    let snap = json::parse(&text).expect("live-status file parses");
+    assert_eq!(
+        snap.get("live_schema").and_then(Value::as_u64),
+        Some(memory_conex::LIVE_SCHEMA)
+    );
+    assert_eq!(snap.get("status").and_then(Value::as_str), Some("complete"));
+    assert_eq!(snap.get("phase").and_then(Value::as_str), Some("done"));
+    let done = snap.get("archs_done").and_then(Value::as_u64).unwrap_or(0);
+    let total = snap.get("archs_total").and_then(Value::as_u64).unwrap_or(0);
+    assert!(done > 0 && done == total, "finished: {done}/{total}");
+    assert!(
+        snap.get("writes")
+            .and_then(|w| w.get("attempted"))
+            .and_then(Value::as_u64)
+            .is_some_and(|n| n >= 2),
+        "initial + per-arch + final publishes all count"
+    );
+    // Both on-disk artifacts feed the one OpenMetrics exporter.
+    live::openmetrics_from_value(&snap).expect("live file exports");
+    live::openmetrics_from_value(&doc).expect("report exports");
+    let om = std::fs::read_to_string(&metrics).expect("--metrics-out file exists");
+    assert!(om.ends_with("# EOF\n"), "OpenMetrics terminator:\n{om}");
+    assert!(
+        om.contains("mce_conex_simulated_total"),
+        "funnel counters exported:\n{om}"
+    );
+
+    let _ = std::fs::remove_file(&status);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn failed_live_status_writes_never_fail_or_perturb_the_run() {
+    let _guard = lock();
+    obs::uninstall();
+    let status = tmp("failwrite_status.json");
+    let _ = std::fs::remove_file(&status);
+
+    fi::disarm();
+    let (clean, _) = run_traced(&session());
+
+    // With only --live-status configured, every atomic write in the run
+    // is a live-status publish; fail the very first one.
+    fi::arm(vec![fi::Fault::FailWrite { nth: 1 }]);
+    obs::install(Arc::new(obs::NullSink::new()));
+    let result = session().live_status_file(&status).run();
+    obs::uninstall();
+    fi::disarm();
+    let faulted = result.expect("a failed live-status write must not fail the run");
+
+    assert_eq!(
+        RunReport::stable_json_prefix(&clean.report.to_json()),
+        RunReport::stable_json_prefix(&faulted.report.to_json()),
+        "a failed live-status write must not perturb results"
+    );
+    // Later publishes succeeded, and the failure was tallied, not raised.
+    let snap = json::parse(&std::fs::read_to_string(&status).expect("later publishes land"))
+        .expect("final snapshot parses");
+    assert_eq!(snap.get("status").and_then(Value::as_str), Some("complete"));
+    assert!(
+        snap.get("writes")
+            .and_then(|w| w.get("failed"))
+            .and_then(Value::as_u64)
+            .is_some_and(|n| n >= 1),
+        "the injected write failure shows up in the tally: {snap:?}"
+    );
+
+    let _ = std::fs::remove_file(&status);
+}

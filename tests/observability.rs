@@ -22,7 +22,10 @@ fn record_explore(threads: usize) -> (Vec<obs::Event>, ConexResult) {
     let w = benchmarks::vocoder();
     let mut cfg = ConexConfig::preset(Preset::Fast);
     cfg.threads = threads;
-    let mem = vec![MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4))];
+    let mem = vec![MemoryArchitecture::cache_only(
+        &w,
+        CacheConfig::kilobytes(4),
+    )];
     let result = ConexExplorer::new(cfg).explore(&w, mem).unwrap();
     obs::uninstall();
     (sink.take(), result)
@@ -165,7 +168,10 @@ fn results_are_bit_identical_with_tracing_on_and_off() {
             obs::uninstall();
         }
         let w = benchmarks::vocoder();
-        let mem = vec![MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4))];
+        let mem = vec![MemoryArchitecture::cache_only(
+            &w,
+            CacheConfig::kilobytes(4),
+        )];
         let result = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
             .explore(&w, mem)
             .unwrap();
@@ -209,7 +215,10 @@ fn report_collection_is_bit_identical_with_metrics_on_and_off() {
     // Metrics-on collects latency histograms; metrics-off still produces a
     // complete report, just without them.
     let json = with.report.to_json();
-    assert!(json.contains("conex.simulate.item_us"), "histograms collected");
+    assert!(
+        json.contains("conex.simulate.item_us"),
+        "histograms collected"
+    );
     assert!(
         !without.report.to_json().contains("conex.simulate.item_us"),
         "no histograms recorded with the recorder disabled"
@@ -246,7 +255,13 @@ fn apex_spans_and_counters_recorded() {
     obs::uninstall();
     let events = sink.take();
     let ids = identities(&events);
-    for name in ["apex.explore", "apex.classify", "apex.generate", "apex.evaluate", "apex.select"] {
+    for name in [
+        "apex.explore",
+        "apex.classify",
+        "apex.generate",
+        "apex.evaluate",
+        "apex.select",
+    ] {
         assert!(
             ids.contains(&format!("span_begin:{name}")),
             "missing span {name}"

@@ -87,7 +87,9 @@ fn conex_explores_a_random_workload_end_to_end() {
     let mut cfg = ConexConfig::preset(Preset::Fast);
     cfg.trace_len = 6_000;
     cfg.max_allocations_per_level = 16;
-    let result = ConexExplorer::new(cfg).explore(&w, apex.selected()).unwrap();
+    let result = ConexExplorer::new(cfg)
+        .explore(&w, apex.selected())
+        .unwrap();
     assert!(!result.simulated().is_empty());
     let front = result.pareto_cost_latency();
     assert!(!front.is_empty());

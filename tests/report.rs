@@ -99,8 +99,7 @@ fn run_report_json_is_byte_stable_across_identical_runs() {
 fn rendered_summary_contains_key_metrics() {
     let json = report_json();
     let value = obs::json::parse(&json).expect("report parses");
-    let md =
-        memory_conex::report::render_markdown(&[("report.json".to_owned(), value)]);
+    let md = memory_conex::report::render_markdown(&[("report.json".to_owned(), value)]);
     for needle in [
         "p50",
         "p90",
@@ -119,9 +118,8 @@ fn rendered_summary_contains_key_metrics() {
 
 #[test]
 fn bench_gate_accepts_baseline_and_flags_injected_regression() {
-    let baseline =
-        obs::json::parse(include_str!("../crates/bench/BENCH_eval.baseline.json"))
-            .expect("committed baseline parses");
+    let baseline = obs::json::parse(include_str!("../crates/bench/BENCH_eval.baseline.json"))
+        .expect("committed baseline parses");
     // The committed baseline compared against itself is always clean.
     let checks = bench_gate_compare(&baseline, &baseline, 0.2).expect("fields present");
     assert_eq!(checks.len(), 4);

@@ -69,7 +69,9 @@ fn conex_result_round_trips() {
     let mut cfg = ConexConfig::preset(Preset::Fast);
     cfg.trace_len = 5_000;
     cfg.max_allocations_per_level = 8;
-    let result = ConexExplorer::new(cfg).explore(&w, apex.selected()).unwrap();
+    let result = ConexExplorer::new(cfg)
+        .explore(&w, apex.selected())
+        .unwrap();
     let json = serde_json::to_string(&result).unwrap();
     let back: ConexResult = serde_json::from_str(&json).unwrap();
     assert_eq!(result.simulated().len(), back.simulated().len());
