@@ -81,6 +81,12 @@ pub struct BoundedBatch<T> {
     /// Indices (into `output`) answered with a degraded value because
     /// their simulation hit the per-candidate watchdog timeout.
     pub degraded: Vec<usize>,
+    /// Indices (into `output`) answered from the evaluation cache, in
+    /// probe order. Probing is serial and canonical, so this is
+    /// identical for any thread count (though it naturally depends on
+    /// what the cache already holds). Feeds frontier-provenance origin
+    /// tags.
+    pub cache_hits: Vec<usize>,
     /// How the batch ended.
     pub status: BatchStatus,
 }
@@ -254,16 +260,21 @@ impl EvalEngine {
             return Ok(BoundedBatch {
                 output: Vec::new(),
                 degraded: Vec::new(),
+                cache_hits: Vec::new(),
                 status,
             });
         }
         let mut degraded = Vec::new();
+        let mut cache_hits = Vec::new();
         let output = slots
             .into_iter()
             .enumerate()
             .map(|(i, (slot, metrics))| match slot {
                 Slot::Infeasible => None,
-                Slot::Hit(sys, m) => Some(DesignPoint::new(sys, m, true)),
+                Slot::Hit(sys, m) => {
+                    cache_hits.push(i);
+                    Some(DesignPoint::new(sys, m, true))
+                }
                 // A timed-out estimate has no fallback value: drop the
                 // candidate, as if infeasible, and annotate the slot.
                 Slot::Job(_, _) if metrics.is_none() => {
@@ -276,6 +287,7 @@ impl EvalEngine {
         Ok(BoundedBatch {
             output,
             degraded,
+            cache_hits,
             status,
         })
     }
@@ -361,16 +373,21 @@ impl EvalEngine {
             return Ok(BoundedBatch {
                 output: Vec::new(),
                 degraded: Vec::new(),
+                cache_hits: Vec::new(),
                 status,
             });
         }
         let mut degraded = Vec::new();
+        let mut cache_hits = Vec::new();
         let output = slots
             .into_iter()
             .enumerate()
             .map(|(i, (slot, metrics))| match slot {
                 Slot::Infeasible => unreachable!("refine inputs are always feasible"),
-                Slot::Hit(sys, m) => DesignPoint::new(sys, m, false),
+                Slot::Hit(sys, m) => {
+                    cache_hits.push(i);
+                    DesignPoint::new(sys, m, false)
+                }
                 // Timed out: fall back to the estimator's value for this
                 // point; it stays marked as an estimate.
                 Slot::Job(sys, _) if metrics.is_none() => {
@@ -383,6 +400,7 @@ impl EvalEngine {
         Ok(BoundedBatch {
             output,
             degraded,
+            cache_hits,
             status,
         })
     }

@@ -159,6 +159,62 @@ pub struct FrontierSnapshot {
     pub hypervolume: f64,
 }
 
+/// Why one Phase-I candidate did or did not survive local selection —
+/// a frontier-provenance record captured under
+/// [`ConexExplorer::with_explain`].
+///
+/// `index` is the candidate's position in its architecture's estimate
+/// cloud (exploration order), except for `origin == "estimate-degraded"`
+/// entries, whose candidate never produced a point: there it is the
+/// architecture's enumeration slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointProvenance {
+    /// Position in the architecture's estimate cloud (see above).
+    pub index: usize,
+    /// One-line description of the design point (empty for dropped
+    /// candidates, which have no metrics).
+    pub describe: String,
+    /// How the candidate's value was obtained: `"evaluated"` (simulated
+    /// this run), `"cache-hit"` (answered from the evaluation cache —
+    /// note a resumed run's replayed architectures are all cache hits),
+    /// or `"estimate-degraded"` (dropped: its sampled simulation hit the
+    /// per-candidate watchdog timeout).
+    pub origin: String,
+    /// Whether the candidate survived local selection into the Phase-II
+    /// shortlist.
+    pub kept: bool,
+    /// The local fronts that earned the candidate its membership:
+    /// `"cost-latency"`, `"cost-energy"`, `"pareto-3d"`, and/or
+    /// `"neighbor"` (added by the Neighborhood strategy). A pruned
+    /// candidate with nonempty fronts was on a front but lost to the
+    /// `local_keep` cap.
+    pub fronts: Vec<String>,
+    /// For pruned candidates: the estimate-cloud index of the first kept
+    /// candidate that dominates it (all metrics no worse, at least one
+    /// strictly better), when one exists. `None` for kept candidates and
+    /// for prunes without a dominating survivor (capacity prunes).
+    pub dominated_by: Option<usize>,
+}
+
+/// Frontier provenance for one Phase-I memory architecture: every
+/// candidate's verdict, in estimate-cloud order (dropped candidates
+/// last). Captured only under [`ConexExplorer::with_explain`]; a pure
+/// function of the deterministic exploration state except for the
+/// origin tags, which describe where *this process* got each value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchProvenance {
+    /// Phase-I memory-architecture index (exploration order).
+    pub arch: usize,
+    /// The memory architecture's name.
+    pub mem: String,
+    /// Candidates kept into the shortlist.
+    pub kept: usize,
+    /// Candidates pruned (including watchdog drops).
+    pub pruned: usize,
+    /// Per-candidate records.
+    pub points: Vec<PointProvenance>,
+}
+
 /// The resumable working state of Phase I: everything accumulated after
 /// each memory architecture completes.
 ///
@@ -179,6 +235,10 @@ pub struct Phase1State {
     pub shortlist: Vec<DesignPoint>,
     /// Frontier-evolution samples taken so far.
     pub frontier_evolution: Vec<FrontierSnapshot>,
+    /// Frontier-provenance records accumulated so far (empty unless the
+    /// explorer runs with [`ConexExplorer::with_explain`]).
+    #[serde(default)]
+    pub provenance: Vec<ArchProvenance>,
 }
 
 /// A candidate whose simulation hit the per-candidate watchdog timeout
@@ -218,6 +278,8 @@ pub struct ConexResult {
     frontier_evolution: Vec<FrontierSnapshot>,
     stop: Option<String>,
     degraded: Vec<DegradedEval>,
+    #[serde(default)]
+    provenance: Vec<ArchProvenance>,
     elapsed: Duration,
 }
 
@@ -270,6 +332,13 @@ impl ConexResult {
         &self.degraded
     }
 
+    /// Per-architecture frontier provenance: why each candidate was kept
+    /// or pruned, with origin tags. Empty unless the exploration ran
+    /// with [`ConexExplorer::with_explain`].
+    pub fn provenance(&self) -> &[ArchProvenance] {
+        &self.provenance
+    }
+
     fn metrics(points: &[DesignPoint]) -> Vec<Metrics> {
         points.iter().map(|p| p.metrics).collect()
     }
@@ -310,6 +379,7 @@ impl ConexResult {
 pub struct ConexExplorer {
     config: ConexConfig,
     library: ConnectivityLibrary,
+    explain: bool,
 }
 
 impl ConexExplorer {
@@ -320,7 +390,28 @@ impl ConexExplorer {
 
     /// Creates an explorer drawing from a custom connectivity library.
     pub fn with_library(config: ConexConfig, library: ConnectivityLibrary) -> Self {
-        ConexExplorer { config, library }
+        ConexExplorer {
+            config,
+            library,
+            explain: false,
+        }
+    }
+
+    /// Enables frontier-provenance capture: every exploration records,
+    /// per Phase-I architecture, why each candidate was kept or pruned
+    /// ([`ConexResult::provenance`]). Capture never changes what is
+    /// explored — results are bit-identical with it on or off; it is a
+    /// knob on the explorer (not [`ConexConfig`]) precisely so it stays
+    /// out of checkpoint config digests.
+    #[must_use]
+    pub fn with_explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
+    }
+
+    /// Whether frontier-provenance capture is enabled.
+    pub fn explain(&self) -> bool {
+        self.explain
     }
 
     /// The configuration.
@@ -472,27 +563,39 @@ impl ConexExplorer {
         Ok(batch)
     }
 
-    /// Phase-I local selection: the most promising points of one memory
-    /// architecture's estimate cloud, per the configured strategy.
-    fn select_local<'a>(&self, points: &'a [DesignPoint]) -> Vec<&'a DesignPoint> {
+    /// Phase-I local selection by index: the most promising points of one
+    /// memory architecture's estimate cloud, per the configured strategy,
+    /// also labelling each point with the local fronts it sits on (the
+    /// provenance capture site). Returns the kept indices in selection
+    /// order and, aligned with `points`, each point's front labels —
+    /// empty for points on no front (and for every point under the Full
+    /// strategy, which keeps everything).
+    fn select_local_indices(&self, points: &[DesignPoint]) -> (Vec<usize>, Vec<Vec<&'static str>>) {
+        let mut labels: Vec<Vec<&'static str>> = vec![Vec::new(); points.len()];
         if points.is_empty() {
-            return Vec::new();
+            return (Vec::new(), labels);
         }
         if self.config.strategy == ExplorationStrategy::Full {
-            return points.iter().collect();
+            return ((0..points.len()).collect(), labels);
         }
         let metrics: Vec<Metrics> = points.iter().map(|p| p.metrics).collect();
         // Union of the 2-D cost/latency and cost/energy fronts with the
         // full 3-D front: the local candidates for every global trade-off
         // space the designer may select in (Section 5's three scenarios).
-        let mut chosen: Vec<usize> = ParetoFront::of(&metrics, &[Axis::Cost, Axis::Latency])
-            .indices()
-            .to_vec();
-        for front in [
-            ParetoFront::of(&metrics, &[Axis::Cost, Axis::Energy]),
-            ParetoFront::of(&metrics, &Axis::ALL),
+        let cl = ParetoFront::of(&metrics, &[Axis::Cost, Axis::Latency]);
+        let mut chosen: Vec<usize> = cl.indices().to_vec();
+        for &i in cl.indices() {
+            labels[i].push("cost-latency");
+        }
+        for (name, front) in [
+            (
+                "cost-energy",
+                ParetoFront::of(&metrics, &[Axis::Cost, Axis::Energy]),
+            ),
+            ("pareto-3d", ParetoFront::of(&metrics, &Axis::ALL)),
         ] {
             for &i in front.indices() {
+                labels[i].push(name);
                 if !chosen.contains(&i) {
                     chosen.push(i);
                 }
@@ -527,6 +630,7 @@ impl ConexExplorer {
             }
             for i in extra {
                 if !kept.contains(&i) {
+                    labels[i].push("neighbor");
                     kept.push(i);
                 }
             }
@@ -534,7 +638,7 @@ impl ConexExplorer {
         // The union of the per-scenario fronts is this architecture's
         // local pareto shortlist; its size is the per-level front gauge.
         obs::gauge_max("conex.local_front_max", kept.len() as u64);
-        kept.into_iter().map(|i| &points[i]).collect()
+        (kept, labels)
     }
 
     /// The full two-phase `Algorithm ConEx`.
@@ -612,12 +716,37 @@ impl ConexExplorer {
                 .iter()
                 .map(|&i| DegradedEval::timeout("estimate", Some(k), i)),
         );
-        let points: Vec<DesignPoint> = batch.output.into_iter().flatten().collect();
-        let selected: Vec<DesignPoint> = self.select_local(&points).into_iter().cloned().collect();
+        // Flatten the batch into the estimate cloud, remembering each
+        // cloud point's batch slot so origin tags can be attributed.
+        let mut slot_of: Vec<usize> = Vec::new();
+        let points: Vec<DesignPoint> = batch
+            .output
+            .into_iter()
+            .enumerate()
+            .filter_map(|(slot, p)| {
+                p.inspect(|_| {
+                    slot_of.push(slot);
+                })
+            })
+            .collect();
+        let (kept_idx, labels) = self.select_local_indices(&points);
+        let selected: Vec<DesignPoint> = kept_idx.iter().map(|&i| points[i].clone()).collect();
         obs::counter_add(
             "conex.candidates_pruned",
             (points.len() - selected.len()) as u64,
         );
+        if self.explain {
+            state.provenance.push(arch_provenance(
+                k,
+                mem_archs[k].name(),
+                &points,
+                &kept_idx,
+                &labels,
+                &slot_of,
+                &batch.cache_hits,
+                &batch.degraded,
+            ));
+        }
         state.shortlist.extend(selected);
         state.estimated.extend(points);
         let sample_every = self.config.frontier_sample_every;
@@ -781,6 +910,7 @@ impl ConexExplorer {
             estimated: all_estimated,
             shortlist: combined,
             frontier_evolution,
+            provenance,
         } = state;
         obs::info(|| {
             format!(
@@ -852,9 +982,81 @@ impl ConexExplorer {
             frontier_evolution,
             stop: stop.map(|r| r.as_str().to_owned()),
             degraded,
+            provenance,
             elapsed: start.elapsed(),
         })
     }
+}
+
+/// Builds one architecture's [`ArchProvenance`] from the selection
+/// outcome: verdicts, front labels, origin tags and — for pruned points —
+/// the first kept point that dominates them.
+#[allow(clippy::too_many_arguments)]
+fn arch_provenance(
+    arch: usize,
+    mem: &str,
+    points: &[DesignPoint],
+    kept_idx: &[usize],
+    labels: &[Vec<&'static str>],
+    slot_of: &[usize],
+    cache_hits: &[usize],
+    dropped_slots: &[usize],
+) -> ArchProvenance {
+    let mut records = Vec::with_capacity(points.len() + dropped_slots.len());
+    for (i, p) in points.iter().enumerate() {
+        let kept = kept_idx.contains(&i);
+        // `cache_hits` is in ascending probe order.
+        let origin = if cache_hits.binary_search(&slot_of[i]).is_ok() {
+            "cache-hit"
+        } else {
+            "evaluated"
+        };
+        let dominated_by = if kept {
+            None
+        } else {
+            kept_idx
+                .iter()
+                .find(|&&kk| dominates(&points[kk].metrics, &p.metrics))
+                .copied()
+        };
+        records.push(PointProvenance {
+            index: i,
+            describe: p.describe(),
+            origin: origin.to_owned(),
+            kept,
+            fronts: labels[i].iter().map(|s| (*s).to_owned()).collect(),
+            dominated_by,
+        });
+    }
+    for &slot in dropped_slots {
+        records.push(PointProvenance {
+            index: slot,
+            describe: String::new(),
+            origin: "estimate-degraded".to_owned(),
+            kept: false,
+            fronts: Vec::new(),
+            dominated_by: None,
+        });
+    }
+    ArchProvenance {
+        arch,
+        mem: mem.to_owned(),
+        kept: kept_idx.len(),
+        pruned: records.len() - kept_idx.len(),
+        points: records,
+    }
+}
+
+/// Weak pareto dominance over all three metric axes: `a` is nowhere
+/// worse than `b` and strictly better somewhere.
+fn dominates(a: &Metrics, b: &Metrics) -> bool {
+    let no_worse = a.cost_gates <= b.cost_gates
+        && a.latency_cycles <= b.latency_cycles
+        && a.energy_nj <= b.energy_nj;
+    let better = a.cost_gates < b.cost_gates
+        || a.latency_cycles < b.latency_cycles
+        || a.energy_nj < b.energy_nj;
+    no_worse && better
 }
 
 /// Maps a truncated batch status to the stop reason reported to the user:
@@ -1127,6 +1329,58 @@ mod tests {
         assert_eq!(clean.estimated(), resumed.estimated());
         assert_eq!(clean.simulated(), resumed.simulated());
         assert_eq!(clean.frontier_evolution(), resumed.frontier_evolution());
+    }
+
+    #[test]
+    fn explain_records_provenance_without_changing_results() {
+        let w = benchmarks::vocoder();
+        let archs = vec![
+            MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(4)),
+            MemoryArchitecture::cache_only(&w, CacheConfig::kilobytes(8)),
+        ];
+        let plain = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
+            .explore(&w, archs.clone())
+            .unwrap();
+        assert!(plain.provenance().is_empty());
+        let explained = ConexExplorer::new(ConexConfig::preset(Preset::Fast))
+            .with_explain(true)
+            .explore(&w, archs)
+            .unwrap();
+        // Capture never changes what is explored.
+        assert_eq!(plain.estimated(), explained.estimated());
+        assert_eq!(plain.simulated(), explained.simulated());
+        assert_eq!(plain.frontier_evolution(), explained.frontier_evolution());
+        // One record per architecture, reconciling with the funnel.
+        let prov = explained.provenance();
+        assert_eq!(prov.len(), 2);
+        // Each architecture's cloud is a contiguous slice of estimated().
+        let mut base = 0;
+        for (k, arch) in prov.iter().enumerate() {
+            assert_eq!(arch.arch, k);
+            assert!(!arch.mem.is_empty());
+            assert_eq!(arch.kept + arch.pruned, arch.points.len());
+            assert!(arch.kept >= 1, "every cloud has a frontier");
+            let cloud = |i: usize| &explained.estimated()[base + i];
+            for p in &arch.points {
+                assert!(
+                    matches!(p.origin.as_str(), "evaluated" | "cache-hit"),
+                    "{}",
+                    p.origin
+                );
+                assert_eq!(p.describe, cloud(p.index).describe());
+                if p.kept {
+                    assert!(p.dominated_by.is_none());
+                    assert!(!p.fronts.is_empty(), "kept points sit on a front");
+                } else if let Some(by) = p.dominated_by {
+                    assert!(arch.points[by].kept, "dominators are kept points");
+                    assert!(dominates(&cloud(by).metrics, &cloud(p.index).metrics));
+                }
+            }
+            base += arch.points.len();
+        }
+        // At least one point was pruned by domination in a Fast run.
+        let total_pruned: usize = prov.iter().map(|a| a.pruned).sum();
+        assert!(total_pruned >= 1);
     }
 
     #[test]

@@ -56,6 +56,17 @@ impl MemorEx {
         Self::preset(Preset::Paper)
     }
 
+    /// Enables frontier-provenance capture on the ConEx stage — see
+    /// [`ConexExplorer::with_explain`]. Results are bit-identical with
+    /// it on or off; only [`ConexResult::provenance`] gains content.
+    ///
+    /// [`ConexResult::provenance`]: crate::explore::ConexResult::provenance
+    #[must_use]
+    pub fn with_explain(mut self, explain: bool) -> Self {
+        self.conex = self.conex.with_explain(explain);
+        self
+    }
+
     /// The ConEx explorer (to run scenario selections etc.).
     pub fn conex(&self) -> &ConexExplorer {
         &self.conex

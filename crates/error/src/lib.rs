@@ -80,6 +80,19 @@ pub enum MceError {
         /// Why the checkpoint was rejected.
         reason: String,
     },
+    /// A schema-versioned artifact (run report, live-status file,
+    /// archive index) whose `schema` field is newer than this build
+    /// understands, or missing entirely. Older schemas load; newer ones
+    /// fail here rather than being silently misread.
+    SchemaVersion {
+        /// What kind of artifact carried the bad version (e.g.
+        /// `run report`).
+        artifact: String,
+        /// The version found in the file (`none` when absent).
+        found: String,
+        /// The newest version this build supports.
+        supported: u64,
+    },
 }
 
 impl MceError {
@@ -145,6 +158,19 @@ impl MceError {
             reason: reason.into(),
         }
     }
+
+    /// An unsupported-schema-version failure for the named artifact.
+    pub fn schema_version(
+        artifact: impl Into<String>,
+        found: impl Into<String>,
+        supported: u64,
+    ) -> Self {
+        MceError::SchemaVersion {
+            artifact: artifact.into(),
+            found: found.into(),
+            supported,
+        }
+    }
 }
 
 impl fmt::Display for MceError {
@@ -168,6 +194,15 @@ impl fmt::Display for MceError {
                  first panic: {first_panic}"
             ),
             MceError::Checkpoint { reason } => write!(f, "unusable checkpoint: {reason}"),
+            MceError::SchemaVersion {
+                artifact,
+                found,
+                supported,
+            } => write!(
+                f,
+                "unsupported {artifact} schema version {found} \
+                 (this build supports up to {supported})"
+            ),
         }
     }
 }
@@ -280,6 +315,14 @@ mod tests {
         assert!(MceError::checkpoint("digest mismatch")
             .to_string()
             .contains("digest mismatch"));
+    }
+
+    #[test]
+    fn schema_version_names_artifact_and_versions() {
+        let s = MceError::schema_version("run report", "9", 1).to_string();
+        assert!(s.contains("run report"), "{s}");
+        assert!(s.contains('9'), "{s}");
+        assert!(s.contains("up to 1"), "{s}");
     }
 
     #[test]

@@ -28,7 +28,19 @@
 //!                                              repair) an eval-cache spill
 //! mce bench-gate [--baseline FILE] [--current FILE] [--tolerance T]
 //!              [--warn-only] [--enforce-pinned] compare BENCH_eval.json to a
-//!                                              committed baseline
+//!              [--record] [--trajectory FILE]   committed baseline, optionally
+//!                                              appending to the perf trajectory
+//! mce runs     add|list|show|gc [--archive DIR]
+//!                                              content-addressed archive of
+//!                                              run reports for cross-run
+//!                                              analytics
+//! mce diff     <A> <B> [--html] [--out FILE] [--archive DIR]
+//!                                              structural comparison of two
+//!                                              runs (files or archive
+//!                                              digests); exits 0 iff their
+//!                                              deterministic sections match
+//! mce diff     --bench [FILE]                  render the recorded bench
+//!                                              trajectory
 //! ```
 //!
 //! `<workload>` is either a built-in name (`compress`, `li`, `vocoder`,
@@ -145,7 +157,11 @@ const USAGE: &str = "usage:
   mce export-metrics <status-or-report.json> [--out FILE]
   mce cache-check <spill.json> [--capacity N] [--repair]
   mce bench-gate [--baseline FILE] [--current FILE] [--tolerance T] [--warn-only]
-               [--enforce-pinned]
+               [--enforce-pinned] [--record] [--trajectory FILE]
+  mce runs     add <report.json> | list | show <digest> | gc [--keep N]
+               [--archive DIR]
+  mce diff     <A> <B> [--html] [--out FILE] [--archive DIR]
+  mce diff     --bench [FILE]
 
 <workload> = compress | li | vocoder | adpcm | jpeg | mix | path/to/workload.json
 
@@ -183,6 +199,10 @@ explore options:
                    --live-status)
   --metrics-out FILE write the end-of-run counters/gauges/histograms
                    as OpenMetrics text to FILE
+  --explain        capture frontier provenance: why each Phase-I point
+                   survived or was pruned, and where its metrics came
+                   from; adds the report's `provenance` section and
+                   changes nothing else
   --progress       print live progress lines to stderr (MCE_LOG=debug
                    for more detail)
 
@@ -212,7 +232,32 @@ bench-gate options:
   --warn-only      report regressions without failing
   --enforce-pinned fail only on the pinned contract fields
                    (block_replay_speedup, block_replay_cancellable_overhead);
-                   other regressions warn";
+                   other regressions warn
+  --record         append the current summary to the bench trajectory
+                   (one JSON line per run; render with `mce diff --bench`)
+  --trajectory FILE trajectory file for --record / --bench
+                   (default BENCH_trajectory.jsonl)
+
+runs subcommands (content-addressed run archive, default DIR target/mce-runs):
+  add <report.json> archive a run report under the digest of its
+                   deterministic prefix; a re-run of the same
+                   configuration is reported as a duplicate
+  list             one line per archived run: digest, workload, preset,
+                   status, funnel totals, frontier hypervolume
+  show <digest>    print an archived report (digest prefixes resolve)
+  gc [--keep N]    drop all but the newest N entries and delete
+                   orphaned objects
+
+diff options:
+  <A> <B>          run-report files, live-status files, or archived run
+                   digests (paths are tried first, then the archive);
+                   exits 0 iff the deterministic sections are identical,
+                   1 when they differ
+  --html           render a self-contained HTML document instead of markdown
+  --out FILE       write the rendered diff to FILE instead of stdout
+  --archive DIR    archive to resolve digests against (default target/mce-runs)
+  --bench [FILE]   render the recorded bench trajectory instead of
+                   comparing two runs";
 
 type CliError = Box<dyn std::error::Error>;
 
@@ -232,6 +277,8 @@ fn run(args: &[String]) -> Result<u8, CliError> {
         "export-metrics" => cmd_export_metrics(&args[1..]).map(|()| 0),
         "cache-check" => cmd_cache_check(&args[1..]),
         "bench-gate" => cmd_bench_gate(&args[1..]).map(|()| 0),
+        "runs" => cmd_runs(&args[1..]).map(|()| 0),
+        "diff" => cmd_diff(&args[1..]),
         other => Err(format!("unknown command `{other}`").into()),
     }
 }
@@ -545,6 +592,9 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     if let Some(path) = metrics_out {
         session = session.metrics_out(path);
     }
+    if args.iter().any(|a| a == "--explain") {
+        session = session.explain(true);
+    }
     // Ctrl-C becomes a cooperative stop at the next safe point instead of
     // killing the process: the checkpoint and a truncated report are
     // still written, and the exit code stays 0.
@@ -695,16 +745,7 @@ fn cmd_report(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| format!("cannot read report file `{path}`: {e}"))?;
         let value = obs::json::parse(&body)
             .map_err(|e| format!("report file `{path}` is not valid JSON: {e}"))?;
-        match value.get("schema").and_then(obs::json::Value::as_u64) {
-            Some(report::REPORT_SCHEMA) => {}
-            found => {
-                return Err(format!(
-                    "report file `{path}` has unsupported schema {found:?} (expected {})",
-                    report::REPORT_SCHEMA
-                )
-                .into())
-            }
-        }
+        report::check_report_schema(&value).map_err(|e| format!("report file `{path}`: {e}"))?;
         reports.push((path.to_owned(), value));
     }
     let markdown = report::render_markdown(&reports);
@@ -740,15 +781,38 @@ fn load_live_status(path: &str) -> Result<obs::json::Value, CliError> {
     }
 }
 
+/// The terminal's column count, re-queried on demand so a resize takes
+/// effect on the next refresh: `COLUMNS` when set (shells export it),
+/// `tput cols` as a fallback, 80 when neither answers. Floored at 20 —
+/// below that no dashboard layout is sensible.
+fn terminal_width() -> usize {
+    let from_env = std::env::var("COLUMNS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    let width = from_env.or_else(|| {
+        std::process::Command::new("tput")
+            .arg("cols")
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .and_then(|s| s.trim().parse::<usize>().ok())
+    });
+    width.unwrap_or(80).max(20)
+}
+
 /// `mce top`: watches a `--live-status` file. On a TTY it refreshes a
 /// full-screen dashboard every `--interval` until the run leaves the
 /// `running` state; with `--once` or a non-TTY stdout it prints a single
 /// plain-text snapshot, so scripts and CI can capture it.
 ///
 /// The status file is rewritten atomically by the exploring process, so
-/// every read sees a complete document; a handful of consecutive read
-/// failures (the file being deleted, say) ends the watch with an error
-/// instead of spinning forever.
+/// every read sees a complete document. A *missing* file is transient —
+/// the writer may not have started yet, or is between a checkpoint
+/// delete and its first write — so the watch shows a "waiting for
+/// writer" frame and keeps polling. A *malformed* file is not: ten
+/// consecutive parse failures end the watch with the error instead of
+/// spinning forever.
 fn cmd_top(args: &[String]) -> Result<(), CliError> {
     use std::io::{IsTerminal, Write as _};
 
@@ -761,19 +825,33 @@ fn cmd_top(args: &[String]) -> Result<(), CliError> {
     let once = args.iter().any(|a| a == "--once");
     if once || !std::io::stdout().is_terminal() {
         let doc = load_live_status(path)?;
-        print!("{}", live::render_dashboard(path, &doc));
+        print!(
+            "{}",
+            live::render_dashboard_with_width(path, &doc, terminal_width())
+        );
         return Ok(());
     }
     let mut failures = 0u32;
     loop {
+        // Re-measured every refresh: a resized terminal gets a
+        // re-fitted frame without restarting the watch.
+        let width = terminal_width();
+        let show = |frame: &str| {
+            let mut stdout = std::io::stdout().lock();
+            // Clear + home, then the frame: one write per refresh.
+            let _ = write!(stdout, "\x1b[2J\x1b[H{frame}");
+            let _ = stdout.flush();
+        };
+        if !std::path::Path::new(path).exists() {
+            // Transient by design — never counts toward the failure cap.
+            show(&format!("mce top — waiting for writer… ({path})\n"));
+            std::thread::sleep(Duration::from_millis(interval));
+            continue;
+        }
         match load_live_status(path) {
             Ok(doc) => {
                 failures = 0;
-                let frame = live::render_dashboard(path, &doc);
-                let mut stdout = std::io::stdout().lock();
-                // Clear + home, then the frame: one write per refresh.
-                let _ = write!(stdout, "\x1b[2J\x1b[H{frame}");
-                let _ = stdout.flush();
+                show(&live::render_dashboard_with_width(path, &doc, width));
                 if doc.get("status").and_then(obs::json::Value::as_str) != Some("running") {
                     return Ok(());
                 }
@@ -894,6 +972,23 @@ fn cmd_bench_gate(args: &[String]) -> Result<(), CliError> {
     };
     let baseline = load(baseline_path)?;
     let current = load(current_path)?;
+    // --record appends before the verdict, so regressing runs land in
+    // the trajectory too — those are exactly the ones worth studying
+    // with `mce diff --bench`.
+    if args.iter().any(|a| a == "--record") {
+        use std::io::Write as _;
+        let trajectory = flag_value(args, "--trajectory").unwrap_or("BENCH_trajectory.jsonl");
+        let body = std::fs::read_to_string(current_path)
+            .map_err(|e| format!("cannot read bench summary `{current_path}`: {e}"))?;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(trajectory)
+            .map_err(|e| format!("cannot open trajectory `{trajectory}`: {e}"))?;
+        writeln!(file, "{}", compact_json(&body))
+            .map_err(|e| format!("cannot append to trajectory `{trajectory}`: {e}"))?;
+        eprintln!("recorded {current_path} into {trajectory}");
+    }
     let checks = report::bench_gate_compare(&baseline, &current, tolerance)?;
     println!(
         "bench gate: `{current_path}` vs baseline `{baseline_path}` (tolerance {:.0}%)",
@@ -937,6 +1032,181 @@ fn cmd_bench_gate(args: &[String]) -> Result<(), CliError> {
         );
     } else {
         println!("bench gate: within tolerance");
+    }
+    Ok(())
+}
+
+/// Compacts a JSON document to one line by stripping whitespace outside
+/// string literals — the trajectory stores one run per line. The input
+/// is already-validated JSON, so no structural checks here.
+fn compact_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+        } else if c == '"' {
+            in_string = true;
+            out.push(c);
+        } else if !c.is_whitespace() {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn archive_at(args: &[String]) -> memory_conex::RunArchive {
+    memory_conex::RunArchive::open(flag_value(args, "--archive").unwrap_or("target/mce-runs"))
+}
+
+/// `mce runs`: the content-addressed run archive. `add` stores a report
+/// under the digest of its deterministic prefix (a re-run of the same
+/// configuration is a duplicate, not a second entry), `list` summarizes
+/// the index, `show` prints an archived report by digest prefix, and
+/// `gc` prunes old entries and orphaned objects.
+fn cmd_runs(args: &[String]) -> Result<(), CliError> {
+    let sub = args
+        .first()
+        .ok_or("runs needs a subcommand: add | list | show | gc")?;
+    let archive = archive_at(args);
+    match sub.as_str() {
+        "add" => {
+            let path = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("runs add needs a run-report JSON file")?;
+            let body = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read report file `{path}`: {e}"))?;
+            let outcome = archive.add(&body).map_err(|e| format!("`{path}`: {e}"))?;
+            if outcome.duplicate {
+                println!("duplicate of {}", outcome.digest);
+            } else {
+                println!("archived {}", outcome.digest);
+            }
+            Ok(())
+        }
+        "list" => {
+            let entries = archive.entries()?;
+            if entries.is_empty() {
+                println!("archive {} is empty", archive.root().display());
+            } else {
+                print!("{}", memory_conex::archive::render_listing(&entries));
+            }
+            Ok(())
+        }
+        "show" => {
+            let prefix = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("runs show needs a digest (prefixes resolve)")?;
+            let (_digest, text) = archive.show(prefix)?;
+            print!("{text}");
+            Ok(())
+        }
+        "gc" => {
+            let keep = numeric_flag::<usize>(args, "--keep", 1, "--keep N (N >= 1)")?;
+            let stats = archive.gc(keep)?;
+            println!(
+                "gc: removed {} index entr{}, {} object file(s)",
+                stats.entries_removed,
+                if stats.entries_removed == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                stats.objects_removed
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown runs subcommand `{other}` (add | list | show | gc)").into()),
+    }
+}
+
+/// Resolves a diff operand: an existing file wins; otherwise the name
+/// is tried as an archive digest prefix.
+fn resolve_diff_operand(
+    archive: &memory_conex::RunArchive,
+    operand: &str,
+) -> Result<String, CliError> {
+    if std::path::Path::new(operand).exists() {
+        return std::fs::read_to_string(operand)
+            .map_err(|e| format!("cannot read `{operand}`: {e}").into());
+    }
+    match archive.show(operand) {
+        Ok((_digest, text)) => Ok(text),
+        Err(e) => Err(format!(
+            "`{operand}` is neither a file nor a digest in {}: {e}",
+            archive.root().display()
+        )
+        .into()),
+    }
+}
+
+/// `mce diff`: structural comparison of two runs — report files,
+/// live-status files, or archived digests. Exits 0 iff the
+/// deterministic sections are byte-identical (wall clock, cache state
+/// and provenance never affect the verdict), 1 when they differ. With
+/// `--bench` it renders the recorded bench trajectory instead.
+fn cmd_diff(args: &[String]) -> Result<u8, CliError> {
+    if args.iter().any(|a| a == "--bench") {
+        let path = args
+            .iter()
+            .position(|a| a == "--bench")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .filter(|v| !v.starts_with("--"))
+            .unwrap_or("BENCH_trajectory.jsonl");
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read trajectory `{path}`: {e}"))?;
+        let markdown = memory_conex::diff::render_bench_trajectory(&body)?;
+        emit_diff(args, markdown)?;
+        return Ok(0);
+    }
+    let mut operands = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(
+                    args.get(i.wrapping_sub(1)).map(String::as_str),
+                    Some("--out" | "--archive")
+                )
+        })
+        .map(|(_, a)| a.as_str());
+    let (a, b) = match (operands.next(), operands.next(), operands.next()) {
+        (Some(a), Some(b), None) => (a, b),
+        _ => return Err("diff needs exactly two runs: files or archive digests".into()),
+    };
+    let archive = archive_at(args);
+    let text_a = resolve_diff_operand(&archive, a)?;
+    let text_b = resolve_diff_operand(&archive, b)?;
+    let outcome = memory_conex::diff::diff_texts(a, &text_a, b, &text_b)?;
+    emit_diff(args, outcome.markdown.clone())?;
+    Ok(u8::from(!outcome.identical))
+}
+
+/// Writes a rendered diff to `--out` (or stdout), as HTML when `--html`.
+fn emit_diff(args: &[String], markdown: String) -> Result<(), CliError> {
+    let rendered = if args.iter().any(|a| a == "--html") {
+        report::markdown_to_html(&markdown)
+    } else {
+        markdown
+    };
+    match flag_value(args, "--out") {
+        Some(path) => {
+            atomic_write(path, rendered.as_bytes())
+                .map_err(|e| format!("cannot write diff `{path}`: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
     }
     Ok(())
 }
@@ -1259,7 +1529,13 @@ mod tests {
         std::fs::write(&bad_schema, "{\"schema\": 999}").unwrap();
         let err = cmd_report(&s(&[bad_schema.to_str().unwrap()])).unwrap_err();
         std::fs::remove_file(&bad_schema).ok();
-        assert!(err.to_string().contains("unsupported schema"), "{err}");
+        // The typed SchemaVersion error names the artifact and both
+        // versions.
+        assert!(
+            err.to_string().contains("unsupported run report schema"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("999"), "{err}");
     }
 
     #[test]
@@ -1343,5 +1619,150 @@ mod tests {
     fn classify_and_simulate_run() {
         assert!(cmd_classify(&s(&["vocoder", "--trace", "2000"])).is_ok());
         assert!(cmd_simulate(&s(&["vocoder", "--cache", "2", "--trace", "2000"])).is_ok());
+    }
+
+    #[test]
+    fn compact_json_strips_whitespace_outside_strings_only() {
+        assert_eq!(
+            compact_json("{\n  \"a\": 1,\n  \"b\": \"x y\\\"z \"\n}"),
+            "{\"a\":1,\"b\":\"x y\\\"z \"}"
+        );
+        assert_eq!(compact_json("[1, 2,\t3]"), "[1,2,3]");
+    }
+
+    fn sample_report_text(enumerated: u64, elapsed: f64) -> String {
+        format!(
+            "{{\n  \"schema\": 1,\n  \"workload\": \"vocoder\",\n  \
+             \"workload_digest\": \"abcd\",\n  \"status\": \"completed\",\n  \
+             \"stop_reason\": null,\n  \"config\": {{\n    \"conex_trace_len\": 15000,\n    \
+             \"local_keep\": 16\n  }},\n  \"counters\": {{\n    \
+             \"conex.candidates_enumerated\": {enumerated}\n  }},\n  \
+             \"wall_clock\": {{\"elapsed_s\": {elapsed}}}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn runs_and_diff_drive_the_archive_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("mce_cli_runs_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let archive_dir = dir.join("archive");
+        let archive_flag = [
+            "--archive".to_owned(),
+            archive_dir.to_str().unwrap().to_owned(),
+        ];
+        let write = |name: &str, text: &str| {
+            let p = dir.join(name);
+            std::fs::write(&p, text).unwrap();
+            p.to_str().unwrap().to_owned()
+        };
+        let a = write("a.json", &sample_report_text(120, 1.5));
+        let rerun = write("rerun.json", &sample_report_text(120, 9.0));
+        let b = write("b.json", &sample_report_text(220, 1.5));
+
+        let with_archive = |base: &[&str]| {
+            let mut v = s(base);
+            v.extend(archive_flag.iter().cloned());
+            v
+        };
+        // add / duplicate / list / gc.
+        cmd_runs(&with_archive(&["add", &a])).unwrap();
+        cmd_runs(&with_archive(&["add", &rerun])).unwrap();
+        cmd_runs(&with_archive(&["add", &b])).unwrap();
+        cmd_runs(&with_archive(&["list"])).unwrap();
+        cmd_runs(&with_archive(&["gc", "--keep", "1"])).unwrap();
+        let err = cmd_runs(&with_archive(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown runs subcommand"), "{err}");
+        let err = cmd_runs(&s(&[])).unwrap_err();
+        assert!(err.to_string().contains("subcommand"), "{err}");
+
+        // diff: same deterministic prefix (different wall clock) → 0;
+        // perturbed counters → 1.
+        assert_eq!(cmd_diff(&with_archive(&[&a, &rerun])).unwrap(), 0);
+        assert_eq!(cmd_diff(&with_archive(&[&a, &b])).unwrap(), 1);
+        let out_md = dir.join("diff.md");
+        assert_eq!(
+            cmd_diff(&with_archive(&[&a, &b, "--out", out_md.to_str().unwrap()])).unwrap(),
+            1
+        );
+        let md = std::fs::read_to_string(&out_md).unwrap();
+        assert!(md.contains("Deterministic sections differ"), "{md}");
+        assert!(md.contains("conex.candidates_enumerated"), "{md}");
+        let out_html = dir.join("diff.html");
+        cmd_diff(&with_archive(&[
+            &a,
+            &b,
+            "--html",
+            "--out",
+            out_html.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(std::fs::read_to_string(&out_html)
+            .unwrap()
+            .starts_with("<!DOCTYPE html>"));
+
+        // A digest prefix resolves an operand once the run is archived.
+        let digest = memory_conex::RunArchive::open(&archive_dir)
+            .entries()
+            .unwrap()
+            .last()
+            .unwrap()
+            .digest
+            .clone();
+        assert_eq!(cmd_diff(&with_archive(&[&b, &digest[..8]])).unwrap(), 0);
+        let err = cmd_diff(&with_archive(&["ffffffff", &b])).unwrap_err();
+        assert!(
+            err.to_string().contains("neither a file nor a digest"),
+            "{err}"
+        );
+        let err = cmd_diff(&with_archive(&[&a])).unwrap_err();
+        assert!(err.to_string().contains("exactly two"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_record_builds_a_renderable_trajectory() {
+        let dir = std::env::temp_dir().join(format!("mce_cli_traj_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let summary = |per_access: f64| {
+            format!(
+                "{{\"per_access_dispatch_ns\": {per_access}, \"block_replay_ns\": 50, \
+                 \"block_replay_speedup\": 2.0, \
+                 \"block_replay_cancellable_overhead\": 1.0}}"
+            )
+        };
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        let traj = dir.join("traj.jsonl");
+        std::fs::write(&base, summary(100.0)).unwrap();
+        std::fs::write(&cur, summary(104.0)).unwrap();
+        let record = |current: &std::path::Path| {
+            cmd_bench_gate(&s(&[
+                "--baseline",
+                base.to_str().unwrap(),
+                "--current",
+                current.to_str().unwrap(),
+                "--record",
+                "--trajectory",
+                traj.to_str().unwrap(),
+            ]))
+        };
+        record(&cur).unwrap();
+        std::fs::write(&cur, summary(108.0)).unwrap();
+        record(&cur).unwrap();
+        let body = std::fs::read_to_string(&traj).unwrap();
+        assert_eq!(body.lines().count(), 2, "{body}");
+        assert!(body.lines().all(|l| l.starts_with('{')), "{body}");
+
+        // `mce diff --bench` renders the series.
+        assert_eq!(
+            cmd_diff(&s(&["--bench", traj.to_str().unwrap()])).unwrap(),
+            0
+        );
+        let err = cmd_diff(&s(&["--bench", "/nonexistent/traj.jsonl"])).unwrap_err();
+        assert!(err.to_string().contains("cannot read trajectory"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

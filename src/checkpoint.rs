@@ -354,8 +354,9 @@ pub fn config_digest(
 /// Two-lane FNV-1a over `bytes`, rendered as 32 hex chars. Two
 /// independently-seeded 64-bit lanes make coincidental collisions after
 /// file corruption vanishingly unlikely while keeping the hash
-/// dependency-free.
-fn fnv128(bytes: &[u8]) -> String {
+/// dependency-free. Also used by the run archive to content-address
+/// reports by their deterministic prefix.
+pub fn fnv128(bytes: &[u8]) -> String {
     const OFFSET_1: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME_1: u64 = 0x0000_0100_0000_01b3;
     const OFFSET_2: u64 = 0x6c62_272e_07bb_0142;

@@ -1,0 +1,701 @@
+//! Structural comparison of exploration artifacts — `mce diff`.
+//!
+//! Replaces ad-hoc `diff`/python prefix comparisons with a comparison
+//! that understands the artifact: two run reports (or two live-status
+//! snapshots) are compared section by section, and the verdict is based
+//! only on the *deterministic, machine-independent* content.
+//!
+//! ## What counts as "identical"
+//!
+//! Two reports are identical when their **comparable views** are equal
+//! byte for byte. The comparable view is the report's stable prefix
+//! (everything before `wall_clock` — see
+//! [`RunReport::stable_json_prefix`]) with two further masks applied:
+//!
+//! 1. the optional `provenance` section is removed
+//!    ([`RunReport::without_provenance`]) — explain on/off must not
+//!    change the verdict;
+//! 2. every effort-metric line ([`EFFORT_PREFIXES`]: the `eval_cache`
+//!    section and counters, the `conex.{estimate,simulate}_jobs` job
+//!    counts, and the `sim.*` simulator work metrics) is dropped —
+//!    these measure how much work the run performed, which is
+//!    deterministic for a *given* starting cache state but differs
+//!    between a cold and a warm cache even though the exploration
+//!    output is identical. They are reported as informational deltas
+//!    instead.
+//!
+//! Everything outside the comparable view (wall-clock timings,
+//! histograms, timeseries, budget events, peak RSS) is likewise shown
+//! as informational context, never as a difference.
+
+use crate::report::{self, RunReport};
+use mce_error::MceError;
+use mce_obs::json::{self, Value};
+use std::collections::BTreeSet;
+
+/// What kind of artifacts were compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffKind {
+    /// Two run reports (`"schema"` key).
+    Report,
+    /// Two live-status snapshots (`"live_schema"` key).
+    Live,
+}
+
+/// Result of a structural comparison.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// What was compared.
+    pub kind: DiffKind,
+    /// True when the deterministic views are byte-identical — the CLI
+    /// exits 0 exactly then.
+    pub identical: bool,
+    /// Markdown rendering of the comparison.
+    pub markdown: String,
+}
+
+/// Compares two serialized artifacts, inferring their kind from the
+/// schema key. Both must be of the same kind.
+///
+/// # Errors
+///
+/// [`MceError::Json`] on unparseable input, [`MceError::SchemaVersion`]
+/// on unknown schema versions, [`MceError::InvalidInput`] when the two
+/// sides are different kinds of artifact (or neither kind).
+pub fn diff_texts(
+    label_a: &str,
+    text_a: &str,
+    label_b: &str,
+    text_b: &str,
+) -> Result<DiffOutcome, MceError> {
+    let doc_a = parse(label_a, text_a)?;
+    let doc_b = parse(label_b, text_b)?;
+    match (kind_of(&doc_a), kind_of(&doc_b)) {
+        (Some(DiffKind::Report), Some(DiffKind::Report)) => {
+            report::check_report_schema(&doc_a)?;
+            report::check_report_schema(&doc_b)?;
+            Ok(diff_reports(
+                label_a, text_a, &doc_a, label_b, text_b, &doc_b,
+            ))
+        }
+        (Some(DiffKind::Live), Some(DiffKind::Live)) => {
+            check_live_schema(label_a, &doc_a)?;
+            check_live_schema(label_b, &doc_b)?;
+            Ok(diff_live(label_a, &doc_a, label_b, &doc_b))
+        }
+        (Some(a), Some(b)) if a != b => Err(MceError::invalid_input(format!(
+            "cannot diff a {} against a {}",
+            kind_name(a),
+            kind_name(b)
+        ))),
+        _ => Err(MceError::invalid_input(
+            "inputs are neither run reports (`schema`) nor live-status \
+             snapshots (`live_schema`)",
+        )),
+    }
+}
+
+/// Metric-name prefixes that measure execution *effort* — how much work
+/// the run performed — rather than what it computed. A warm eval cache
+/// legitimately changes all of them (a cache hit skips the
+/// estimate/simulate job and every piece of simulator work behind it),
+/// so diffs list their deltas as informational and they never affect the
+/// identity verdict. The results those jobs produce (pareto fronts,
+/// frontier evolution, candidate-funnel counts) stay verdict-bearing.
+pub const EFFORT_PREFIXES: &[&str] = &[
+    "eval_cache",
+    "conex.estimate_jobs",
+    "conex.simulate_jobs",
+    "sim.",
+];
+
+/// Whether a serialized-report line carries an effort-prefixed key (the
+/// one-line `eval_cache` section or an [`EFFORT_PREFIXES`] metric).
+fn is_effort_line(line: &str) -> bool {
+    line.trim_start()
+        .strip_prefix('"')
+        .is_some_and(|key| EFFORT_PREFIXES.iter().any(|p| key.starts_with(p)))
+}
+
+/// The deterministic comparable view of a serialized run report: stable
+/// prefix, provenance stripped, effort-metric lines
+/// ([`EFFORT_PREFIXES`]) dropped.
+pub fn comparable_view(report_text: &str) -> String {
+    // Provenance first: its removal is anchored on the `wall_clock` key,
+    // which the prefix cut would otherwise strip away.
+    let masked = RunReport::without_provenance(report_text);
+    let masked = RunReport::stable_json_prefix(&masked);
+    let mut out = String::with_capacity(masked.len());
+    for line in masked.lines() {
+        if is_effort_line(line) {
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+fn parse(label: &str, text: &str) -> Result<Value, MceError> {
+    json::parse(text).map_err(|e| MceError::json(label.to_owned(), e.to_string()))
+}
+
+fn kind_of(doc: &Value) -> Option<DiffKind> {
+    if doc.get("live_schema").is_some() {
+        Some(DiffKind::Live)
+    } else if doc.get("schema").is_some() {
+        Some(DiffKind::Report)
+    } else {
+        None
+    }
+}
+
+fn kind_name(k: DiffKind) -> &'static str {
+    match k {
+        DiffKind::Report => "run report",
+        DiffKind::Live => "live-status snapshot",
+    }
+}
+
+fn check_live_schema(label: &str, doc: &Value) -> Result<(), MceError> {
+    match doc.get("live_schema").and_then(Value::as_u64) {
+        Some(v) if (1..=crate::live::LIVE_SCHEMA).contains(&v) => Ok(()),
+        found => Err(MceError::schema_version(
+            format!("live status ({label})"),
+            found.map_or_else(|| "none".to_owned(), |v| v.to_string()),
+            crate::live::LIVE_SCHEMA,
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run-report diff
+// ---------------------------------------------------------------------------
+
+fn diff_reports(
+    label_a: &str,
+    text_a: &str,
+    doc_a: &Value,
+    label_b: &str,
+    text_b: &str,
+    doc_b: &Value,
+) -> DiffOutcome {
+    let identical = comparable_view(text_a) == comparable_view(text_b);
+    let mut md = String::from("# Run diff\n\n");
+    md.push_str(&format!(
+        "| | A | B |\n|---|---|---|\n| source | `{label_a}` | `{label_b}` |\n"
+    ));
+    for key in ["workload", "workload_digest", "status", "stop_reason"] {
+        md.push_str(&format!(
+            "| {key} | {} | {} |\n",
+            scalar_at(doc_a, key),
+            scalar_at(doc_b, key)
+        ));
+    }
+    md.push('\n');
+    if identical {
+        md.push_str(
+            "**Deterministic sections identical.** Differences below, if \
+             any, are wall-clock or cache-state context only.\n\n",
+        );
+    } else {
+        md.push_str("**Deterministic sections differ.**\n\n");
+    }
+    md.push_str(&object_delta_table(
+        "Config delta",
+        doc_a.get("config"),
+        doc_b.get("config"),
+        &[],
+    ));
+    md.push_str(&object_delta_table(
+        "Counter deltas",
+        doc_a.get("counters"),
+        doc_b.get("counters"),
+        EFFORT_PREFIXES,
+    ));
+    md.push_str(&object_delta_table(
+        "Gauge deltas",
+        doc_a.get("gauges"),
+        doc_b.get("gauges"),
+        EFFORT_PREFIXES,
+    ));
+    md.push_str(&frontier_delta(doc_a, doc_b));
+    md.push_str(&provenance_note(doc_a, doc_b));
+    md.push_str(&wall_clock_context(doc_a, doc_b));
+    DiffOutcome {
+        kind: DiffKind::Report,
+        identical,
+        markdown: md,
+    }
+}
+
+fn scalar_at(doc: &Value, key: &str) -> String {
+    match doc.get(key) {
+        None | Some(Value::Null) => "—".to_owned(),
+        Some(Value::String(s)) => s.clone(),
+        Some(Value::Number(n)) => format!("{n}"),
+        Some(Value::Bool(b)) => b.to_string(),
+        Some(_) => "…".to_owned(),
+    }
+}
+
+/// A markdown table of keys whose scalar values differ between two
+/// objects. Keys starting with any of `informational` prefixes are
+/// listed but flagged as not affecting the verdict. Empty when nothing
+/// differs.
+fn object_delta_table(
+    title: &str,
+    a: Option<&Value>,
+    b: Option<&Value>,
+    informational: &[&str],
+) -> String {
+    let keys: BTreeSet<&String> = [a, b]
+        .iter()
+        .flatten()
+        .filter_map(|v| match v {
+            Value::Object(m) => Some(m.keys()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    let mut rows = String::new();
+    for key in keys {
+        let va = a.and_then(|v| scalar_opt(v, key));
+        let vb = b.and_then(|v| scalar_opt(v, key));
+        if va != vb {
+            let note = if informational.iter().any(|p| key.starts_with(p)) {
+                " (informational)"
+            } else {
+                ""
+            };
+            rows.push_str(&format!(
+                "| {key}{note} | {} | {} |\n",
+                va.unwrap_or_else(|| "—".to_owned()),
+                vb.unwrap_or_else(|| "—".to_owned()),
+            ));
+        }
+    }
+    if rows.is_empty() {
+        String::new()
+    } else {
+        format!("## {title}\n\n| key | A | B |\n|---|---|---|\n{rows}\n")
+    }
+}
+
+fn scalar_opt(doc: &Value, key: &str) -> Option<String> {
+    doc.get(key).map(|v| match v {
+        Value::Null => "null".to_owned(),
+        Value::String(s) => s.clone(),
+        Value::Number(n) => format!("{n}"),
+        Value::Bool(b) => b.to_string(),
+        _ => "…".to_owned(),
+    })
+}
+
+fn front_points(doc: &Value) -> Vec<String> {
+    doc.get("pareto")
+        .and_then(|p| p.get("front_cost_latency"))
+        .and_then(Value::as_array)
+        .map(|pts| {
+            pts.iter()
+                .filter_map(|pt| {
+                    let xy = pt.as_array()?;
+                    Some(format!(
+                        "({}, {})",
+                        xy.first()?.as_f64()?,
+                        xy.get(1)?.as_f64()?
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn last_hypervolume(doc: &Value) -> f64 {
+    doc.get("frontier_evolution")
+        .and_then(Value::as_array)
+        .and_then(<[Value]>::last)
+        .and_then(|s| s.get("hypervolume"))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// Frontier movement: cost/latency points gained and lost between the
+/// two runs, plus the hypervolume delta. Empty when the frontier did
+/// not move.
+fn frontier_delta(doc_a: &Value, doc_b: &Value) -> String {
+    let pa: BTreeSet<String> = front_points(doc_a).into_iter().collect();
+    let pb: BTreeSet<String> = front_points(doc_b).into_iter().collect();
+    let gained: Vec<&String> = pb.difference(&pa).collect();
+    let lost: Vec<&String> = pa.difference(&pb).collect();
+    let (hv_a, hv_b) = (last_hypervolume(doc_a), last_hypervolume(doc_b));
+    let hv_moved = (hv_a - hv_b).abs() > 1e-12;
+    if gained.is_empty() && lost.is_empty() && !hv_moved {
+        return String::new();
+    }
+    let mut out = String::from("## Frontier movement\n\n");
+    out.push_str(&format!(
+        "Cost/latency frontier: {} point(s) gained, {} lost. \
+         Hypervolume {hv_a} → {hv_b} ({}{}).\n\n",
+        gained.len(),
+        lost.len(),
+        if hv_b >= hv_a { "+" } else { "" },
+        hv_b - hv_a,
+    ));
+    for p in &gained {
+        out.push_str(&format!("- gained {p}\n"));
+    }
+    for p in &lost {
+        out.push_str(&format!("- lost {p}\n"));
+    }
+    if !gained.is_empty() || !lost.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+fn provenance_note(doc_a: &Value, doc_b: &Value) -> String {
+    let count = |doc: &Value| {
+        doc.get("provenance")
+            .and_then(|p| p.get("archs"))
+            .and_then(Value::as_array)
+            .map(<[Value]>::len)
+    };
+    match (count(doc_a), count(doc_b)) {
+        (None, None) => String::new(),
+        (a, b) => format!(
+            "## Provenance\n\nA: {}, B: {}. Provenance is masked from the \
+             verdict — explained and unexplained runs of the same \
+             exploration compare as identical.\n\n",
+            a.map_or_else(
+                || "not explained".to_owned(),
+                |n| format!("{n} arch record(s)")
+            ),
+            b.map_or_else(
+                || "not explained".to_owned(),
+                |n| format!("{n} arch record(s)")
+            ),
+        ),
+    }
+}
+
+/// Wall-clock context: elapsed time, threads, peak RSS, degraded
+/// evaluation counts. Informational only.
+fn wall_clock_context(doc_a: &Value, doc_b: &Value) -> String {
+    let wc = |doc: &Value, k: &str| {
+        doc.get("wall_clock")
+            .and_then(|w| w.get(k))
+            .map_or_else(|| "—".to_owned(), scalar_at_value)
+    };
+    let mut out =
+        String::from("## Wall-clock context (informational)\n\n| | A | B |\n|---|---|---|\n");
+    for key in ["elapsed_s", "threads", "resumed", "peak_rss_bytes"] {
+        out.push_str(&format!(
+            "| {key} | {} | {} |\n",
+            wc(doc_a, key),
+            wc(doc_b, key)
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+fn scalar_at_value(v: &Value) -> String {
+    match v {
+        Value::Null => "—".to_owned(),
+        Value::String(s) => s.clone(),
+        Value::Number(n) => format!("{n}"),
+        Value::Bool(b) => b.to_string(),
+        _ => "…".to_owned(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-status diff
+// ---------------------------------------------------------------------------
+
+/// The deterministic slice of a live-status snapshot: progress and
+/// funnel state, no timings or worker occupancy.
+fn live_view(doc: &Value) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for key in [
+        "workload",
+        "status",
+        "stop_reason",
+        "phase",
+        "archs_done",
+        "archs_total",
+    ] {
+        out.push((key.to_owned(), scalar_at(doc, key)));
+    }
+    for (section, fields) in [
+        ("candidates", &["enumerated", "estimated", "simulated"][..]),
+        ("frontier", &["size", "hypervolume"][..]),
+    ] {
+        for f in fields {
+            let v = doc
+                .get(section)
+                .and_then(|s| s.get(f))
+                .map_or_else(|| "—".to_owned(), scalar_at_value);
+            out.push((format!("{section}.{f}"), v));
+        }
+    }
+    out
+}
+
+fn diff_live(label_a: &str, doc_a: &Value, label_b: &str, doc_b: &Value) -> DiffOutcome {
+    let (va, vb) = (live_view(doc_a), live_view(doc_b));
+    let identical = va == vb;
+    let mut md = String::from("# Live-status diff\n\n");
+    md.push_str(&format!(
+        "Comparing `{label_a}` (A) against `{label_b}` (B).\n\n"
+    ));
+    if identical {
+        md.push_str("**Deterministic sections identical.**\n\n");
+    } else {
+        md.push_str("**Deterministic sections differ.**\n\n");
+    }
+    md.push_str("| key | A | B |\n|---|---|---|\n");
+    for ((k, a), (_, b)) in va.iter().zip(vb.iter()) {
+        let marker = if a == b { "" } else { " ≠" };
+        md.push_str(&format!("| {k}{marker} | {a} | {b} |\n"));
+    }
+    md.push('\n');
+    DiffOutcome {
+        kind: DiffKind::Live,
+        identical,
+        markdown: md,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bench trajectory (`mce diff --bench`)
+// ---------------------------------------------------------------------------
+
+/// Renders a bench trajectory (JSONL of successive `BENCH_eval.json`
+/// snapshots, appended by `mce bench-gate --record`) as a markdown
+/// trend summary: one row per numeric field with a sparkline over the
+/// recorded series and the relative change from first to last entry.
+///
+/// # Errors
+///
+/// [`MceError::Json`] on a malformed line, [`MceError::InvalidInput`]
+/// when the file holds no entries.
+pub fn render_bench_trajectory(jsonl: &str) -> Result<String, MceError> {
+    let mut docs = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        docs.push(
+            json::parse(line)
+                .map_err(|e| MceError::json(format!("trajectory line {}", i + 1), e.to_string()))?,
+        );
+    }
+    if docs.is_empty() {
+        return Err(MceError::invalid_input(
+            "bench trajectory is empty — record entries with `mce bench-gate --record`",
+        ));
+    }
+    let fields: BTreeSet<&String> = docs
+        .iter()
+        .filter_map(|d| match d {
+            Value::Object(m) => Some(m.keys()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    let mut out = format!(
+        "# Bench trajectory\n\n{} recorded run(s).\n\n\
+         | field | first | last | change | trend |\n|---|---|---|---|---|\n",
+        docs.len()
+    );
+    for field in fields {
+        let series: Vec<f64> = docs
+            .iter()
+            .filter_map(|d| d.get(field).and_then(Value::as_f64))
+            .collect();
+        if series.is_empty() {
+            continue;
+        }
+        let (first, last) = (series[0], series[series.len() - 1]);
+        let change = if first.abs() > f64::EPSILON {
+            format!("{:+.1}%", (last - first) / first * 100.0)
+        } else {
+            "—".to_owned()
+        };
+        let scaled: Vec<u64> = series.iter().map(|v| (v * 1000.0) as u64).collect();
+        out.push_str(&format!(
+            "| {field} | {first} | {last} | {change} | {} |\n",
+            crate::live::sparkline(&scaled)
+        ));
+    }
+    out.push('\n');
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(workload: &str, enumerated: u64, cache_hits: u64, elapsed: f64) -> String {
+        format!(
+            "{{\n  \"schema\": 1,\n  \"workload\": \"{workload}\",\n  \
+             \"workload_digest\": \"abcd\",\n  \"status\": \"completed\",\n  \
+             \"stop_reason\": null,\n  \"config\": {{\n    \"conex_trace_len\": 15000,\n    \
+             \"local_keep\": 16\n  }},\n  \"counters\": {{\n    \
+             \"conex.candidates_enumerated\": {enumerated},\n    \
+             \"eval_cache.hits\": {cache_hits}\n  }},\n  \
+             \"eval_cache\": {{\"hits\": {cache_hits}, \"misses\": 2}},\n  \
+             \"pareto\": {{\n    \"cost_latency\": 2,\n    \
+             \"front_cost_latency\": [[900, 4.5], [1200, 3.25]]\n  }},\n  \
+             \"frontier_evolution\": [\n    {{\"archs_explored\": 1, \"estimated\": 40, \
+             \"frontier_size\": 5, \"hypervolume\": 0.375}}\n  ],\n  \
+             \"wall_clock\": {{\"elapsed_s\": {elapsed}, \"threads\": 4}}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn identical_deterministic_sections_compare_equal() {
+        // Same exploration: different wall clock AND different cache
+        // stats (hot vs cold) — still identical.
+        let a = report("vocoder", 120, 0, 1.5);
+        let b = report("vocoder", 120, 50, 9.0);
+        let out = diff_texts("a.json", &a, "b.json", &b).unwrap();
+        assert_eq!(out.kind, DiffKind::Report);
+        assert!(out.identical, "{}", out.markdown);
+        assert!(out.markdown.contains("Deterministic sections identical"));
+        // Cache-stat movement still surfaces as informational context.
+        assert!(out.markdown.contains("eval_cache.hits (informational)"));
+    }
+
+    #[test]
+    fn deterministic_difference_is_structured_not_textual() {
+        let a = report("vocoder", 120, 0, 1.5);
+        let b = report("vocoder", 220, 0, 1.5);
+        let out = diff_texts("a.json", &a, "b.json", &b).unwrap();
+        assert!(!out.identical);
+        assert!(out.markdown.contains("Deterministic sections differ"));
+        assert!(
+            out.markdown
+                .contains("| conex.candidates_enumerated | 120 | 220 |"),
+            "{}",
+            out.markdown
+        );
+    }
+
+    #[test]
+    fn frontier_movement_reports_gained_lost_and_hypervolume() {
+        let a = report("vocoder", 120, 0, 1.5);
+        let b = a
+            .replace("[900, 4.5], [1200, 3.25]", "[900, 4.5], [1000, 3.0]")
+            .replace("\"hypervolume\": 0.375", "\"hypervolume\": 0.5");
+        let out = diff_texts("a.json", &a, "b.json", &b).unwrap();
+        assert!(!out.identical);
+        assert!(
+            out.markdown.contains("1 point(s) gained, 1 lost"),
+            "{}",
+            out.markdown
+        );
+        assert!(
+            out.markdown.contains("gained (1000, 3)"),
+            "{}",
+            out.markdown
+        );
+        assert!(
+            out.markdown.contains("lost (1200, 3.25)"),
+            "{}",
+            out.markdown
+        );
+        assert!(out.markdown.contains("0.375 → 0.5"), "{}", out.markdown);
+    }
+
+    #[test]
+    fn provenance_is_masked_from_the_verdict() {
+        let a = report("vocoder", 120, 0, 1.5);
+        // Placed in the serializer's canonical slot: directly before
+        // wall_clock. The mask cuts [provenance, wall_clock), so the
+        // contract only holds for reports our serializer wrote.
+        let b = a.replace(
+            "  \"wall_clock\"",
+            "  \"provenance\": {\"schema\": 1, \"archs\": [{\"arch\": 0, \
+             \"mem\": \"m\", \"kept\": 1, \"pruned\": 0, \"points\": []}]},\n  \
+             \"wall_clock\"",
+        );
+        let out = diff_texts("plain.json", &a, "explained.json", &b).unwrap();
+        assert!(out.identical, "{}", out.markdown);
+        assert!(
+            out.markdown.contains("1 arch record(s)"),
+            "{}",
+            out.markdown
+        );
+        assert!(out.markdown.contains("not explained"), "{}", out.markdown);
+    }
+
+    #[test]
+    fn mixed_kinds_and_garbage_are_typed_errors() {
+        let r = report("vocoder", 120, 0, 1.5);
+        let live = "{\"live_schema\": 1, \"workload\": \"vocoder\", \"status\": \"running\"}";
+        assert!(matches!(
+            diff_texts("a", &r, "b", live).unwrap_err(),
+            MceError::InvalidInput { .. }
+        ));
+        assert!(matches!(
+            diff_texts("a", "nope", "b", &r).unwrap_err(),
+            MceError::Json { .. }
+        ));
+        assert!(matches!(
+            diff_texts("a", "{}", "b", "{}").unwrap_err(),
+            MceError::InvalidInput { .. }
+        ));
+        assert!(matches!(
+            diff_texts("a", "{\"schema\": 99}", "b", &r).unwrap_err(),
+            MceError::SchemaVersion { .. }
+        ));
+    }
+
+    #[test]
+    fn live_snapshots_compare_on_progress_not_timing() {
+        let a = "{\"live_schema\": 1, \"workload\": \"vocoder\", \"status\": \"running\", \
+                 \"phase\": \"phase1\", \"archs_done\": 3, \"archs_total\": 10, \
+                 \"candidates\": {\"enumerated\": 100, \"estimated\": 40, \"simulated\": 0}, \
+                 \"frontier\": {\"size\": 5, \"hypervolume\": 0.3}, \"elapsed_s\": 2.0}";
+        let b = a.replace("\"elapsed_s\": 2.0", "\"elapsed_s\": 99.0");
+        let out = diff_texts("a", a, "b", &b).unwrap();
+        assert_eq!(out.kind, DiffKind::Live);
+        assert!(out.identical);
+
+        let c = a.replace("\"archs_done\": 3", "\"archs_done\": 7");
+        let out = diff_texts("a", a, "c", &c).unwrap();
+        assert!(!out.identical);
+        assert!(
+            out.markdown.contains("| archs_done ≠ | 3 | 7 |"),
+            "{}",
+            out.markdown
+        );
+    }
+
+    #[test]
+    fn bench_trajectory_renders_trends() {
+        let jsonl = "{\"per_access_dispatch_ns\": 1000.0, \"block_replay_ns\": 500.0}\n\
+                     {\"per_access_dispatch_ns\": 1100.0, \"block_replay_ns\": 450.0}\n";
+        let md = render_bench_trajectory(jsonl).unwrap();
+        assert!(md.contains("2 recorded run(s)"));
+        assert!(
+            md.contains("| per_access_dispatch_ns | 1000 | 1100 | +10.0% |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| block_replay_ns | 500 | 450 | -10.0% |"),
+            "{md}"
+        );
+        assert!(matches!(
+            render_bench_trajectory("").unwrap_err(),
+            MceError::InvalidInput { .. }
+        ));
+        assert!(matches!(
+            render_bench_trajectory("garbage\n").unwrap_err(),
+            MceError::Json { .. }
+        ));
+    }
+}

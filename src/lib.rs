@@ -54,12 +54,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod archive;
 pub mod checkpoint;
+pub mod diff;
 pub mod live;
 pub mod report;
 pub mod session;
 
+pub use archive::{AddOutcome, ArchiveEntry, GcStats, RunArchive, ARCHIVE_SCHEMA};
 pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
+pub use diff::{DiffKind, DiffOutcome};
 pub use live::{LiveShared, LIVE_SCHEMA};
 pub use mce_apex as apex;
 pub use mce_appmodel as appmodel;

@@ -401,6 +401,7 @@ pub fn render_openmetrics(
     let mut out = String::new();
     for (name, value) in counters {
         let metric = metric_name(name);
+        let name = escape_help(name);
         out.push_str(&format!(
             "# TYPE {metric} counter\n# HELP {metric} mce run counter {name}\n\
              {metric}_total {value}\n"
@@ -408,6 +409,7 @@ pub fn render_openmetrics(
     }
     for (name, value) in gauges {
         let metric = metric_name(name);
+        let name = escape_help(name);
         out.push_str(&format!(
             "# TYPE {metric} gauge\n# HELP {metric} mce run gauge {name}\n\
              {metric} {value}\n"
@@ -415,11 +417,15 @@ pub fn render_openmetrics(
     }
     for (name, h) in histograms {
         let metric = metric_name(name);
+        let name = escape_help(name);
         out.push_str(&format!(
             "# TYPE {metric} summary\n# HELP {metric} mce latency summary {name} (us)\n"
         ));
         for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
-            out.push_str(&format!("{metric}{{quantile=\"{q}\"}} {v}\n"));
+            out.push_str(&format!(
+                "{metric}{{quantile=\"{}\"}} {v}\n",
+                escape_label(q)
+            ));
         }
         out.push_str(&format!("{metric}_count {}\n", h.count));
         out.push_str(&format!("{metric}_sum {}\n", h.sum));
@@ -509,6 +515,38 @@ fn u64_entries(v: Option<&Value>) -> Vec<(String, u64)> {
     }
 }
 
+/// Escapes free text for an OpenMetrics `HELP` line per the exposition
+/// format ABNF: backslash and newline must be escaped (`\\`, `\n`) or a
+/// hostile registry name would inject new exposition lines; everything
+/// else passes through.
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes a label *value* per the OpenMetrics ABNF: like
+/// [`escape_help`] plus the double quote (`\"`), since label values are
+/// quoted.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '"' => out.push_str("\\\""),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Sanitizes a registry name into an OpenMetrics metric name: `mce_`
 /// prefix, every character outside `[a-zA-Z0-9_:]` replaced with `_`.
 fn metric_name(name: &str) -> String {
@@ -532,7 +570,7 @@ const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'
 
 /// A Unicode block sparkline of `values`, scaled to the series' own
 /// min..max range (a flat series renders mid-height).
-fn sparkline(values: &[u64]) -> String {
+pub(crate) fn sparkline(values: &[u64]) -> String {
     if values.is_empty() {
         return String::new();
     }
@@ -570,7 +608,22 @@ fn progress_bar(done: u64, total: u64, width: usize) -> String {
 /// sparklines and the per-worker occupancy summary. Plain text — the
 /// caller adds screen-clearing escapes in TTY refresh mode, and the
 /// same output doubles as the non-TTY single-snapshot mode.
+///
+/// Rendered for an 80-column terminal; `mce top` re-measures each
+/// refresh and calls [`render_dashboard_with_width`].
 pub fn render_dashboard(source: &str, doc: &Value) -> String {
+    render_dashboard_with_width(source, doc, 80)
+}
+
+/// [`render_dashboard`] for a `width`-column terminal: the progress bar
+/// and the sparklines scale with the width (never below a usable
+/// minimum), so a resized terminal gets a re-fitted frame on the next
+/// refresh.
+pub fn render_dashboard_with_width(source: &str, doc: &Value, width: usize) -> String {
+    // 24 columns at the classic 80; wider terminals grow the bar,
+    // narrow ones shrink it down to a floor of 8.
+    let bar_width = width.saturating_sub(56).clamp(8, 48);
+    let spark_width = width.saturating_sub(40).clamp(8, 120);
     let str_of = |k: &str| doc.get(k).and_then(Value::as_str).unwrap_or("?");
     let u64_of = |k: &str| doc.get(k).and_then(Value::as_u64).unwrap_or(0);
     let nested = |a: &str, b: &str| {
@@ -600,7 +653,7 @@ pub fn render_dashboard(source: &str, doc: &Value) -> String {
     let (done, total) = (u64_of("archs_done"), u64_of("archs_total"));
     out.push_str(&format!(
         "archs    {} {done}/{total}\n",
-        progress_bar(done, total, 24)
+        progress_bar(done, total, bar_width)
     ));
     out.push_str(&format!(
         "evals    {:.0} total, {:.1}/s   cache {:.1}% hit\n",
@@ -678,7 +731,10 @@ pub fn render_dashboard(source: &str, doc: &Value) -> String {
                 continue;
             }
             let latest = *values.last().expect("nonempty");
-            out.push_str(&format!("{name:<28} {} {latest}\n", sparkline(&values)));
+            // Tail-truncate long series so the line fits the terminal;
+            // the newest samples are the interesting ones.
+            let tail = &values[values.len().saturating_sub(spark_width)..];
+            out.push_str(&format!("{name:<28} {} {latest}\n", sparkline(tail)));
             shown += 1;
         }
     }
@@ -845,6 +901,78 @@ mod tests {
                 "illegal metric name in {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn openmetrics_escapes_hostile_names_in_help_and_labels() {
+        // Registry names are programmer-chosen, but a hostile or buggy
+        // one must not be able to inject exposition lines through HELP
+        // text (the metric name itself is sanitized separately).
+        let hostile = "evil\\name\nfake_metric{label=\"x\"} 1".to_owned();
+        let text = render_openmetrics(&[(hostile, 5)], &[], &[]);
+        // Every line is either a comment or starts with the sanitized
+        // mce_ name — the injected line never reaches column zero.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.starts_with("mce_"),
+                "injected exposition line: {line:?}\n{text}"
+            );
+        }
+        // The HELP line carries the escaped forms, never a raw newline
+        // or backslash.
+        let help = text
+            .lines()
+            .find(|l| l.starts_with("# HELP"))
+            .expect("has HELP");
+        assert!(help.contains("evil\\\\name"), "{help}");
+        assert!(help.contains("\\n"), "{help}");
+        assert_eq!(text.matches("# HELP").count(), 1);
+        // Label values escape quotes and backslashes too.
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_help("plain_name"), "plain_name");
+    }
+
+    #[test]
+    fn dashboard_scales_bar_and_sparklines_to_terminal_width() {
+        let doc = json::parse(
+            "{\"live_schema\": 1, \"workload\": \"vocoder\", \"status\": \"running\", \
+             \"phase\": \"phase1\", \"archs_done\": 5, \"archs_total\": 10, \
+             \"elapsed_s\": 1.0, \"series\": {\"wall\": {\"conex.simulated\": \
+             [[1000, 1], [2000, 2], [3000, 3], [4000, 4], [5000, 5], [6000, 6], \
+             [7000, 7], [8000, 8], [9000, 9], [10000, 10], [11000, 11], [12000, 12]]}}}",
+        )
+        .unwrap();
+        // The default render equals the explicit 80-column render.
+        assert_eq!(
+            render_dashboard("s.json", &doc),
+            render_dashboard_with_width("s.json", &doc, 80)
+        );
+        let narrow = render_dashboard_with_width("s.json", &doc, 40);
+        let wide = render_dashboard_with_width("s.json", &doc, 120);
+        let bar_len = |text: &str| {
+            text.lines()
+                .find(|l| l.starts_with("archs"))
+                .and_then(|l| Some(l.find(']')? - l.find('[')?))
+                .expect("has progress bar")
+        };
+        assert_eq!(bar_len(&narrow), 9, "floor of 8 cells + bracket");
+        assert_eq!(bar_len(&wide), 49, "120 cols grow the bar to 48 cells");
+        // The 12-sample series is tail-truncated at narrow widths.
+        let spark_len = |text: &str| {
+            text.lines()
+                .find(|l| l.starts_with("conex.simulated"))
+                .map(|l| l.chars().filter(|c| SPARK.contains(c)).count())
+                .expect("has sparkline")
+        };
+        assert_eq!(spark_len(&narrow), 8);
+        assert_eq!(spark_len(&wide), 12, "all samples fit at 120 columns");
+        // The newest samples survive truncation: the narrow line still
+        // ends at the series maximum.
+        assert!(narrow
+            .lines()
+            .find(|l| l.starts_with("conex.simulated"))
+            .unwrap()
+            .contains('█'));
     }
 
     #[test]

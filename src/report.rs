@@ -29,7 +29,10 @@
 use mce_apex::ApexConfig;
 use mce_appmodel::Workload;
 use mce_conex::design_point::workload_digest;
-use mce_conex::{CacheStats, ConexConfig, ConexResult, DegradedEval, FrontierSnapshot};
+use mce_conex::{
+    ArchProvenance, CacheStats, ConexConfig, ConexResult, DegradedEval, FrontierSnapshot,
+};
+use mce_error::MceError;
 use mce_obs as obs;
 use mce_obs::json::Value;
 use mce_obs::{escape_json, HistogramSummary};
@@ -37,6 +40,13 @@ use mce_obs::{escape_json, HistogramSummary};
 /// Version of the report JSON layout. Bump when a field changes meaning
 /// or moves; `mce report` and the CI schema check pin this.
 pub const REPORT_SCHEMA: u64 = 1;
+
+/// Version of the report's embedded `provenance` section (`mce explore
+/// --explain`). Versioned separately from [`REPORT_SCHEMA`] because the
+/// section is optional: a report without it is still schema 1, and a
+/// future provenance layout change must not invalidate archived reports
+/// that never carried the section.
+pub const PROVENANCE_SCHEMA: u64 = 1;
 
 /// The configuration slice of a report: the knobs that determine the
 /// run's deterministic sections.
@@ -142,6 +152,11 @@ pub struct WallClock {
     /// run executed — keeping it here lets `--threads 1` and
     /// `--threads 8` reports byte-compare up to `wall_clock`.
     pub threads: usize,
+    /// Peak resident set size of the exploring process, in bytes.
+    /// Best-effort: read from `/proc/self/status` (`VmHWM`) on Linux,
+    /// `None` where no such source exists. Machine-dependent, so it
+    /// lives in the wall-clock section.
+    pub peak_rss_bytes: Option<u64>,
     /// Candidates answered with degraded values because their simulation
     /// hit the `--candidate-timeout` watchdog. Wall-clock-driven (which
     /// candidate times out depends on machine speed), so it lives here.
@@ -197,6 +212,13 @@ pub struct RunReport {
     pub pareto: ParetoSummary,
     /// Phase-I frontier-evolution samples.
     pub frontier_evolution: Vec<FrontierSnapshot>,
+    /// Frontier provenance per Phase-I architecture: why each surviving
+    /// design point made the local frontier and which kept point
+    /// dominated each pruned one. Empty unless the run was explained
+    /// (`mce explore --explain`); serialized as the schema-versioned
+    /// `provenance` section ([`PROVENANCE_SCHEMA`]) and *only* when
+    /// non-empty, so explain on/off changes nothing outside it.
+    pub provenance: Vec<ArchProvenance>,
     /// The nondeterministic tail section.
     pub wall_clock: WallClock,
 }
@@ -261,10 +283,12 @@ impl RunReport {
             eval_cache: CacheSummary::from_stats(cache_stats),
             pareto: ParetoSummary::from_result(conex),
             frontier_evolution: conex.frontier_evolution().to_vec(),
+            provenance: conex.provenance().to_vec(),
             wall_clock: WallClock {
                 elapsed_s,
                 resumed,
                 threads: conex_cfg.threads,
+                peak_rss_bytes: peak_rss_bytes(),
                 degraded: conex.degraded().to_vec(),
                 budget_counters,
                 timeseries_logical: if obs::tracing_enabled() {
@@ -388,6 +412,11 @@ impl RunReport {
                 evo.join(",\n")
             ));
         }
+        // The optional provenance section: emitted only when the run was
+        // explained, so explain on/off changes nothing outside it.
+        if !self.provenance.is_empty() {
+            s.push_str(&provenance_section(&self.provenance));
+        }
         // The nondeterministic tail: always the last top-level key.
         s.push_str("  \"wall_clock\": {\n");
         s.push_str(&format!(
@@ -396,6 +425,12 @@ impl RunReport {
         ));
         s.push_str(&format!("    \"resumed\": {},\n", self.wall_clock.resumed));
         s.push_str(&format!("    \"threads\": {},\n", self.wall_clock.threads));
+        s.push_str(&format!(
+            "    \"peak_rss_bytes\": {},\n",
+            self.wall_clock
+                .peak_rss_bytes
+                .map_or_else(|| "null".to_owned(), |v| v.to_string())
+        ));
         let degraded: Vec<String> = self
             .wall_clock
             .degraded
@@ -481,6 +516,109 @@ impl RunReport {
             None => json,
         }
     }
+
+    /// Removes the optional `provenance` section from a serialized
+    /// report, leaving every other byte untouched. An explained run's
+    /// report put through this equals the unexplained run's report —
+    /// the provenance determinism contract, and what `mce diff` compares
+    /// when exactly one side was explained.
+    pub fn without_provenance(json: &str) -> String {
+        match (json.find("\"provenance\""), json.find("\"wall_clock\"")) {
+            (Some(p), Some(w)) if p < w => {
+                let mut out = String::with_capacity(json.len());
+                out.push_str(&json[..p]);
+                out.push_str(&json[w..]);
+                out
+            }
+            _ => json.to_owned(),
+        }
+    }
+}
+
+/// Checks a parsed report document's `schema` field against
+/// [`REPORT_SCHEMA`]. Versions `1..=REPORT_SCHEMA` load; anything newer,
+/// non-numeric or missing is refused with a typed error rather than
+/// being silently misread.
+///
+/// # Errors
+///
+/// Returns [`MceError::SchemaVersion`] naming the artifact (`run
+/// report`), the version found and the newest supported one.
+pub fn check_report_schema(doc: &Value) -> Result<(), MceError> {
+    match doc.get("schema").and_then(Value::as_u64) {
+        Some(v) if (1..=REPORT_SCHEMA).contains(&v) => Ok(()),
+        Some(v) => Err(MceError::schema_version(
+            "run report",
+            v.to_string(),
+            REPORT_SCHEMA,
+        )),
+        None => Err(MceError::schema_version(
+            "run report",
+            match doc.get("schema") {
+                Some(v) => render_scalar(v),
+                None => "none".to_owned(),
+            },
+            REPORT_SCHEMA,
+        )),
+    }
+}
+
+/// Best-effort peak resident set size of this process, in bytes. Linux
+/// reads `VmHWM` from `/proc/self/status`; elsewhere (or when the read
+/// fails) there is no portable source and the result is `None`.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+/// Serializes the `provenance` report section: schema version first,
+/// then one record per Phase-I architecture in exploration order, each
+/// listing its estimate-cloud points with origin tags, kept/pruned
+/// verdicts, front memberships and (for pruned points) the kept point
+/// that dominated them.
+fn provenance_section(archs: &[ArchProvenance]) -> String {
+    let mut s = String::from("  \"provenance\": {\n");
+    s.push_str(&format!("    \"schema\": {PROVENANCE_SCHEMA},\n"));
+    let rendered: Vec<String> = archs
+        .iter()
+        .map(|a| {
+            let points: Vec<String> = a
+                .points
+                .iter()
+                .map(|p| {
+                    let fronts: Vec<String> = p.fronts.iter().map(|f| format!("\"{f}\"")).collect();
+                    format!(
+                        "        {{\"index\": {}, \"describe\": \"{}\", \"origin\": \"{}\", \
+                         \"kept\": {}, \"fronts\": [{}], \"dominated_by\": {}}}",
+                        p.index,
+                        escape_json(&p.describe),
+                        escape_json(&p.origin),
+                        p.kept,
+                        fronts.join(", "),
+                        p.dominated_by
+                            .map_or_else(|| "null".to_owned(), |d| d.to_string()),
+                    )
+                })
+                .collect();
+            format!(
+                "      {{\"arch\": {}, \"mem\": \"{}\", \"kept\": {}, \"pruned\": {}, \
+                 \"points\": [\n{}\n      ]}}",
+                a.arch,
+                escape_json(&a.mem),
+                a.kept,
+                a.pruned,
+                points.join(",\n")
+            )
+        })
+        .collect();
+    s.push_str(&format!(
+        "    \"archs\": [\n{}\n    ]\n",
+        rendered.join(",\n")
+    ));
+    s.push_str("  },\n");
+    s
 }
 
 /// Converts a borrowed time-series snapshot into the owned
@@ -704,6 +842,47 @@ fn render_one(source: &str, report: &Value) -> String {
                 ));
             }
             out.push('\n');
+        }
+    }
+    if let Some(archs) = report
+        .get("provenance")
+        .and_then(|p| p.get("archs"))
+        .and_then(|v| v.as_array())
+    {
+        if !archs.is_empty() {
+            out.push_str("### Frontier provenance\n\n");
+            for a in archs {
+                let arch = a.get("arch").and_then(|v| v.as_u64()).unwrap_or(0);
+                let mem = a.get("mem").and_then(|v| v.as_str()).unwrap_or("?");
+                let kept = a.get("kept").and_then(|v| v.as_u64()).unwrap_or(0);
+                let pruned = a.get("pruned").and_then(|v| v.as_u64()).unwrap_or(0);
+                out.push_str(&format!(
+                    "Architecture {arch} (`{mem}`): {kept} kept, {pruned} pruned.\n"
+                ));
+                let empty = Vec::new();
+                let points = a.get("points").and_then(|v| v.as_array()).unwrap_or(&empty);
+                let mut shown = 0usize;
+                for p in points {
+                    if matches!(p.get("kept"), Some(Value::Bool(false))) {
+                        if shown == 8 {
+                            out.push_str("- …\n");
+                            break;
+                        }
+                        let idx = p.get("index").and_then(|v| v.as_u64()).unwrap_or(0);
+                        let origin = p.get("origin").and_then(|v| v.as_str()).unwrap_or("?");
+                        match p.get("dominated_by").and_then(Value::as_u64) {
+                            Some(d) => {
+                                out.push_str(&format!("- point #{idx} ({origin}) lost to #{d}\n"))
+                            }
+                            None => out.push_str(&format!(
+                                "- point #{idx} ({origin}) pruned outside all fronts\n"
+                            )),
+                        }
+                        shown += 1;
+                    }
+                }
+                out.push('\n');
+            }
         }
     }
     let front: Vec<(f64, f64)> = report
@@ -1021,10 +1200,12 @@ mod tests {
                 frontier_size: 7,
                 hypervolume: 0.42,
             }],
+            provenance: Vec::new(),
             wall_clock: WallClock {
                 elapsed_s: 1.25,
                 resumed: false,
                 threads: 0,
+                peak_rss_bytes: None,
                 degraded: Vec::new(),
                 budget_counters: Vec::new(),
                 timeseries_logical: vec![(
@@ -1178,6 +1359,117 @@ mod tests {
             RunReport::stable_json_prefix(&ja),
             RunReport::stable_json_prefix(&c.to_json())
         );
+    }
+
+    fn sample_provenance() -> Vec<ArchProvenance> {
+        vec![ArchProvenance {
+            arch: 0,
+            mem: "mem[2x1024]".to_owned(),
+            kept: 1,
+            pruned: 1,
+            points: vec![
+                mce_conex::PointProvenance {
+                    index: 0,
+                    describe: "bus(w=2)".to_owned(),
+                    origin: "evaluated".to_owned(),
+                    kept: true,
+                    fronts: vec!["cost-latency".to_owned()],
+                    dominated_by: None,
+                },
+                mce_conex::PointProvenance {
+                    index: 1,
+                    describe: "mux(\"a\")".to_owned(),
+                    origin: "cache-hit".to_owned(),
+                    kept: false,
+                    fronts: Vec::new(),
+                    dominated_by: Some(0),
+                },
+            ],
+        }]
+    }
+
+    #[test]
+    fn provenance_section_sits_inside_the_stable_prefix_and_strips_cleanly() {
+        let plain = sample_report();
+        let mut explained = sample_report();
+        explained.provenance = sample_provenance();
+        let (jp, je) = (plain.to_json(), explained.to_json());
+        // Empty provenance emits no section at all.
+        assert!(!jp.contains("\"provenance\""));
+        // Non-empty provenance lands between frontier_evolution and
+        // wall_clock: versioned, parseable, and inside the stable prefix.
+        let v = json::parse(&je).expect("explained report parses");
+        let prov = v.get("provenance").expect("has provenance");
+        assert_eq!(
+            prov.get("schema").and_then(|s| s.as_u64()),
+            Some(PROVENANCE_SCHEMA)
+        );
+        let archs = prov.get("archs").and_then(|a| a.as_array()).unwrap();
+        assert_eq!(archs.len(), 1);
+        let pts = archs[0].get("points").and_then(|p| p.as_array()).unwrap();
+        assert_eq!(
+            pts[1].get("origin").and_then(|o| o.as_str()),
+            Some("cache-hit")
+        );
+        assert_eq!(pts[1].get("dominated_by").and_then(Value::as_u64), Some(0));
+        let fe = je.find("\"frontier_evolution\"").unwrap();
+        let pr = je.find("\"provenance\"").unwrap();
+        let wc = je.find("\"wall_clock\"").unwrap();
+        assert!(fe < pr && pr < wc);
+        assert!(RunReport::stable_json_prefix(&je).contains("\"provenance\""));
+        // The determinism contract: stripping the section recovers the
+        // unexplained report byte for byte.
+        assert_eq!(RunReport::without_provenance(&je), jp);
+        assert_eq!(RunReport::without_provenance(&jp), jp);
+    }
+
+    #[test]
+    fn provenance_renders_in_markdown() {
+        let mut r = sample_report();
+        r.provenance = sample_provenance();
+        let v = json::parse(&r.to_json()).unwrap();
+        let md = render_markdown(&[("r.json".to_owned(), v)]);
+        assert!(md.contains("### Frontier provenance"), "{md}");
+        assert!(
+            md.contains("Architecture 0 (`mem[2x1024]`): 1 kept, 1 pruned."),
+            "{md}"
+        );
+        assert!(md.contains("point #1 (cache-hit) lost to #0"), "{md}");
+    }
+
+    #[test]
+    fn report_schema_check_accepts_supported_and_refuses_the_rest() {
+        let ok = json::parse(&format!("{{\"schema\": {REPORT_SCHEMA}}}")).unwrap();
+        assert!(check_report_schema(&ok).is_ok());
+        for (doc, found) in [
+            ("{\"schema\": 999}", "999"),
+            ("{\"schema\": \"x\"}", "x"),
+            ("{}", "none"),
+        ] {
+            let err = check_report_schema(&json::parse(doc).unwrap()).unwrap_err();
+            match &err {
+                MceError::SchemaVersion {
+                    artifact,
+                    found: f,
+                    supported,
+                } => {
+                    assert_eq!(artifact, "run report");
+                    assert_eq!(f, found);
+                    assert_eq!(*supported, REPORT_SCHEMA);
+                }
+                other => panic!("expected SchemaVersion, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        // On Linux the probe must find a value at least as large as one
+        // page; elsewhere None is the contract.
+        if std::path::Path::new("/proc/self/status").exists() {
+            let rss = peak_rss_bytes().expect("VmHWM readable");
+            assert!(rss >= 4096, "implausible peak RSS {rss}");
+        }
     }
 
     #[test]

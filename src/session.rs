@@ -71,6 +71,7 @@ pub struct ExplorationSession {
     live_status_file: Option<PathBuf>,
     live_every: Duration,
     metrics_out: Option<PathBuf>,
+    explain: bool,
 }
 
 /// Everything one session run produced.
@@ -119,6 +120,7 @@ impl ExplorationSession {
             live_status_file: None,
             live_every: Duration::from_millis(500),
             metrics_out: None,
+            explain: false,
         }
     }
 
@@ -289,6 +291,18 @@ impl ExplorationSession {
         self
     }
 
+    /// Captures frontier provenance ([`mce_conex::ArchProvenance`]):
+    /// why each Phase-I point survived or was pruned, and where its
+    /// metrics came from. Results are bit-identical with it on or off;
+    /// only the report gains a `provenance` section. In a resumed run
+    /// the replayed architectures are answered entirely from the
+    /// restored cache, so their points all carry the `cache-hit` origin.
+    #[must_use]
+    pub fn explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
+    }
+
     /// Runs APEX then ConEx over the shared trace and cache, resuming
     /// from a [`checkpoint_file`](ExplorationSession::checkpoint_file)
     /// when one is present.
@@ -354,7 +368,8 @@ impl ExplorationSession {
         let engine = EvalEngine::with_blocks(&self.workload, blocks.clone())
             .with_cache(cache.clone())
             .with_bounds(bounds);
-        let explorer = ConexExplorer::with_library(self.conex.clone(), self.library.clone());
+        let explorer = ConexExplorer::with_library(self.conex.clone(), self.library.clone())
+            .with_explain(self.explain);
         let mem_archs = apex.selected();
         let state = match &resume {
             Some(ck) => {

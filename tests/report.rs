@@ -6,7 +6,8 @@
 use memory_conex::appmodel::benchmarks;
 use memory_conex::obs;
 use memory_conex::prelude::*;
-use memory_conex::report::bench_gate_compare;
+use memory_conex::report::{bench_gate_compare, check_report_schema, PROVENANCE_SCHEMA};
+use memory_conex::MceError;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// The recorder is process-global, so every test that installs a sink
@@ -21,10 +22,17 @@ fn lock() -> MutexGuard<'static, ()> {
 /// configuration: a null sink that discards events but keeps the counter,
 /// gauge and histogram registries live) and returns the report JSON.
 fn report_json() -> String {
+    report_json_with(false)
+}
+
+/// [`report_json`], optionally with frontier-provenance capture
+/// (`mce explore --explain`) enabled.
+fn report_json_with(explain: bool) -> String {
     let _guard = lock();
     obs::install(Arc::new(obs::NullSink::new()));
     let result = ExplorationSession::new(benchmarks::vocoder())
         .preset(Preset::Fast)
+        .explain(explain)
         .run()
         .expect("exploration runs");
     obs::uninstall();
@@ -93,6 +101,80 @@ fn run_report_json_is_byte_stable_across_identical_runs() {
         a.contains("conex.simulate.item_us"),
         "per-candidate simulate latency histogram collected"
     );
+}
+
+#[test]
+fn explain_is_byte_identical_outside_the_provenance_section() {
+    let plain = report_json();
+    let explained = report_json_with(true);
+
+    assert!(
+        RunReport::stable_json_prefix(&explained).contains("\"provenance\""),
+        "explained run embeds the provenance section in its deterministic prefix"
+    );
+    assert!(
+        !RunReport::stable_json_prefix(&plain).contains("\"provenance\""),
+        "unexplained run carries no provenance section"
+    );
+    // The provenance determinism contract: masking the section out of the
+    // explained report reproduces the plain report byte for byte, up to
+    // the nondeterministic wall_clock tail.
+    assert_eq!(
+        RunReport::stable_json_prefix(&plain),
+        RunReport::stable_json_prefix(&RunReport::without_provenance(&explained)),
+        "--explain may change nothing outside the provenance section"
+    );
+
+    // The section itself is schema-versioned and carries per-point origins.
+    let doc = obs::json::parse(&explained).expect("explained report parses");
+    let prov = doc.get("provenance").expect("provenance section present");
+    assert_eq!(
+        prov.get("schema").and_then(obs::json::Value::as_u64),
+        Some(PROVENANCE_SCHEMA)
+    );
+    let archs = prov
+        .get("archs")
+        .and_then(obs::json::Value::as_array)
+        .expect("provenance.archs is an array");
+    assert!(!archs.is_empty(), "at least one architecture explained");
+    let has_origin = archs.iter().any(|a| {
+        a.get("points")
+            .and_then(obs::json::Value::as_array)
+            .is_some_and(|pts| pts.iter().any(|p| p.get("origin").is_some()))
+    });
+    assert!(has_origin, "provenance points carry origin tags");
+}
+
+#[test]
+fn report_schema_fixtures_load_or_fail_with_typed_errors() {
+    // Every historical schema version must keep loading; append a fixture
+    // here on every REPORT_SCHEMA bump.
+    let v1 = obs::json::parse(include_str!("fixtures/report_schema_v1.json"))
+        .expect("v1 fixture parses");
+    check_report_schema(&v1).expect("schema v1 report loads");
+
+    // A report written by a newer build is refused with the typed error,
+    // not silently misread.
+    let future = obs::json::parse("{\"schema\": 999}").unwrap();
+    match check_report_schema(&future).unwrap_err() {
+        MceError::SchemaVersion {
+            artifact,
+            found,
+            supported,
+        } => {
+            assert_eq!(artifact, "run report");
+            assert_eq!(found, "999");
+            assert_eq!(supported, REPORT_SCHEMA);
+        }
+        other => panic!("expected SchemaVersion, got {other:?}"),
+    }
+
+    // So is a pre-versioning document with no schema field at all.
+    let missing = obs::json::parse("{\"workload\": \"vocoder\"}").unwrap();
+    match check_report_schema(&missing).unwrap_err() {
+        MceError::SchemaVersion { found, .. } => assert_eq!(found, "none"),
+        other => panic!("expected SchemaVersion, got {other:?}"),
+    }
 }
 
 #[test]
