@@ -1,0 +1,548 @@
+//! Offline stand-in for serde_derive: real derive macros built on plain
+//! `proc_macro` (no syn/quote, which are unavailable offline). They parse
+//! the item's token stream directly and generate `Serialize`/`Deserialize`
+//! impls against the value-model serde stand-in in `.devstubs/serde`.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! named-field structs, tuple structs (incl. newtypes), unit structs, and
+//! non-generic enums with unit / newtype / tuple / struct variants, using
+//! serde's externally-tagged enum representation. The only field attribute
+//! honored is `#[serde(default)]`; missing `Option<..>` fields deserialize
+//! to `None` as upstream does. Anything else (generics, other serde
+//! attributes) fails the build with a `compile_error!` rather than
+//! silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present.
+    default: bool,
+    /// Type's leading path segment is `Option`.
+    optionish: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Ser => gen_serialize(&item),
+            Mode::De => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        panic!("serde_derive stand-in generated invalid Rust ({e}):\n{code}")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attributes; returns whether one was `#[serde(default)]`
+    /// and errors on any other `#[serde(...)]` content.
+    fn skip_attrs(&mut self) -> Result<bool, String> {
+        let mut default = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                return Err("malformed attribute".into());
+            };
+            let mut inner = g.stream().into_iter();
+            if let Some(TokenTree::Ident(name)) = inner.next() {
+                if name.to_string() == "serde" {
+                    let args = match inner.next() {
+                        Some(TokenTree::Group(args)) => tokens_to_string(args.stream()),
+                        _ => String::new(),
+                    };
+                    if args.trim() == "default" {
+                        default = true;
+                    } else {
+                        return Err(format!(
+                            "serde_derive stand-in: unsupported attribute #[serde({args})]; \
+                             only #[serde(default)] is implemented"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(default)
+    }
+
+    /// Skips `pub`, `pub(...)`.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    /// Consumes a type (or expression) up to a top-level `,`, tracking
+    /// `<`/`>` nesting so commas inside generic arguments don't split.
+    /// Returns the leading path segment, e.g. `Option` for `Option<u64>`.
+    fn skip_type(&mut self) -> String {
+        let mut angle_depth = 0i32;
+        let mut first_ident = String::new();
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Ident(i) if first_ident.is_empty() => {
+                    let s = i.to_string();
+                    // `::std::option::Option<..>` and `option::Option<..>`
+                    // still end in Option; remember the *last* segment seen
+                    // before any `<`.
+                    if angle_depth == 0 {
+                        first_ident = s;
+                    }
+                }
+                TokenTree::Ident(i) if angle_depth == 0 => {
+                    first_ident = i.to_string();
+                }
+                _ => {}
+            }
+            self.next();
+        }
+        first_ident
+    }
+}
+
+fn tokens_to_string(stream: TokenStream) -> String {
+    stream.to_string()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs()?;
+    c.skip_vis();
+    let kw = c.expect_ident()?;
+    let name_kind = kw.as_str();
+    if name_kind != "struct" && name_kind != "enum" {
+        return Err(format!("expected struct or enum, found `{kw}`"));
+    }
+    let name = c.expect_ident()?;
+    if c.is_punct('<') {
+        return Err(format!(
+            "serde_derive stand-in: generic type `{name}` is not supported"
+        ));
+    }
+    if name_kind == "struct" {
+        let fields = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        };
+        Ok(Item::Struct { name, fields })
+    } else {
+        let Some(TokenTree::Group(g)) = c.next() else {
+            return Err("expected enum body".into());
+        };
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(g.stream())?,
+        })
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let default = c.skip_attrs()?;
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        let leading = c.skip_type();
+        if c.is_punct(',') {
+            c.next();
+        }
+        fields.push(Field {
+            name: name.trim_start_matches("r#").to_owned(),
+            default,
+            optionish: leading == "Option",
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while !c.at_end() {
+        c.skip_attrs()?;
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        c.skip_type();
+        count += 1;
+        if c.is_punct(',') {
+            c.next();
+        }
+    }
+    Ok(count)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs()?;
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream())?;
+                c.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                c.next();
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if c.is_punct('=') {
+            c.next();
+            c.skip_type();
+        }
+        if c.is_punct(',') {
+            c.next();
+        }
+        variants.push(Variant {
+            name: name.trim_start_matches("r#").to_owned(),
+            fields,
+        });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let pairs: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({:?}.to_string(), ::serde::Serialize::to_value(&self.{}))",
+                                f.name, f.name
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds: Vec<String> =
+                                fs.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                                        f.name, f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Object(vec![{}]))]),",
+                                binds.join(", "),
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Field initializer for `from_value`: present fields deserialize; missing
+/// ones fall back per `#[serde(default)]` / `Option` / hard error.
+fn named_field_init(owner: &str, f: &Field, source: &str) -> String {
+    let missing = if f.default {
+        "::std::default::Default::default()".to_owned()
+    } else if f.optionish {
+        "::serde::Deserialize::from_value(&::serde::Value::Null)?".to_owned()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(format!(\
+             \"{owner}: missing field `{}`\")))",
+            f.name
+        )
+    };
+    format!(
+        "{}: match ::serde::__get({source}, {:?}) {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }},",
+        f.name, f.name
+    )
+}
+
+fn tuple_inits(n: usize, items: &str) -> String {
+    (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{items}[{i}])?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| named_field_init(name, f, "__fields"))
+                    .collect();
+                format!(
+                    "let __fields = __v.as_object().ok_or_else(|| \
+                     ::serde::Error::expected(\"object\", __v))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{}\n}})",
+                    inits.join("\n")
+                )
+            }
+            Fields::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Fields::Tuple(n) => format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::expected(\"array\", __v))?;\n\
+                 if __items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(format!(\
+                     \"{name}: expected {n} elements, found {{}}\", __items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                tuple_inits(*n, "__items")
+            ),
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{:?} => ::std::result::Result::Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        Fields::Tuple(n) => format!(
+                            "{vn:?} => {{\n\
+                                 let __items = __payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::expected(\"array\", __payload))?;\n\
+                                 if __items.len() != {n} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"{name}::{vn}: expected {n} elements, found {{}}\", \
+                                     __items.len())));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }}",
+                            tuple_inits(*n, "__items")
+                        ),
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    named_field_init(&format!("{name}::{vn}"), f, "__inner")
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => {{\n\
+                                     let __inner = __payload.as_object().ok_or_else(|| \
+                                     ::serde::Error::expected(\"object\", __payload))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{\n{}\n}})\n\
+                                 }}",
+                                inits.join("\n")
+                            )
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                         \"{name}: unknown variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                             \"{name}: unknown variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::expected(\
+                     \"enum variant\", __other)),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -22,7 +22,7 @@ fn build_arch(n_links: usize, assign: &[usize], order: &[usize]) -> Connectivity
     // landed.
     let mut slot = vec![0usize; n_links];
     for &logical in order {
-        let comp = components[logical % components.len()].clone();
+        let comp = components[logical % components.len()];
         slot[logical] = arch.add_link(format!("l{logical}"), comp).index();
     }
     for (ci, &l) in assign.iter().enumerate() {
