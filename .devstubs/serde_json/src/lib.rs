@@ -305,12 +305,23 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so the
-                    // bytes are valid UTF-8).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. Validate only this
+                    // 2-4 byte sequence — re-validating the whole remaining
+                    // input per character makes string parsing quadratic.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let chunk = std::str::from_utf8(&self.bytes[self.pos..end])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = chunk.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

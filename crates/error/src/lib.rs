@@ -225,12 +225,25 @@ impl From<io::Error> for MceError {
     }
 }
 
-/// Writes `bytes` to `path` atomically: the content lands in
-/// `<path>.tmp` first and is renamed over the destination only once
-/// fully written, so a crash mid-write never leaves a truncated or
-/// half-written file behind — the previous version (or no file at all)
-/// survives intact. The temp file lives in the destination's directory,
-/// keeping the rename on one filesystem.
+/// Sequence number distinguishing concurrent [`atomic_write`] calls to
+/// the same destination from different threads of one process (the live
+/// publisher thread and the main thread both rewrite the status file).
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: the content lands in a
+/// `<path>.<pid>.<seq>.tmp` sibling first, is fsynced, and is renamed
+/// over the destination only once durable, so a crash mid-write never
+/// leaves a truncated or half-written file behind — the previous version
+/// (or no file at all) survives intact. The temp file lives in the
+/// destination's directory, keeping the rename on one filesystem.
+///
+/// The temp name embeds the writer's pid and a process-wide sequence
+/// number, so two processes (or threads) rewriting the same path — swarm
+/// heartbeats, shared status files — never clobber each other's
+/// in-flight temp file. A writer SIGKILLed between write and rename
+/// leaks its uniquely-named temp; [`sweep_stale_tmps`] reclaims those at
+/// the next writer's startup by checking whether the embedded pid is
+/// still alive.
 ///
 /// # Errors
 ///
@@ -242,18 +255,95 @@ pub fn atomic_write(path: impl AsRef<std::path::Path>, bytes: &[u8]) -> Result<(
         .file_name()
         .map(|n| n.to_os_string())
         .unwrap_or_else(|| std::ffi::OsString::from("out"));
-    tmp_name.push(".tmp");
+    tmp_name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
     let tmp = path.with_file_name(tmp_name);
     let attempt = (|| -> io::Result<()> {
         #[cfg(feature = "fault-injection")]
         mce_faultinject::on_write(path)?;
-        std::fs::write(&tmp, bytes)?;
+        let mut file = std::fs::File::create(&tmp)?;
+        io::Write::write_all(&mut file, bytes)?;
+        // Durability before visibility: the rename must never expose a
+        // name whose bytes are still only in the page cache.
+        file.sync_all()?;
+        drop(file);
         std::fs::rename(&tmp, path)
     })();
     attempt.map_err(|e| {
         std::fs::remove_file(&tmp).ok();
         MceError::io(format!("writing `{}` atomically", path.display()), e)
     })
+}
+
+/// Removes temp files leaked next to `target` by [`atomic_write`] calls
+/// that died between write and rename, returning how many were swept.
+/// Call at writer startup — before the first checkpoint, archive, live
+/// status or heartbeat write — never concurrently with live writers of
+/// *other* processes' files.
+///
+/// A sibling `<name>.<pid>.<seq>.tmp` is stale when `<pid>` is not this
+/// process and is no longer alive; liveness is read from `/proc`, and on
+/// systems without it every foreign pid is conservatively treated as
+/// alive. Legacy `<name>.tmp` leftovers (the pre-pid format, with no
+/// recorded owner) are always swept. Errors are deliberately swallowed:
+/// sweeping is an optimization, never a correctness requirement.
+pub fn sweep_stale_tmps(target: impl AsRef<std::path::Path>) -> usize {
+    let target = target.as_ref();
+    let Some(name) = target.file_name().and_then(|n| n.to_str()) else {
+        return 0;
+    };
+    let dir = match target.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return 0;
+    };
+    let prefix = format!("{name}.");
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let file_name = entry.file_name();
+        let Some(file_name) = file_name.to_str() else {
+            continue;
+        };
+        let Some(rest) = file_name.strip_prefix(&prefix) else {
+            continue;
+        };
+        let stale = if rest == "tmp" {
+            true // legacy fixed-name temp: ownerless, always stale
+        } else {
+            let Some(mid) = rest.strip_suffix(".tmp") else {
+                continue;
+            };
+            let Some((pid, seq)) = mid.split_once('.') else {
+                continue;
+            };
+            if seq.is_empty() || !seq.bytes().all(|b| b.is_ascii_digit()) {
+                continue;
+            }
+            match pid.parse::<u32>() {
+                Ok(pid) if pid != std::process::id() => !pid_alive(pid),
+                _ => false,
+            }
+        };
+        if stale && std::fs::remove_file(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
+}
+
+/// Whether `pid` is a live process. Without `/proc` (non-Linux) this
+/// cannot be answered from safe std, so the answer is a conservative
+/// "alive" — a stale temp is then merely kept, never a live one removed.
+fn pid_alive(pid: u32) -> bool {
+    if !std::path::Path::new("/proc").is_dir() {
+        return true;
+    }
+    std::path::Path::new(&format!("/proc/{pid}")).exists()
 }
 
 #[cfg(test)]
@@ -327,18 +417,71 @@ mod tests {
 
     #[test]
     fn atomic_write_round_trips_and_replaces() {
-        let path = std::env::temp_dir().join(format!("mce_atomic_{}.txt", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("mce_atomic_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
         atomic_write(&path, b"first").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"first");
         atomic_write(&path, b"second").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"second");
-        // No temp file left behind.
-        let tmp = path.with_file_name(format!(
-            "{}.tmp",
-            path.file_name().unwrap().to_string_lossy()
-        ));
-        assert!(!tmp.exists());
-        std::fs::remove_file(&path).ok();
+        // No temp file of any spelling left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_the_destination() {
+        let dir = std::env::temp_dir().join(format!("mce_atomic_race_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.json");
+        std::thread::scope(|s| {
+            for t in 0u8..4 {
+                let path = &path;
+                s.spawn(move || {
+                    let payload = vec![b'a' + t; 4096];
+                    for _ in 0..25 {
+                        atomic_write(path, &payload).unwrap();
+                    }
+                });
+            }
+        });
+        // Every observed state is some writer's complete payload.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), 4096);
+        assert!(bytes.windows(2).all(|w| w[0] == w[1]), "torn write");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_removes_dead_owner_and_legacy_tmps_only() {
+        let dir = std::env::temp_dir().join(format!("mce_sweep_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("state.json");
+        std::fs::write(&target, b"real").unwrap();
+        // A pid far beyond pid_max: certainly dead on any Linux.
+        let dead = dir.join("state.json.4294967295.7.tmp");
+        let legacy = dir.join("state.json.tmp");
+        let mine = dir.join(format!("state.json.{}.0.tmp", std::process::id()));
+        let unrelated = dir.join("other.json.4294967295.7.tmp");
+        for f in [&dead, &legacy, &mine, &unrelated] {
+            std::fs::write(f, b"junk").unwrap();
+        }
+        let swept = sweep_stale_tmps(&target);
+        if std::path::Path::new("/proc").is_dir() {
+            assert_eq!(swept, 2, "dead-owner and legacy temps");
+            assert!(!dead.exists() && !legacy.exists());
+        } else {
+            assert_eq!(swept, 1, "only the ownerless legacy temp");
+        }
+        assert!(mine.exists(), "a live owner's temp must survive");
+        assert!(unrelated.exists(), "other destinations are untouched");
+        assert!(target.exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -12,18 +12,25 @@
 //!   simulation. Armed with [`Fault::PanicAtEval`] it panics at the Nth
 //!   evaluation (optionally at every evaluation from the Nth on); armed
 //!   with [`Fault::AbortAtEval`] it aborts the whole process — the
-//!   closest in-process stand-in for a `SIGKILL` mid-run.
+//!   closest in-process stand-in for a `SIGKILL` mid-run; armed with
+//!   [`Fault::SigkillAtEval`] it delivers an actual `SIGKILL` to itself,
+//!   the real thing for supervisor crash-detection tests.
 //! * [`on_write`] — called by `mce_error::atomic_write` before touching
 //!   the filesystem. Armed with [`Fault::FailWrite`] the Kth write
 //!   returns an injected [`io::Error`].
+//! * [`on_heartbeat`] — called by swarm workers before each heartbeat
+//!   write. Armed with [`Fault::StallHeartbeat`] it suppresses every
+//!   beat from the Nth on, freezing the heartbeat file while the worker
+//!   keeps running — the scenario a staleness detector exists for.
 //!
 //! ## Arming
 //!
 //! In-process tests call [`arm`]/[`disarm`] directly. Subprocess tests
 //! (kill-and-resume) set the `MCE_FAULT` environment variable — a
 //! comma-separated list of specs such as `panic_at_eval:40`,
-//! `panic_at_eval:40+` (sticky), `abort_at_eval:40` or `fail_write:2` —
-//! and the `mce` binary arms it at startup via [`arm_from_env`].
+//! `panic_at_eval:40+` (sticky), `abort_at_eval:40`, `fail_write:2`,
+//! `sigkill_at_eval:40` or `stall_heartbeat:3` — and the `mce` binary
+//! arms it at startup via [`arm_from_env`].
 //!
 //! The crate also ships the file-corruption helpers ([`flip_bit`],
 //! [`truncate_file`]) the property tests use to mangle spill and
@@ -68,6 +75,24 @@ pub enum Fault {
         /// 1-based evaluation index that hangs.
         nth: u64,
     },
+    /// Deliver a real `SIGKILL` to the current process at the `nth`
+    /// candidate evaluation — unlike [`Fault::AbortAtEval`] (a libc
+    /// `abort`, which still raises a catchable-in-principle signal and
+    /// runs no atexit), this is the genuine uncatchable kill a swarm
+    /// supervisor must detect and recover from.
+    SigkillAtEval {
+        /// 1-based evaluation index that kills the process.
+        nth: u64,
+    },
+    /// Stop the process's heartbeat from the `nth` beat on: every
+    /// [`on_heartbeat`] call from then out reports "suppress this beat",
+    /// so the heartbeat file freezes while the process keeps computing —
+    /// the stale-but-alive worker a supervisor's staleness detector must
+    /// reap.
+    StallHeartbeat {
+        /// 1-based heartbeat index from which beats are suppressed.
+        nth: u64,
+    },
 }
 
 struct State {
@@ -75,6 +100,7 @@ struct State {
     faults: Mutex<Vec<Fault>>,
     evals: AtomicU64,
     writes: AtomicU64,
+    beats: AtomicU64,
 }
 
 fn state() -> &'static State {
@@ -84,6 +110,7 @@ fn state() -> &'static State {
         faults: Mutex::new(Vec::new()),
         evals: AtomicU64::new(0),
         writes: AtomicU64::new(0),
+        beats: AtomicU64::new(0),
     })
 }
 
@@ -94,6 +121,7 @@ pub fn arm(faults: Vec<Fault>) {
     *s.faults.lock().unwrap_or_else(PoisonError::into_inner) = faults;
     s.evals.store(0, Ordering::SeqCst);
     s.writes.store(0, Ordering::SeqCst);
+    s.beats.store(0, Ordering::SeqCst);
     s.enabled.store(true, Ordering::SeqCst);
 }
 
@@ -108,6 +136,7 @@ pub fn disarm() {
         .clear();
     s.evals.store(0, Ordering::SeqCst);
     s.writes.store(0, Ordering::SeqCst);
+    s.beats.store(0, Ordering::SeqCst);
 }
 
 /// Parses one `MCE_FAULT` spec (e.g. `panic_at_eval:40`,
@@ -135,6 +164,8 @@ pub fn parse_spec(spec: &str) -> Result<Fault, String> {
         "abort_at_eval" if !sticky => Ok(Fault::AbortAtEval { nth }),
         "fail_write" if !sticky => Ok(Fault::FailWrite { nth }),
         "hang_at_eval" if !sticky => Ok(Fault::HangAtEval { nth }),
+        "sigkill_at_eval" if !sticky => Ok(Fault::SigkillAtEval { nth }),
+        "stall_heartbeat" if !sticky => Ok(Fault::StallHeartbeat { nth }),
         _ => Err(format!("unknown fault spec `{spec}`")),
     }
 }
@@ -206,10 +237,48 @@ pub fn on_eval_blocking(cancelled: &(dyn Fn() -> bool + Sync)) -> bool {
                 }
                 hung = true;
             }
+            Fault::SigkillAtEval { nth } if n == nth => {
+                eprintln!("mce-faultinject: SIGKILL to self at evaluation {n}");
+                // No libc in the tree: ask the platform `kill` for the
+                // one signal nothing can catch, then wait for it to land.
+                let _ = std::process::Command::new("kill")
+                    .args(["-9", &std::process::id().to_string()])
+                    .status();
+                loop {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
             _ => {}
         }
     }
     hung
+}
+
+/// The heartbeat hook: counts one heartbeat and reports whether an armed
+/// [`Fault::StallHeartbeat`] wants it (and every later one) suppressed —
+/// `true` means "do not write this beat". No-op (one relaxed load,
+/// always `false`) when disarmed.
+pub fn on_heartbeat() -> bool {
+    let s = state();
+    if !s.enabled.load(Ordering::Relaxed) {
+        return false;
+    }
+    let n = s.beats.fetch_add(1, Ordering::SeqCst) + 1;
+    let faults = s
+        .faults
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    faults.iter().any(|fault| {
+        if let Fault::StallHeartbeat { nth } = fault {
+            if n == *nth {
+                eprintln!("mce-faultinject: stalling heartbeat from beat {n}");
+            }
+            n >= *nth
+        } else {
+            false
+        }
+    })
 }
 
 /// The write hook: counts one atomic file write and fails it when an
@@ -305,6 +374,14 @@ mod tests {
             parse_spec("hang_at_eval:5"),
             Ok(Fault::HangAtEval { nth: 5 })
         );
+        assert_eq!(
+            parse_spec("sigkill_at_eval:9"),
+            Ok(Fault::SigkillAtEval { nth: 9 })
+        );
+        assert_eq!(
+            parse_spec("stall_heartbeat:3"),
+            Ok(Fault::StallHeartbeat { nth: 3 })
+        );
         for bad in [
             "panic_at_eval",
             "panic_at_eval:x",
@@ -312,9 +389,23 @@ mod tests {
             "fail_write:0",
             "abort_at_eval:1+",
             "hang_at_eval:3+",
+            "sigkill_at_eval:2+",
+            "stall_heartbeat:0",
         ] {
             assert!(parse_spec(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn stalled_heartbeat_suppresses_from_the_nth_beat_on() {
+        let _guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        arm(vec![Fault::StallHeartbeat { nth: 3 }]);
+        assert!(!on_heartbeat());
+        assert!(!on_heartbeat());
+        assert!(on_heartbeat(), "third beat is suppressed");
+        assert!(on_heartbeat(), "and the stall is sticky by nature");
+        disarm();
+        assert!(!on_heartbeat(), "disarmed: beats flow again");
     }
 
     #[test]

@@ -247,11 +247,21 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is valid UTF-8 by
-                    // construction: it came from a &str).
-                    let s = &self.bytes[self.pos..];
-                    let ch = std::str::from_utf8(s)
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. Validate only the
+                    // 2-4 byte sequence, not the whole remaining input — the
+                    // latter makes string parsing quadratic.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let ch = std::str::from_utf8(&self.bytes[self.pos..end])
                         .map_err(|_| self.err("invalid UTF-8"))?
                         .chars()
                         .next()

@@ -14,9 +14,17 @@
 //!              [--live-status FILE] [--live-every MS] [--metrics-out FILE]
 //!              [--out-dir DIR] [--progress]
 //!                                              full APEX + ConEx exploration
-//! mce top      <status.json> [--interval MS] [--once]
-//!                                              watch a --live-status file as
-//!                                              a refreshing dashboard
+//! mce swarm    <workload> [-j N] [--preset fast|paper] [--dir DIR]
+//!              [--leases N] [--threads N] [--heartbeat-timeout MS]
+//!              [--restart-budget N] [--report-out FILE] [--progress]
+//!                                              supervised multi-process
+//!                                              exploration: leases, worker
+//!                                              heartbeats, crash restarts
+//!                                              with backoff, work stealing
+//! mce top      <status.json | swarm-dir> [--interval MS] [--once]
+//!                                              watch a --live-status file
+//!                                              (or a whole swarm directory)
+//!                                              as a refreshing dashboard
 //! mce report   <report.json>... [--out FILE] [--html]
 //!                                              render run reports as
 //!                                              markdown/HTML summaries
@@ -100,6 +108,19 @@
 //! written atomically — a sibling temporary plus rename — so a crash
 //! mid-write never leaves a torn file behind.
 //!
+//! `mce swarm -j N` runs the same exploration as `mce explore`, but
+//! supervised across N worker subprocesses: the Phase-I architecture
+//! space is partitioned into leases, each worker explores its lease with
+//! a per-lease checkpoint and heartbeat, and the supervisor detects
+//! crashed or stalled workers, restarts them with exponential backoff
+//! (up to `--restart-budget`), reassigns a dead worker's lease to a
+//! survivor — which resumes through the lease checkpoint — and finally
+//! merges the shards into one run report byte-identical (up to
+//! `wall_clock` and the effort metrics `mce diff` masks) to a serial
+//! run's. If every worker slot retires, the supervisor finishes the
+//! remaining leases inline; the run still completes. See the module docs
+//! on `memory_conex::swarm` for the full protocol.
+//!
 //! [`RunReport`]: memory_conex::RunReport
 
 use mce_error::{atomic_write, MceError};
@@ -111,6 +132,7 @@ use memory_conex::memlib::{CacheConfig, MemoryArchitecture};
 use memory_conex::obs;
 use memory_conex::report;
 use memory_conex::sim::{simulate, Preset, SystemConfig};
+use memory_conex::swarm;
 use memory_conex::ExplorationSession;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -119,10 +141,20 @@ use std::time::Duration;
 fn main() -> ExitCode {
     // Fault-injection test builds arm faults from `MCE_FAULT` so
     // subprocess kill-and-resume tests can crash this binary mid-run;
-    // plain builds compile no hook at all.
+    // plain builds compile no hook at all. A malformed spec is a rejected
+    // argument like any other: the typed error plus the usage text, not a
+    // bare string.
     #[cfg(feature = "fault-injection")]
-    if let Err(e) = mce_faultinject::arm_from_env() {
+    if let Err(reason) = mce_faultinject::arm_from_env() {
+        let e = MceError::invalid_arg(
+            "MCE_FAULT",
+            reason,
+            "MCE_FAULT=<kind>:<N>[+][,...] (e.g. abort_at_eval:7, sigkill_at_eval:40, \
+             stall_heartbeat:3, panic_at_eval:40+)",
+        );
         eprintln!("error: {e}");
+        eprintln!();
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -152,7 +184,11 @@ const USAGE: &str = "usage:
                [--deadline SECS] [--candidate-timeout MS]
                [--live-status FILE] [--live-every MS] [--metrics-out FILE]
                [--out-dir DIR] [--progress]
-  mce top      <status.json> [--interval MS] [--once]
+  mce swarm    <workload> [-j N] [--preset fast|paper] [--dir DIR]
+               [--leases N] [--threads N] [--heartbeat-timeout MS]
+               [--restart-budget N] [--fault-worker K]
+               [--report-out FILE] [--trace-out FILE] [--progress]
+  mce top      <status.json | swarm-dir> [--interval MS] [--once]
   mce report   <report.json>... [--out FILE] [--html]
   mce export-metrics <status-or-report.json> [--out FILE]
   mce cache-check <spill.json> [--capacity N] [--repair]
@@ -206,10 +242,34 @@ explore options:
   --progress       print live progress lines to stderr (MCE_LOG=debug
                    for more detail)
 
+swarm options:
+  -j, --workers N  worker subprocesses to supervise (default 2, N >= 1)
+  --preset P       exploration scale: fast or paper (--scale is an alias)
+  --dir DIR        swarm directory for the lease manifest, shards,
+                   heartbeats, per-worker live status and swarm.log
+                   (default target/swarm; watch it with `mce top DIR`)
+  --leases N       lease count (default 2 per worker, clamped to the
+                   architecture count); more leases = finer stealing
+  --threads N      threads per worker process (default 1)
+  --heartbeat-timeout MS kill a worker whose heartbeat has not advanced
+                   for MS milliseconds and reassign its lease
+                   (default 3000, MS >= 100)
+  --restart-budget N restarts allowed per worker slot before it is
+                   retired (default 3; 0 = never restart); when every
+                   slot retires the supervisor finishes the remaining
+                   leases inline
+  --fault-worker K deliver the MCE_FAULT spec to worker slot K's first
+                   spawn only (fault-injection builds; default 0)
+  --report-out FILE write the merged run-report JSON — byte-identical
+                   (up to wall_clock and effort metrics) to a serial
+                   `mce explore` report of the same workload and preset
+
 top options:
   --interval MS    dashboard refresh interval (default 500, MS >= 50)
   --once           print one plain-text snapshot and exit (also the
                    default when stdout is not a terminal)
+                   (a swarm directory renders the supervisor summary
+                   plus one line per worker)
 
 report options:
   --out FILE       write the summary to FILE instead of stdout
@@ -272,6 +332,10 @@ fn run(args: &[String]) -> Result<u8, CliError> {
         "classify" => cmd_classify(&args[1..]).map(|()| 0),
         "simulate" => cmd_simulate(&args[1..]).map(|()| 0),
         "explore" => cmd_explore(&args[1..]).map(|()| 0),
+        "swarm" => cmd_swarm(&args[1..]).map(|()| 0),
+        // Internal: what `mce swarm` spawns per lease. Hidden from USAGE
+        // on purpose — its flags are an implementation detail.
+        "swarm-worker" => cmd_swarm_worker(&args[1..]).map(|()| 0),
         "top" => cmd_top(&args[1..]).map(|()| 0),
         "report" => cmd_report(&args[1..]).map(|()| 0),
         "export-metrics" => cmd_export_metrics(&args[1..]).map(|()| 0),
@@ -719,6 +783,183 @@ fn write_experiment_log(out_dir: &str, w: &Workload, scale: Preset, summary: &st
     }
 }
 
+/// `mce swarm`: supervised multi-process exploration. Partitions the
+/// Phase-I space into leases, spawns `-j` worker subprocesses (each a
+/// hidden `mce swarm-worker` invocation), supervises them — heartbeat
+/// staleness, crash restarts with exponential backoff, lease stealing,
+/// inline fallback — and merges their shards into one run report.
+fn cmd_swarm(args: &[String]) -> Result<(), CliError> {
+    let w = load_workload(args)?;
+    let workload_arg = args.first().expect("load_workload checked").clone();
+    let scale: Preset = flag_value(args, "--preset")
+        .or_else(|| flag_value(args, "--scale"))
+        .unwrap_or("fast")
+        .parse()?;
+    let dir = flag_value(args, "--dir").unwrap_or("target/swarm");
+    let mut cfg = swarm::SwarmConfig::new(w.clone(), workload_arg, dir);
+    cfg.preset = scale;
+    cfg.worker_exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the mce binary to spawn workers: {e}"))?;
+    let workers_hint = "-j N / --workers N (worker subprocesses, N >= 1)";
+    if let Some(n) = numeric_flag::<usize>(args, "-j", 1, workers_hint)?.or(numeric_flag::<usize>(
+        args,
+        "--workers",
+        1,
+        workers_hint,
+    )?) {
+        cfg.workers = n;
+    }
+    if let Some(n) = numeric_flag::<usize>(args, "--threads", 1, "--threads N (N >= 1)")? {
+        cfg.worker_threads = n;
+    }
+    if let Some(n) = numeric_flag::<usize>(args, "--leases", 1, "--leases N (N >= 1)")? {
+        cfg.lease_count = Some(n);
+    }
+    if let Some(ms) = numeric_flag::<u64>(
+        args,
+        "--heartbeat-timeout",
+        100,
+        "--heartbeat-timeout MS (milliseconds, MS >= 100)",
+    )? {
+        cfg.heartbeat_timeout = Duration::from_millis(ms);
+    }
+    if let Some(n) = numeric_flag::<u32>(
+        args,
+        "--restart-budget",
+        0,
+        "--restart-budget N (restarts per worker slot, N >= 0)",
+    )? {
+        cfg.restart_budget = n;
+    }
+    // Fault delivery is the supervisor's to orchestrate: the spec from
+    // the environment goes to exactly one worker's first spawn (slot
+    // `--fault-worker`, default 0), and the supervisor itself disarms —
+    // its own merge-phase evaluations must not trip an eval fault meant
+    // for a worker.
+    let fault_slot = numeric_flag::<usize>(
+        args,
+        "--fault-worker",
+        0,
+        "--fault-worker K (worker slot index, K >= 0)",
+    )?
+    .unwrap_or(0);
+    if let Ok(spec) = std::env::var("MCE_FAULT") {
+        if fault_slot >= cfg.workers {
+            return Err(MceError::invalid_arg(
+                "--fault-worker",
+                format!(
+                    "slot {fault_slot} does not exist with {} workers",
+                    cfg.workers
+                ),
+                "--fault-worker K (worker slot index, K < -j N)",
+            )
+            .into());
+        }
+        cfg.fault_worker = Some((fault_slot, spec));
+    }
+    #[cfg(feature = "fault-injection")]
+    mce_faultinject::disarm();
+    let report_out = flag_value(args, "--report-out");
+    let obs_session = ObsSession::start(
+        flag_value(args, "--trace-out"),
+        args.iter().any(|a| a == "--progress"),
+        true,
+    );
+    eprintln!(
+        "swarming `{}` at {scale} scale: {} workers under {} (watch with `mce top {}`)",
+        w.name(),
+        cfg.workers,
+        cfg.dir.display(),
+        cfg.dir.display()
+    );
+    let outcome = swarm::supervise(&cfg)?;
+    obs_session.finish()?;
+    let conex = &outcome.conex;
+    eprintln!(
+        "swarm: {} restart(s), {} lease(s) stolen, {} ms backoff, \
+         {} slot(s) retired, {} lease(s) run inline",
+        outcome.restarts,
+        outcome.leases_stolen,
+        outcome.backoff_ms,
+        outcome.retired_slots,
+        outcome.inline_leases
+    );
+    println!(
+        "estimated {} candidates, fully simulated {} ({:.1}s)\n",
+        conex.estimated().len(),
+        conex.simulated().len(),
+        conex.elapsed().as_secs_f64()
+    );
+    println!("cost/performance pareto:");
+    for p in conex.pareto_cost_latency() {
+        println!(
+            "  {:>8} gates  {:>7.2} cyc  {:>6.2} nJ  {}",
+            p.metrics.cost_gates,
+            p.metrics.latency_cycles,
+            p.metrics.energy_nj,
+            p.describe()
+        );
+    }
+    if let Some(path) = report_out {
+        atomic_write(path, outcome.report.to_json().as_bytes())
+            .map_err(|e| format!("cannot write report file `{path}`: {e}"))?;
+        eprintln!("wrote report {path}");
+    }
+    Ok(())
+}
+
+/// `mce swarm-worker` (internal): one lease of a swarm run. Spawned by
+/// `cmd_swarm`; explores `--range LO:HI` with a per-lease checkpoint,
+/// cache spill, heartbeat and live status, and writes the lease shard
+/// the supervisor merges. Exit 0 plus a digest-valid shard is the only
+/// thing the supervisor trusts.
+fn cmd_swarm_worker(args: &[String]) -> Result<(), CliError> {
+    let w = load_workload(args)?;
+    let scale: Preset = flag_value(args, "--preset").unwrap_or("fast").parse()?;
+    let range = flag_value(args, "--range").ok_or("swarm-worker needs --range LO:HI")?;
+    let (lo, hi) = range
+        .split_once(':')
+        .ok_or_else(|| format!("--range `{range}` is not LO:HI"))?;
+    let start: usize = lo
+        .parse()
+        .map_err(|e| format!("--range start `{lo}` is not a number: {e}"))?;
+    let end: usize = hi
+        .parse()
+        .map_err(|e| format!("--range end `{hi}` is not a number: {e}"))?;
+    let lease = numeric_flag::<usize>(args, "--lease", 0, "--lease N (lease id, N >= 0)")?
+        .ok_or("swarm-worker needs --lease N")?;
+    let slot = numeric_flag::<usize>(args, "--slot", 0, "--slot K (worker slot, K >= 0)")?
+        .ok_or("swarm-worker needs --slot K")?;
+    let threads = numeric_flag::<usize>(args, "--threads", 1, "--threads N (N >= 1)")?.unwrap_or(1);
+    let heartbeat_ms = numeric_flag::<u64>(
+        args,
+        "--heartbeat-every",
+        10,
+        "--heartbeat-every MS (MS >= 10)",
+    )?
+    .unwrap_or(200);
+    let dir = flag_value(args, "--dir").ok_or("swarm-worker needs --dir DIR")?;
+    // Registries must collect even without any sink: the shard carries
+    // this lease's counters and gauges back to the supervisor.
+    let obs_session = ObsSession::start(None, false, true);
+    let outcome = swarm::run_lease(
+        &w,
+        scale,
+        threads,
+        std::path::Path::new(dir),
+        &swarm::LeaseRun {
+            lease,
+            start,
+            end,
+            slot: Some(slot),
+            heartbeat_every: Duration::from_millis(heartbeat_ms),
+        },
+    );
+    obs_session.finish()?;
+    outcome?;
+    Ok(())
+}
+
 fn cmd_report(args: &[String]) -> Result<(), CliError> {
     let html = args.iter().any(|a| a == "--html");
     let mut files: Vec<&str> = Vec::new();
@@ -763,6 +1004,61 @@ fn cmd_report(args: &[String]) -> Result<(), CliError> {
         None => print!("{rendered}"),
     }
     Ok(())
+}
+
+/// Loads a swarm directory's supervisor status plus every worker
+/// live-status file that currently parses (a worker killed mid-write or
+/// not yet started simply has no row — the supervisor summary still
+/// renders).
+fn load_swarm_dir(
+    dir: &str,
+) -> Result<(obs::json::Value, Vec<(String, obs::json::Value)>), CliError> {
+    let status = swarm::status_path(std::path::Path::new(dir));
+    let body = std::fs::read_to_string(&status)
+        .map_err(|e| format!("cannot read swarm status `{}`: {e}", status.display()))?;
+    let doc = obs::json::parse(&body)
+        .map_err(|e| format!("swarm status `{}` is not valid JSON: {e}", status.display()))?;
+    match doc.get("swarm_schema").and_then(obs::json::Value::as_u64) {
+        Some(swarm::SWARM_STATUS_SCHEMA) => {}
+        found => {
+            return Err(format!(
+                "swarm status `{}` has unsupported swarm_schema {found:?} (expected {})",
+                status.display(),
+                swarm::SWARM_STATUS_SCHEMA
+            )
+            .into())
+        }
+    }
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read swarm directory `{dir}`: {e}"))?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("worker-") && name.ends_with(".status.json"))
+        .collect();
+    names.sort();
+    let mut workers = Vec::new();
+    for name in names {
+        let path = format!("{dir}/{name}");
+        if let Ok(doc) = load_live_status(&path) {
+            workers.push((name, doc));
+        }
+    }
+    Ok((doc, workers))
+}
+
+/// Renders one `mce top` frame for a swarm directory — the supervisor
+/// summary plus one line per worker — and reports whether the swarm is
+/// still active (running or merging).
+fn render_swarm_frame(dir: &str, width: usize) -> Result<(String, bool), CliError> {
+    let (doc, workers) = load_swarm_dir(dir)?;
+    let active = matches!(
+        doc.get("status").and_then(obs::json::Value::as_str),
+        Some("running" | "merging")
+    );
+    Ok((
+        live::render_swarm_overview(dir, &doc, &workers, width),
+        active,
+    ))
 }
 
 /// Loads and schema-checks one live-status file.
@@ -819,18 +1115,33 @@ fn cmd_top(args: &[String]) -> Result<(), CliError> {
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
-        .ok_or("top needs a live-status file argument")?;
+        .ok_or("top needs a live-status file or swarm directory argument")?;
     let interval =
         numeric_flag::<u64>(args, "--interval", 50, "--interval MS (MS >= 50)")?.unwrap_or(500);
     let once = args.iter().any(|a| a == "--once");
+    // A directory is a swarm: aggregate the supervisor's swarm.json with
+    // every worker's live-status file instead of one dashboard.
+    let is_dir = std::path::Path::new(path).is_dir();
+    let render = |width: usize| -> Result<(String, bool), CliError> {
+        if is_dir {
+            render_swarm_frame(path, width)
+        } else {
+            let doc = load_live_status(path)?;
+            let active = doc.get("status").and_then(obs::json::Value::as_str) == Some("running");
+            Ok((live::render_dashboard_with_width(path, &doc, width), active))
+        }
+    };
     if once || !std::io::stdout().is_terminal() {
-        let doc = load_live_status(path)?;
-        print!(
-            "{}",
-            live::render_dashboard_with_width(path, &doc, terminal_width())
-        );
+        print!("{}", render(terminal_width())?.0);
         return Ok(());
     }
+    // What "the writer hasn't started yet" looks like: the status file
+    // itself, or for a swarm the supervisor's swarm.json.
+    let watched = if is_dir {
+        swarm::status_path(std::path::Path::new(path))
+    } else {
+        std::path::PathBuf::from(path)
+    };
     let mut failures = 0u32;
     loop {
         // Re-measured every refresh: a resized terminal gets a
@@ -842,17 +1153,17 @@ fn cmd_top(args: &[String]) -> Result<(), CliError> {
             let _ = write!(stdout, "\x1b[2J\x1b[H{frame}");
             let _ = stdout.flush();
         };
-        if !std::path::Path::new(path).exists() {
+        if !watched.exists() {
             // Transient by design — never counts toward the failure cap.
             show(&format!("mce top — waiting for writer… ({path})\n"));
             std::thread::sleep(Duration::from_millis(interval));
             continue;
         }
-        match load_live_status(path) {
-            Ok(doc) => {
+        match render(width) {
+            Ok((frame, active)) => {
                 failures = 0;
-                show(&live::render_dashboard_with_width(path, &doc, width));
-                if doc.get("status").and_then(obs::json::Value::as_str) != Some("running") {
+                show(&frame);
+                if !active {
                     return Ok(());
                 }
             }
@@ -1330,6 +1641,22 @@ mod tests {
                 ],
                 "--live-every",
             ),
+            (&["swarm", "vocoder", "-j", "0"], "-j"),
+            (&["swarm", "vocoder", "--workers", "abc"], "--workers"),
+            (&["swarm", "vocoder", "--threads", "0"], "--threads"),
+            (&["swarm", "vocoder", "--leases", "0"], "--leases"),
+            (
+                &["swarm", "vocoder", "--heartbeat-timeout", "50"],
+                "--heartbeat-timeout",
+            ),
+            (
+                &["swarm", "vocoder", "--restart-budget", "-1"],
+                "--restart-budget",
+            ),
+            (
+                &["swarm", "vocoder", "--fault-worker", "first"],
+                "--fault-worker",
+            ),
             (&["top", "s.json", "--interval", "0"], "--interval"),
             (&["top", "s.json", "--interval", "abc"], "--interval"),
             (&["classify", "vocoder", "--trace", "0"], "--trace"),
@@ -1403,6 +1730,28 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("--checkpoint-every"), "{err}");
+    }
+
+    #[test]
+    fn swarm_worker_rejects_bad_lease_arguments() {
+        // The hidden worker command validates as strictly as the public
+        // ones: a supervisor bug must surface as a typed error, not a
+        // worker exploring the wrong range.
+        let err = cmd_swarm_worker(&s(&["vocoder"])).unwrap_err();
+        assert!(err.to_string().contains("--range"), "{err}");
+        let err = cmd_swarm_worker(&s(&["vocoder", "--range", "5"])).unwrap_err();
+        assert!(err.to_string().contains("LO:HI"), "{err}");
+        let err = cmd_swarm_worker(&s(&["vocoder", "--range", "a:3"])).unwrap_err();
+        assert!(err.to_string().contains("not a number"), "{err}");
+        let err = cmd_swarm_worker(&s(&["vocoder", "--range", "0:2"])).unwrap_err();
+        assert!(err.to_string().contains("--lease"), "{err}");
+        let err = cmd_swarm_worker(&s(&["vocoder", "--range", "0:2", "--lease", "0"])).unwrap_err();
+        assert!(err.to_string().contains("--slot"), "{err}");
+        let err = cmd_swarm_worker(&s(&[
+            "vocoder", "--range", "0:2", "--lease", "0", "--slot", "0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--dir"), "{err}");
     }
 
     #[test]

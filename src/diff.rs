@@ -107,6 +107,7 @@ pub const EFFORT_PREFIXES: &[&str] = &[
     "conex.estimate_jobs",
     "conex.simulate_jobs",
     "sim.",
+    "swarm.",
 ];
 
 /// Whether a serialized-report line carries an effort-prefixed key (the

@@ -60,6 +60,7 @@ pub mod diff;
 pub mod live;
 pub mod report;
 pub mod session;
+pub mod swarm;
 
 pub use archive::{AddOutcome, ArchiveEntry, GcStats, RunArchive, ARCHIVE_SCHEMA};
 pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
@@ -76,6 +77,10 @@ pub use mce_obs as obs;
 pub use mce_sim as sim;
 pub use report::{RunReport, REPORT_SCHEMA};
 pub use session::{ExplorationSession, SessionResult};
+pub use swarm::{
+    Lease, LeaseManifest, LeaseState, SwarmConfig, SwarmOutcome, WorkerShard, MANIFEST_SCHEMA,
+    SHARD_SCHEMA,
+};
 
 /// Commonly used items for writing explorations end to end.
 pub mod prelude {

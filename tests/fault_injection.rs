@@ -368,6 +368,43 @@ fn aborted_cli_run_resumes_bit_identically() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A malformed `MCE_FAULT` spec is a rejected argument, not a crash or a
+/// silently-ignored knob: the binary exits nonzero with the typed
+/// `invalid argument` rendering and the usage text.
+#[test]
+fn malformed_fault_spec_is_a_typed_cli_error() {
+    let Some(bin) = option_env!("CARGO_BIN_EXE_mce") else {
+        eprintln!("skipping: mce binary path not provided by the harness");
+        return;
+    };
+    for spec in [
+        "bogus",
+        "abort_at_eval",
+        "abort_at_eval:x",
+        "panic_at_eval:",
+    ] {
+        let out = std::process::Command::new(bin)
+            .args(["explore", "vocoder", "--preset", "fast"])
+            .env("MCE_FAULT", spec)
+            .output()
+            .expect("spawning the mce binary");
+        assert!(
+            !out.status.success(),
+            "MCE_FAULT={spec} must be rejected, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("invalid argument: MCE_FAULT"),
+            "MCE_FAULT={spec}: expected a typed InvalidArg, got: {stderr}"
+        );
+        assert!(
+            stderr.contains("usage:"),
+            "MCE_FAULT={spec}: the rejection must carry the usage hint: {stderr}"
+        );
+    }
+}
+
 /// The `cache-check` subcommand end to end: valid, corrupt, repaired.
 #[test]
 fn cache_check_cli_round_trip() {

@@ -1,0 +1,251 @@
+//! Property tests for the swarm coordination artifacts: the digest-framed
+//! lease manifest and the single-line heartbeat files. Any corruption —
+//! truncation at every byte boundary, single bit flips — must be rejected
+//! whole (manifest) or read as silence (heartbeat); a damaged artifact
+//! must never re-aim a worker at a range it was not assigned.
+
+use memory_conex::swarm::{
+    backoff_after, partition_leases, read_heartbeat, write_heartbeat, Heartbeat, Lease,
+    LeaseManifest, LeaseState, MANIFEST_SCHEMA,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp(name: &str, case: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("mce_swprops_{}_{case}_{name}", std::process::id()))
+}
+
+/// A structurally valid manifest drawn from the generators: the leases
+/// are a real partition of `0..total`, with per-lease state and attempt
+/// counts varied by `seed`.
+fn build_manifest(total: usize, workers: usize, seed: u64) -> LeaseManifest {
+    let mut leases = partition_leases(total, workers * 2);
+    let mut s = seed;
+    for lease in &mut leases {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        lease.state = match (s >> 33) % 3 {
+            0 => LeaseState::Pending,
+            1 => LeaseState::Running,
+            _ => LeaseState::Done,
+        };
+        lease.attempts = ((s >> 13) % 4) as u32;
+    }
+    LeaseManifest {
+        schema: MANIFEST_SCHEMA,
+        workload_digest: format!("{:032x}", seed | 1),
+        config_digest: format!("{:032x}", seed.rotate_left(17) | 1),
+        workers,
+        total_archs: total,
+        leases,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `partition_leases` always yields a contiguous cover of `0..total`
+    /// with lease sizes differing by at most one.
+    #[test]
+    fn leases_always_partition_contiguously(total in 0usize..200, count in 0usize..32) {
+        let leases = partition_leases(total, count);
+        if total == 0 {
+            prop_assert!(leases.is_empty());
+            return Ok(());
+        }
+        prop_assert_eq!(leases.len(), count.clamp(1, total));
+        let mut cursor = 0usize;
+        let mut sizes: Vec<usize> = Vec::new();
+        for (i, lease) in leases.iter().enumerate() {
+            prop_assert_eq!(lease.id, i);
+            prop_assert_eq!(lease.start, cursor);
+            prop_assert!(lease.end > lease.start);
+            prop_assert_eq!(lease.state, LeaseState::Pending);
+            sizes.push(lease.end - lease.start);
+            cursor = lease.end;
+        }
+        prop_assert_eq!(cursor, total);
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "sizes {sizes:?} are not near-equal");
+    }
+
+    /// A manifest round-trips exactly; truncating the serialized form at
+    /// any byte boundary is rejected — never parsed into a different
+    /// partition.
+    #[test]
+    fn truncated_manifests_are_rejected_whole(
+        total in 1usize..40,
+        workers in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let manifest = build_manifest(total, workers, seed);
+        let text = manifest.to_json().expect("manifest serializes");
+        prop_assert_eq!(
+            LeaseManifest::from_json(&text).expect("pristine text parses"),
+            manifest.clone()
+        );
+        for keep in 0..text.len() {
+            let err = LeaseManifest::from_json(&text[..keep]);
+            prop_assert!(
+                err.is_err(),
+                "truncation to {keep} bytes parsed as a manifest"
+            );
+        }
+    }
+
+    /// Single bit flips anywhere in a serialized manifest either fail the
+    /// digest check or (when they cancel out to the identical document)
+    /// reproduce the original — a flipped range can never survive.
+    #[test]
+    fn bit_flipped_manifests_never_reassign_work(
+        total in 1usize..40,
+        workers in 1usize..5,
+        seed in 0u64..1_000_000,
+        bit in 0usize..8,
+        stride in 1usize..7,
+    ) {
+        let manifest = build_manifest(total, workers, seed);
+        let text = manifest.to_json().expect("manifest serializes");
+        let bytes = text.as_bytes();
+        for byte in (0..bytes.len()).step_by(stride) {
+            let mut mangled = bytes.to_vec();
+            mangled[byte] ^= 1 << bit;
+            let Ok(mangled) = String::from_utf8(mangled) else {
+                continue; // the flip broke UTF-8; nothing left to parse
+            };
+            match LeaseManifest::from_json(&mangled) {
+                Err(_) => {}
+                Ok(parsed) => prop_assert_eq!(
+                    &parsed,
+                    &manifest,
+                    "bit {} of byte {} flipped into a *different* manifest",
+                    bit,
+                    byte
+                ),
+            }
+        }
+    }
+
+    /// Heartbeats round-trip; a torn (truncated) heartbeat file reads as
+    /// silence or as the intact original — never as a different beat.
+    #[test]
+    fn torn_heartbeats_read_as_silence(
+        pid in 1u32..100_000,
+        lease in 0usize..64,
+        seq in 0u64..1_000_000,
+        case in 0u64..u64::MAX,
+    ) {
+        let path = tmp("hb", case);
+        let hb = Heartbeat { pid, lease, seq };
+        prop_assert!(write_heartbeat(&path, hb));
+        prop_assert_eq!(read_heartbeat(&path), Some(hb));
+        let pristine = std::fs::read(&path).unwrap();
+        for keep in 0..pristine.len() {
+            std::fs::write(&path, &pristine[..keep]).unwrap();
+            let got = read_heartbeat(&path);
+            prop_assert!(
+                got.is_none() || got == Some(hb),
+                "truncation to {keep} bytes read as a different beat: {got:?}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Bit flips in a heartbeat's structural bytes (everything except the
+    /// numeric payload digits) read as silence. Digits are exempt: the
+    /// file is atomically replaced, so a flipped digit models a stale
+    /// beat, not a torn one — and staleness is the supervisor's job.
+    #[test]
+    fn structurally_damaged_heartbeats_read_as_silence(
+        pid in 1u32..100_000,
+        lease in 0usize..64,
+        seq in 0u64..1_000_000,
+        bit in 0usize..8,
+        case in 0u64..u64::MAX,
+    ) {
+        let path = tmp("hbflip", case);
+        let hb = Heartbeat { pid, lease, seq };
+        prop_assert!(write_heartbeat(&path, hb));
+        let pristine = std::fs::read(&path).unwrap();
+        for byte in 0..pristine.len() {
+            if pristine[byte].is_ascii_digit() {
+                continue;
+            }
+            let mut mangled = pristine.clone();
+            mangled[byte] ^= 1 << bit;
+            if mangled[byte].is_ascii_digit() {
+                continue; // the flip forged a digit inside a number
+            }
+            std::fs::write(&path, &mangled).unwrap();
+            let got = read_heartbeat(&path);
+            prop_assert!(
+                got.is_none(),
+                "bit {} of byte {} flipped but still read as {:?}",
+                bit,
+                byte,
+                got
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The restart backoff schedule is fully deterministic: zero before the
+/// first restart, then doubling from the base until the cap, where it
+/// stays — including far past the shift-overflow range.
+#[test]
+fn backoff_schedule_is_deterministic_and_capped() {
+    let base = Duration::from_millis(250);
+    let cap = Duration::from_secs(5);
+    let schedule: Vec<u64> = (0..10)
+        .map(|r| backoff_after(r, base, cap).as_millis() as u64)
+        .collect();
+    assert_eq!(
+        schedule,
+        [0, 250, 500, 1000, 2000, 4000, 5000, 5000, 5000, 5000]
+    );
+    assert_eq!(backoff_after(u32::MAX, base, cap), cap, "no shift overflow");
+    assert_eq!(
+        backoff_after(3, Duration::ZERO, cap),
+        Duration::ZERO,
+        "a zero base disables the delay entirely"
+    );
+}
+
+/// The manifest validator rejects hand-built partitions that do not
+/// cover `0..total_archs` contiguously, even when the digest is intact.
+#[test]
+fn gapped_or_overlapping_partitions_are_rejected() {
+    let mut manifest = build_manifest(10, 2, 42);
+    manifest.leases[1].start += 1; // gap between lease 0 and 1
+    let text = manifest.to_json().unwrap();
+    assert!(LeaseManifest::from_json(&text).is_err(), "gap accepted");
+
+    let mut manifest = build_manifest(10, 2, 42);
+    manifest.leases.pop(); // cover stops short of total_archs
+    let text = manifest.to_json().unwrap();
+    assert!(
+        LeaseManifest::from_json(&text).is_err(),
+        "short cover accepted"
+    );
+
+    let manifest = LeaseManifest {
+        leases: vec![Lease {
+            id: 0,
+            start: 0,
+            end: 0,
+            state: LeaseState::Pending,
+            attempts: 0,
+        }],
+        total_archs: 0,
+        ..build_manifest(1, 1, 7)
+    };
+    let text = manifest.to_json().unwrap();
+    assert!(
+        LeaseManifest::from_json(&text).is_err(),
+        "empty lease accepted"
+    );
+}
