@@ -25,9 +25,12 @@
 //! flag and bail out.
 //!
 //! This crate is `std`-only. It contains the workspace's only `unsafe`
-//! block: the minimal `signal(2)` shim behind [`install_sigint_handler`]
-//! (std already links libc on the platforms we run on, so no new
-//! dependency is needed for Ctrl-C handling).
+//! block: the minimal `signal(2)` shim behind
+//! [`install_termination_handlers`] (std already links libc on the
+//! platforms we run on, so no new dependency is needed for Ctrl-C or
+//! SIGTERM handling). SIGTERM is folded into the same flag as SIGINT:
+//! under a process manager a `kill -TERM` produces exactly the Ctrl-C
+//! behaviour — checkpoint at a safe point, valid partial report, exit 0.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -102,7 +105,7 @@ impl CancelToken {
 
     /// A token that trips once `deadline` elapses (measured from now)
     /// and, when `watch_interrupt` is set, when the process-wide SIGINT
-    /// flag (see [`install_sigint_handler`]) is raised.
+    /// flag (see [`install_termination_handlers`]) is raised.
     pub fn bounded(deadline: Option<Duration>, watch_interrupt: bool) -> Self {
         CancelToken {
             inner: Arc::new(TokenInner {
@@ -183,12 +186,13 @@ impl fmt::Debug for CancelToken {
 }
 
 // ---------------------------------------------------------------------------
-// SIGINT
+// SIGINT / SIGTERM
 
 static SIGINT_FLAG: AtomicBool = AtomicBool::new(false);
 
-/// Whether SIGINT has been received since [`install_sigint_handler`] (or
-/// [`raise_interrupt`]) was called.
+/// Whether a termination signal (SIGINT or SIGTERM) has been received
+/// since [`install_termination_handlers`] (or [`raise_interrupt`]) was
+/// called.
 pub fn interrupted() -> bool {
     SIGINT_FLAG.load(Ordering::Relaxed)
 }
@@ -204,32 +208,37 @@ pub fn clear_interrupt() {
     SIGINT_FLAG.store(false, Ordering::Relaxed);
 }
 
-/// Installs a SIGINT handler that sets the flag behind [`interrupted`].
+/// Installs SIGINT *and* SIGTERM handlers that set the flag behind
+/// [`interrupted`]. Both signals mean the same thing to a run — stop at
+/// the next safe point, checkpoint, write a valid partial report, exit
+/// 0 — so a process manager's `kill -TERM` is as lossless as Ctrl-C.
 ///
 /// The handler is a single store to a static `AtomicBool` — the only
 /// async-signal-safe action taken — and the run observes it at the next
 /// cooperative check. Returns `false` on platforms without `signal(2)`
 /// (the flag then only ever trips via [`raise_interrupt`]).
 #[cfg(unix)]
-pub fn install_sigint_handler() -> bool {
-    // The one unsafe block in the workspace: registering a handler via
+pub fn install_termination_handlers() -> bool {
+    // The one unsafe block in the workspace: registering handlers via
     // the C `signal` function std already links. No libc crate needed.
     const SIGINT: i32 = 2;
-    extern "C" fn on_sigint(_sig: i32) {
+    const SIGTERM: i32 = 15;
+    extern "C" fn on_signal(_sig: i32) {
         SIGINT_FLAG.store(true, Ordering::Relaxed);
     }
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
     unsafe {
-        signal(SIGINT, on_sigint);
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
     }
     true
 }
 
-/// Installs a SIGINT handler (no-op off Unix; returns `false`).
+/// Installs SIGINT/SIGTERM handlers (no-op off Unix; returns `false`).
 #[cfg(not(unix))]
-pub fn install_sigint_handler() -> bool {
+pub fn install_termination_handlers() -> bool {
     false
 }
 

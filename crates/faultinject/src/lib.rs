@@ -22,6 +22,11 @@
 //!   write. Armed with [`Fault::StallHeartbeat`] it suppresses every
 //!   beat from the Nth on, freezing the heartbeat file while the worker
 //!   keeps running — the scenario a staleness detector exists for.
+//! * [`on_job`] — called by the `mce serve` job executor at each job
+//!   pickup. Armed with [`Fault::DieAtJob`] it `SIGKILL`s the daemon at
+//!   the Nth pickup (the journal-durability crash test); armed with
+//!   [`Fault::StallJob`] it asks the executor to wedge the Nth job until
+//!   its deadline cancels it (the retry-after-timeout test).
 //!
 //! ## Arming
 //!
@@ -29,8 +34,9 @@
 //! (kill-and-resume) set the `MCE_FAULT` environment variable — a
 //! comma-separated list of specs such as `panic_at_eval:40`,
 //! `panic_at_eval:40+` (sticky), `abort_at_eval:40`, `fail_write:2`,
-//! `sigkill_at_eval:40` or `stall_heartbeat:3` — and the `mce` binary
-//! arms it at startup via [`arm_from_env`].
+//! `sigkill_at_eval:40`, `stall_heartbeat:3`, `die_at_job:1` or
+//! `stall_job:1` — and the `mce` binary arms it at startup via
+//! [`arm_from_env`].
 //!
 //! The crate also ships the file-corruption helpers ([`flip_bit`],
 //! [`truncate_file`]) the property tests use to mangle spill and
@@ -93,6 +99,23 @@ pub enum Fault {
         /// 1-based heartbeat index from which beats are suppressed.
         nth: u64,
     },
+    /// Deliver a real `SIGKILL` to the current process at the `nth` job
+    /// pickup ([`on_job`]) — the daemon dies with the job journaled as
+    /// `running`, and the restarted daemon must resume it from its
+    /// checkpoint.
+    DieAtJob {
+        /// 1-based job-pickup index that kills the process.
+        nth: u64,
+    },
+    /// Wedge the `nth` job picked up by the executor: [`on_job`] reports
+    /// "stall this job" once, and the executor spins on the job's cancel
+    /// token instead of exploring — until the per-job deadline trips and
+    /// the retry schedule takes over. One-shot, so the retried attempt
+    /// runs clean.
+    StallJob {
+        /// 1-based job-pickup index that stalls.
+        nth: u64,
+    },
 }
 
 struct State {
@@ -101,6 +124,7 @@ struct State {
     evals: AtomicU64,
     writes: AtomicU64,
     beats: AtomicU64,
+    jobs: AtomicU64,
 }
 
 fn state() -> &'static State {
@@ -111,6 +135,7 @@ fn state() -> &'static State {
         evals: AtomicU64::new(0),
         writes: AtomicU64::new(0),
         beats: AtomicU64::new(0),
+        jobs: AtomicU64::new(0),
     })
 }
 
@@ -122,6 +147,7 @@ pub fn arm(faults: Vec<Fault>) {
     s.evals.store(0, Ordering::SeqCst);
     s.writes.store(0, Ordering::SeqCst);
     s.beats.store(0, Ordering::SeqCst);
+    s.jobs.store(0, Ordering::SeqCst);
     s.enabled.store(true, Ordering::SeqCst);
 }
 
@@ -137,6 +163,7 @@ pub fn disarm() {
     s.evals.store(0, Ordering::SeqCst);
     s.writes.store(0, Ordering::SeqCst);
     s.beats.store(0, Ordering::SeqCst);
+    s.jobs.store(0, Ordering::SeqCst);
 }
 
 /// Parses one `MCE_FAULT` spec (e.g. `panic_at_eval:40`,
@@ -166,6 +193,8 @@ pub fn parse_spec(spec: &str) -> Result<Fault, String> {
         "hang_at_eval" if !sticky => Ok(Fault::HangAtEval { nth }),
         "sigkill_at_eval" if !sticky => Ok(Fault::SigkillAtEval { nth }),
         "stall_heartbeat" if !sticky => Ok(Fault::StallHeartbeat { nth }),
+        "die_at_job" if !sticky => Ok(Fault::DieAtJob { nth }),
+        "stall_job" if !sticky => Ok(Fault::StallJob { nth }),
         _ => Err(format!("unknown fault spec `{spec}`")),
     }
 }
@@ -281,6 +310,45 @@ pub fn on_heartbeat() -> bool {
     })
 }
 
+/// The job hook: counts one job pickup and fires any armed
+/// [`Fault::DieAtJob`] (a real `SIGKILL` to the current process) or
+/// [`Fault::StallJob`] whose turn it is. Returns `true` when the picked
+/// job should stall — the executor then spins on the job's cancel token
+/// instead of running the exploration. No-op (one relaxed load, always
+/// `false`) when disarmed.
+pub fn on_job() -> bool {
+    let s = state();
+    if !s.enabled.load(Ordering::Relaxed) {
+        return false;
+    }
+    let n = s.jobs.fetch_add(1, Ordering::SeqCst) + 1;
+    let faults = s
+        .faults
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    let mut stall = false;
+    for fault in faults {
+        match fault {
+            Fault::DieAtJob { nth } if n == nth => {
+                eprintln!("mce-faultinject: SIGKILL to self at job pickup {n}");
+                let _ = std::process::Command::new("kill")
+                    .args(["-9", &std::process::id().to_string()])
+                    .status();
+                loop {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+            Fault::StallJob { nth } if n == nth => {
+                eprintln!("mce-faultinject: stalling job pickup {n}");
+                stall = true;
+            }
+            _ => {}
+        }
+    }
+    stall
+}
+
 /// The write hook: counts one atomic file write and fails it when an
 /// armed [`Fault::FailWrite`] says so. No-op when disarmed.
 ///
@@ -382,6 +450,8 @@ mod tests {
             parse_spec("stall_heartbeat:3"),
             Ok(Fault::StallHeartbeat { nth: 3 })
         );
+        assert_eq!(parse_spec("die_at_job:1"), Ok(Fault::DieAtJob { nth: 1 }));
+        assert_eq!(parse_spec("stall_job:2"), Ok(Fault::StallJob { nth: 2 }));
         for bad in [
             "panic_at_eval",
             "panic_at_eval:x",
@@ -391,9 +461,22 @@ mod tests {
             "hang_at_eval:3+",
             "sigkill_at_eval:2+",
             "stall_heartbeat:0",
+            "die_at_job:1+",
+            "stall_job:0",
         ] {
             assert!(parse_spec(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn stalled_job_fires_at_the_nth_pickup_only() {
+        let _guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        arm(vec![Fault::StallJob { nth: 2 }]);
+        assert!(!on_job(), "first pickup runs");
+        assert!(on_job(), "second pickup stalls");
+        assert!(!on_job(), "one-shot: the retry runs clean");
+        disarm();
+        assert!(!on_job(), "disarmed: jobs always run");
     }
 
     #[test]

@@ -21,10 +21,20 @@
 //!                                              exploration: leases, worker
 //!                                              heartbeats, crash restarts
 //!                                              with backoff, work stealing
-//! mce top      <status.json | swarm-dir> [--interval MS] [--once]
+//! mce serve    [--dir DIR] [--addr HOST:PORT] [--archive DIR]
+//!                                              crash-tolerant exploration
+//!                                              job daemon: durable queue,
+//!                                              checkpointed jobs, retries
+//!                                              with backoff, graceful drain
+//! mce submit   <workload> [--preset fast|paper] [--deadline SECS]
+//!              [--retries N] [--dir DIR] [--wait]
+//!                                              submit a job to the daemon
+//! mce jobs     list | show ID | cancel ID | result ID | wait ID
+//!              [--dir DIR]                     inspect and manage jobs
+//! mce top      <status.json | swarm-dir | serve-dir> [--interval MS] [--once]
 //!                                              watch a --live-status file
-//!                                              (or a whole swarm directory)
-//!                                              as a refreshing dashboard
+//!                                              (or a whole swarm or serve
+//!                                              directory) as a dashboard
 //! mce report   <report.json>... [--out FILE] [--html]
 //!                                              render run reports as
 //!                                              markdown/HTML summaries
@@ -121,6 +131,16 @@
 //! remaining leases inline; the run still completes. See the module docs
 //! on `memory_conex::swarm` for the full protocol.
 //!
+//! `mce serve` runs the exploration *job service*: a daemon with a
+//! durable write-ahead job queue (`jobs.jsonl`), per-job checkpoints,
+//! deterministic retries with exponential backoff, and a graceful drain
+//! on SIGTERM/SIGINT. A daemon SIGKILLed mid-job restarts with every
+//! acknowledged job intact and resumes the interrupted job from its
+//! checkpoint; the finished report is `mce diff`-identical to a plain
+//! `mce explore` of the same spec. `mce submit` and `mce jobs` are the
+//! clients. See the module docs on `memory_conex::serve` for the full
+//! durability contract.
+//!
 //! [`RunReport`]: memory_conex::RunReport
 
 use mce_error::{atomic_write, MceError};
@@ -188,7 +208,14 @@ const USAGE: &str = "usage:
                [--leases N] [--threads N] [--heartbeat-timeout MS]
                [--restart-budget N] [--fault-worker K]
                [--report-out FILE] [--trace-out FILE] [--progress]
-  mce top      <status.json | swarm-dir> [--interval MS] [--once]
+  mce serve    [--dir DIR] [--addr HOST:PORT] [--archive DIR]
+               [--backoff-base MS] [--backoff-cap MS]
+  mce submit   <workload> [--preset fast|paper] [--threads N]
+               [--max-evals N] [--max-archs N] [--deadline SECS]
+               [--retries N] [--dir DIR] [--wait]
+  mce jobs     list | show <id> | cancel <id> | result <id> [--out FILE]
+               | wait <id>  [--dir DIR]
+  mce top      <status.json | swarm-dir | serve-dir> [--interval MS] [--once]
   mce report   <report.json>... [--out FILE] [--html]
   mce export-metrics <status-or-report.json> [--out FILE]
   mce cache-check <spill.json> [--capacity N] [--repair]
@@ -264,6 +291,41 @@ swarm options:
                    (up to wall_clock and effort metrics) to a serial
                    `mce explore` report of the same workload and preset
 
+serve options (the job daemon; clients are `mce submit` / `mce jobs`):
+  --dir DIR        serve directory: job journal (jobs.jsonl), pidfile,
+                   bound-address file, per-job checkpoints/reports and
+                   serve.log (default target/serve; watch with `mce top DIR`)
+  --addr HOST:PORT listen address (default 127.0.0.1:0 — an ephemeral
+                   port, published to DIR/serve.addr once bound)
+  --archive DIR    run archive completed job reports are added to
+                   (default target/mce-runs)
+  --backoff-base MS first-retry delay, doubling per charged attempt
+                   (default 250; the swarm's schedule)
+  --backoff-cap MS backoff saturation cap (default 5000)
+  SIGTERM/SIGINT drain the daemon: admissions stop, the running job
+  checkpoints at its next safe point and requeues uncharged, and the
+  process exits 0; restarting the daemon resumes everything. A daemon
+  killed outright (SIGKILL) replays its journal on restart — no
+  acknowledged job is ever lost.
+
+submit options (plus --preset/--threads/--max-evals/--max-archs as in explore):
+  --deadline SECS  per-attempt wall-clock deadline (fractions allowed);
+                   a deadlined attempt retries from its checkpoint
+                   until --retries is spent, then parks as timed-out
+  --retries N      retry budget for failures and deadline timeouts
+                   (default 2; crash recoveries and drains are free)
+  --dir DIR        the daemon's serve directory (default target/serve)
+  --wait           block until the job is terminal; exit 0 iff it is done
+
+jobs subcommands (ids are printed by submit; --dir as in submit):
+  list             one summary JSON line per job
+  show <id>        one job's summary JSON
+  cancel <id>      cancel a queued job now, or ask a running one to
+                   stop at its next safe point
+  result <id>      print the finished job's run report (--out FILE to
+                   write it instead)
+  wait <id>        poll until the job is terminal; exit 0 iff done
+
 top options:
   --interval MS    dashboard refresh interval (default 500, MS >= 50)
   --once           print one plain-text snapshot and exit (also the
@@ -322,8 +384,9 @@ diff options:
 type CliError = Box<dyn std::error::Error>;
 
 /// Runs one command; `Ok` carries the process exit code (0 for every
-/// command except `cache-check`, which exits 2 after a repair that
-/// dropped entries so CI can tell "clean" from "repaired").
+/// command except `cache-check` and `swarm`, which exit 2 to tell
+/// "clean" from "repaired"/"completed degraded", and `serve`/`jobs`,
+/// whose codes mirror the service contract).
 fn run(args: &[String]) -> Result<u8, CliError> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
@@ -332,10 +395,13 @@ fn run(args: &[String]) -> Result<u8, CliError> {
         "classify" => cmd_classify(&args[1..]).map(|()| 0),
         "simulate" => cmd_simulate(&args[1..]).map(|()| 0),
         "explore" => cmd_explore(&args[1..]).map(|()| 0),
-        "swarm" => cmd_swarm(&args[1..]).map(|()| 0),
+        "swarm" => cmd_swarm(&args[1..]),
         // Internal: what `mce swarm` spawns per lease. Hidden from USAGE
         // on purpose — its flags are an implementation detail.
         "swarm-worker" => cmd_swarm_worker(&args[1..]).map(|()| 0),
+        "serve" => cmd_serve(&args[1..]).map(|()| 0),
+        "submit" => cmd_submit(&args[1..]),
+        "jobs" => cmd_jobs(&args[1..]),
         "top" => cmd_top(&args[1..]).map(|()| 0),
         "report" => cmd_report(&args[1..]).map(|()| 0),
         "export-metrics" => cmd_export_metrics(&args[1..]).map(|()| 0),
@@ -659,10 +725,11 @@ fn cmd_explore(args: &[String]) -> Result<(), CliError> {
     if args.iter().any(|a| a == "--explain") {
         session = session.explain(true);
     }
-    // Ctrl-C becomes a cooperative stop at the next safe point instead of
-    // killing the process: the checkpoint and a truncated report are
-    // still written, and the exit code stays 0.
-    memory_conex::budget::install_sigint_handler();
+    // Ctrl-C and a process manager's SIGTERM both become a cooperative
+    // stop at the next safe point instead of killing the process: the
+    // checkpoint and a truncated report are still written, and the exit
+    // code stays 0.
+    memory_conex::budget::install_termination_handlers();
     session = session.watch_interrupt(true);
     let report_out = flag_value(args, "--report-out");
     let obs_session = ObsSession::start(
@@ -788,7 +855,13 @@ fn write_experiment_log(out_dir: &str, w: &Workload, scale: Preset, summary: &st
 /// hidden `mce swarm-worker` invocation), supervises them — heartbeat
 /// staleness, crash restarts with exponential backoff, lease stealing,
 /// inline fallback — and merges their shards into one run report.
-fn cmd_swarm(args: &[String]) -> Result<(), CliError> {
+///
+/// Exit-code contract: 0 = completed with every lease run by a worker
+/// (or drained cleanly by SIGINT/SIGTERM with resumable state on
+/// disk); 2 = completed, but only by falling back to inline execution
+/// after every worker slot retired (the report is still exact — the
+/// degradation is operational); 1 = failed.
+fn cmd_swarm(args: &[String]) -> Result<u8, CliError> {
     let w = load_workload(args)?;
     let workload_arg = args.first().expect("load_workload checked").clone();
     let scale: Preset = flag_value(args, "--preset")
@@ -872,7 +945,22 @@ fn cmd_swarm(args: &[String]) -> Result<(), CliError> {
         cfg.dir.display(),
         cfg.dir.display()
     );
-    let outcome = swarm::supervise(&cfg)?;
+    // SIGINT/SIGTERM drain the swarm instead of killing it: the
+    // supervisor observes the flag at its next poll, stops the workers,
+    // requeues their leases (checkpoints kept) and exits 0.
+    memory_conex::budget::install_termination_handlers();
+    let outcome = match swarm::supervise(&cfg)? {
+        swarm::SwarmRun::Completed(outcome) => outcome,
+        swarm::SwarmRun::Interrupted { done, total } => {
+            obs_session.finish()?;
+            eprintln!(
+                "swarm interrupted ({done}/{total} leases done): state saved under {}; \
+                 rerun the same command to resume",
+                cfg.dir.display()
+            );
+            return Ok(0);
+        }
+    };
     obs_session.finish()?;
     let conex = &outcome.conex;
     eprintln!(
@@ -905,7 +993,14 @@ fn cmd_swarm(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| format!("cannot write report file `{path}`: {e}"))?;
         eprintln!("wrote report {path}");
     }
-    Ok(())
+    if outcome.inline_leases > 0 {
+        eprintln!(
+            "swarm completed degraded: {} lease(s) fell back to inline execution",
+            outcome.inline_leases
+        );
+        return Ok(2);
+    }
+    Ok(0)
 }
 
 /// `mce swarm-worker` (internal): one lease of a swarm run. Spawned by
@@ -958,6 +1053,181 @@ fn cmd_swarm_worker(args: &[String]) -> Result<(), CliError> {
     obs_session.finish()?;
     outcome?;
     Ok(())
+}
+
+/// `mce serve`: runs the crash-tolerant exploration job daemon until a
+/// termination signal drains it. See `memory_conex::serve` for the
+/// durability contract the daemon implements.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let dir = flag_value(args, "--dir").unwrap_or("target/serve");
+    let mut cfg = memory_conex::serve::ServeConfig::new(dir);
+    if let Some(addr) = flag_value(args, "--addr") {
+        cfg.addr = addr.to_owned();
+    }
+    if let Some(archive) = flag_value(args, "--archive") {
+        cfg.archive = archive.into();
+    }
+    if let Some(ms) = numeric_flag::<u64>(
+        args,
+        "--backoff-base",
+        1,
+        "--backoff-base MS (milliseconds, MS >= 1)",
+    )? {
+        cfg.backoff_base = Duration::from_millis(ms);
+    }
+    if let Some(ms) = numeric_flag::<u64>(
+        args,
+        "--backoff-cap",
+        1,
+        "--backoff-cap MS (milliseconds, MS >= 1)",
+    )? {
+        cfg.backoff_cap = Duration::from_millis(ms);
+    }
+    memory_conex::serve::run_daemon(cfg)?;
+    Ok(())
+}
+
+/// The serve directory named by `--dir` (default `target/serve`).
+fn serve_dir(args: &[String]) -> &std::path::Path {
+    std::path::Path::new(flag_value(args, "--dir").unwrap_or("target/serve"))
+}
+
+/// A client bound to the daemon currently publishing `<dir>/serve.addr`.
+fn serve_client(dir: &std::path::Path) -> Result<memory_conex::serve::Client, CliError> {
+    Ok(memory_conex::serve::Client::new(
+        memory_conex::serve::client::read_addr(dir)?,
+    ))
+}
+
+/// `mce submit`: builds a [`JobSpec`] from explore-style flags — the
+/// workload is resolved and inlined client-side, so the daemon never
+/// reads client paths — and submits it. Prints the assigned job id to
+/// stdout; with `--wait`, blocks until the job is terminal.
+///
+/// [`JobSpec`]: memory_conex::serve::JobSpec
+fn cmd_submit(args: &[String]) -> Result<u8, CliError> {
+    let w = load_workload(args)?;
+    let preset = flag_value(args, "--preset")
+        .or_else(|| flag_value(args, "--scale"))
+        .unwrap_or("fast");
+    let _: Preset = preset.parse()?; // reject bad presets before the wire
+    let deadline_ms = match flag_value(args, "--deadline") {
+        Some(raw) => {
+            let hint = "--deadline SECS (positive seconds, fractions allowed)";
+            let secs: f64 = raw.parse().map_err(|e| {
+                MceError::invalid_arg("--deadline", format!("`{raw}` is not a number: {e}"), hint)
+            })?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(MceError::invalid_arg(
+                    "--deadline",
+                    format!("must be a positive number of seconds, got `{raw}`"),
+                    hint,
+                )
+                .into());
+            }
+            (secs * 1000.0).ceil() as u64
+        }
+        None => 0,
+    };
+    let spec = memory_conex::serve::JobSpec {
+        workload: w,
+        preset: preset.to_owned(),
+        threads: numeric_flag::<usize>(args, "--threads", 1, "--threads N (N >= 1)")?.unwrap_or(0),
+        max_evals: numeric_flag::<u64>(args, "--max-evals", 1, "--max-evals N (N >= 1)")?
+            .unwrap_or(0),
+        max_archs: numeric_flag::<usize>(args, "--max-archs", 1, "--max-archs N (N >= 1)")?
+            .unwrap_or(0),
+        deadline_ms,
+        retry_budget: numeric_flag::<u32>(args, "--retries", 0, "--retries N (N >= 0)")?
+            .unwrap_or(2),
+    };
+    let dir = serve_dir(args);
+    let id = serve_client(dir)?.submit(&spec)?;
+    eprintln!(
+        "submitted job {id} (workload `{}`, preset {preset}) to {}",
+        spec.workload.name(),
+        dir.display()
+    );
+    println!("{id}");
+    if args.iter().any(|a| a == "--wait") {
+        return wait_for_job(dir, id);
+    }
+    Ok(0)
+}
+
+/// Polls the daemon (re-reading the published address each time, so a
+/// daemon restart with a new ephemeral port is followed transparently)
+/// until job `id` reaches a terminal state. Unreachable-daemon windows
+/// — a crash before its supervisor restarts it — are tolerated for up
+/// to ~60 s before giving up.
+fn wait_for_job(dir: &std::path::Path, id: u64) -> Result<u8, CliError> {
+    let mut unreachable = 0u32;
+    loop {
+        let state = serve_client(dir)
+            .and_then(|c| Ok(c.show(id)?))
+            .and_then(|body| Ok(obs::json::parse(&body)?))
+            .map(|doc| {
+                doc.get("state")
+                    .and_then(obs::json::Value::as_str)
+                    .unwrap_or("?")
+                    .to_owned()
+            });
+        match state {
+            Ok(state) => {
+                unreachable = 0;
+                let terminal =
+                    matches!(state.as_str(), "done" | "failed" | "timed-out" | "canceled");
+                if terminal {
+                    eprintln!("job {id}: {state}");
+                    return Ok(u8::from(state != "done"));
+                }
+            }
+            Err(e) => {
+                unreachable += 1;
+                if unreachable >= 120 {
+                    return Err(format!("job {id}: daemon unreachable while waiting: {e}").into());
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(500));
+    }
+}
+
+/// `mce jobs`: the job-management client (`list`, `show`, `cancel`,
+/// `result`, `wait`). Every subcommand re-resolves the daemon address
+/// from the serve directory, so it works across daemon restarts.
+fn cmd_jobs(args: &[String]) -> Result<u8, CliError> {
+    let sub = args.first().ok_or(
+        "jobs needs a subcommand: list | show <id> | cancel <id> | result <id> | wait <id>",
+    )?;
+    let dir = serve_dir(args);
+    let job_id = || -> Result<u64, CliError> {
+        let raw = args
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .ok_or_else(|| format!("jobs {sub} needs a job id"))?;
+        raw.parse()
+            .map_err(|e| format!("job id `{raw}` is not a number: {e}").into())
+    };
+    match sub.as_str() {
+        "list" => print!("{}", serve_client(dir)?.list()?),
+        "show" => print!("{}", serve_client(dir)?.show(job_id()?)?),
+        "cancel" => print!("{}", serve_client(dir)?.cancel(job_id()?)?),
+        "result" => {
+            let report = serve_client(dir)?.result(job_id()?)?;
+            match flag_value(args, "--out") {
+                Some(out) => {
+                    atomic_write(out, report.as_bytes())
+                        .map_err(|e| format!("cannot write report file `{out}`: {e}"))?;
+                    eprintln!("wrote report {out}");
+                }
+                None => print!("{report}"),
+            }
+        }
+        "wait" => return wait_for_job(dir, job_id()?),
+        other => return Err(format!("unknown jobs subcommand `{other}`").into()),
+    }
+    Ok(0)
 }
 
 fn cmd_report(args: &[String]) -> Result<(), CliError> {
@@ -1061,6 +1331,49 @@ fn render_swarm_frame(dir: &str, width: usize) -> Result<(String, bool), CliErro
     ))
 }
 
+/// Renders one `mce top` frame for a serve directory — the daemon
+/// summary plus one line per job with a live-status file — and reports
+/// whether the daemon is still admitting (not draining).
+fn render_serve_frame(dir: &str) -> Result<(String, bool), CliError> {
+    let status = memory_conex::serve::status_path(std::path::Path::new(dir));
+    let body = std::fs::read_to_string(&status)
+        .map_err(|e| format!("cannot read serve status `{}`: {e}", status.display()))?;
+    let doc = obs::json::parse(&body)
+        .map_err(|e| format!("serve status `{}` is not valid JSON: {e}", status.display()))?;
+    match doc.get("serve_schema").and_then(obs::json::Value::as_u64) {
+        Some(memory_conex::serve::SERVE_SCHEMA) => {}
+        found => {
+            return Err(format!(
+                "serve status `{}` has unsupported serve_schema {found:?} (expected {})",
+                status.display(),
+                memory_conex::serve::SERVE_SCHEMA
+            )
+            .into())
+        }
+    }
+    let active = doc.get("draining") != Some(&obs::json::Value::Bool(true));
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read serve directory `{dir}`: {e}"))?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("job-") && name.ends_with(".status.json"))
+        .collect();
+    // Numeric job-id order, not lexicographic (job-10 after job-2).
+    names.sort_by_key(|name| {
+        name.trim_start_matches("job-")
+            .trim_end_matches(".status.json")
+            .parse::<u64>()
+            .unwrap_or(u64::MAX)
+    });
+    let mut jobs = Vec::new();
+    for name in names {
+        if let Ok(doc) = load_live_status(&format!("{dir}/{name}")) {
+            jobs.push((name, doc));
+        }
+    }
+    Ok((live::render_serve_overview(dir, &doc, &jobs), active))
+}
+
 /// Loads and schema-checks one live-status file.
 fn load_live_status(path: &str) -> Result<obs::json::Value, CliError> {
     let body = std::fs::read_to_string(path)
@@ -1119,11 +1432,15 @@ fn cmd_top(args: &[String]) -> Result<(), CliError> {
     let interval =
         numeric_flag::<u64>(args, "--interval", 50, "--interval MS (MS >= 50)")?.unwrap_or(500);
     let once = args.iter().any(|a| a == "--once");
-    // A directory is a swarm: aggregate the supervisor's swarm.json with
-    // every worker's live-status file instead of one dashboard.
+    // A directory is a swarm or a serve daemon: aggregate the
+    // supervisor's swarm.json (or the daemon's serve.json) with the
+    // per-worker/per-job live-status files instead of one dashboard.
     let is_dir = std::path::Path::new(path).is_dir();
+    let is_serve = is_dir && memory_conex::serve::status_path(std::path::Path::new(path)).exists();
     let render = |width: usize| -> Result<(String, bool), CliError> {
-        if is_dir {
+        if is_serve {
+            render_serve_frame(path)
+        } else if is_dir {
             render_swarm_frame(path, width)
         } else {
             let doc = load_live_status(path)?;
@@ -1136,8 +1453,10 @@ fn cmd_top(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
     // What "the writer hasn't started yet" looks like: the status file
-    // itself, or for a swarm the supervisor's swarm.json.
-    let watched = if is_dir {
+    // itself, or for a swarm/serve directory its summary JSON.
+    let watched = if is_serve {
+        memory_conex::serve::status_path(std::path::Path::new(path))
+    } else if is_dir {
         swarm::status_path(std::path::Path::new(path))
     } else {
         std::path::PathBuf::from(path)

@@ -59,6 +59,7 @@ pub mod checkpoint;
 pub mod diff;
 pub mod live;
 pub mod report;
+pub mod serve;
 pub mod session;
 pub mod swarm;
 
@@ -76,10 +77,11 @@ pub use mce_memlib as memlib;
 pub use mce_obs as obs;
 pub use mce_sim as sim;
 pub use report::{RunReport, REPORT_SCHEMA};
+pub use serve::{Client, JobEvent, JobJournal, JobRecord, JobSpec, JobState, ServeConfig};
 pub use session::{ExplorationSession, SessionResult};
 pub use swarm::{
-    Lease, LeaseManifest, LeaseState, SwarmConfig, SwarmOutcome, WorkerShard, MANIFEST_SCHEMA,
-    SHARD_SCHEMA,
+    Lease, LeaseManifest, LeaseState, SwarmConfig, SwarmOutcome, SwarmRun, WorkerShard,
+    MANIFEST_SCHEMA, SHARD_SCHEMA,
 };
 
 /// Commonly used items for writing explorations end to end.

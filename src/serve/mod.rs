@@ -1,0 +1,113 @@
+//! `mce serve`: a crash-tolerant exploration job service.
+//!
+//! The daemon accepts exploration jobs over a hand-rolled HTTP/1.1
+//! endpoint (`POST /jobs`), persists every lifecycle transition to a
+//! durable write-ahead journal ([`journal`], `jobs.jsonl`), and executes
+//! jobs one at a time through [`ExplorationSession`] with a per-job
+//! checkpoint file — so a daemon killed mid-job restarts with every
+//! queued and running job intact and *resumes* the interrupted job
+//! rather than recomputing it. The finished report is byte-identical
+//! (via `mce diff`) to a plain `mce explore` run of the same spec.
+//!
+//! The robustness contract, in order of line of defense:
+//!
+//! 1. **Durable queue** — a job is acknowledged only after its
+//!    `Submitted` record is flushed and fsynced to the journal; replay
+//!    on startup folds the journal back into the job table, dropping
+//!    only a torn tail record (each line is digest-framed).
+//! 2. **Checkpointed execution** — each running job checkpoints like
+//!    `mce explore --checkpoint`; a crash between checkpoints loses at
+//!    most the uncommitted work, never the job.
+//! 3. **Deterministic retries** — a failed or deadline-timed-out job
+//!    re-queues with exponential backoff ([`crate::swarm::backoff_after`],
+//!    the same schedule the swarm uses) until its retry budget is
+//!    spent, then parks in a terminal `failed`/`timed-out` state.
+//! 4. **Graceful drain** — SIGTERM/SIGINT stops admissions, lets the
+//!    running job stop at a safe point (checkpoint kept), journals a
+//!    `Requeued` record (the drain is not charged to the retry budget),
+//!    and exits 0. No job is ever lost or duplicated.
+//! 5. **Hostile clients** — the request parser caps head and body
+//!    sizes, enforces read deadlines against slow-loris dribble, and
+//!    answers malformed input with typed JSON errors instead of dying.
+//!
+//! [`ExplorationSession`]: crate::session::ExplorationSession
+
+pub mod client;
+pub mod daemon;
+pub mod http;
+pub mod journal;
+
+pub use client::Client;
+pub use daemon::{run_daemon, ServeConfig};
+pub use journal::{replay, JobEvent, JobJournal, JobRecord, JobSpec, JobState, JOURNAL_SCHEMA};
+
+use std::path::{Path, PathBuf};
+
+/// Version of the serve-directory layout (journal header key
+/// `"mce_job"`, status file key `"serve_schema"`).
+pub const SERVE_SCHEMA: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Serve-directory layout
+// ---------------------------------------------------------------------------
+
+/// The write-ahead job journal: `<dir>/jobs.jsonl`.
+pub fn journal_path(dir: &Path) -> PathBuf {
+    dir.join("jobs.jsonl")
+}
+
+/// The daemon's pidfile: `<dir>/serve.pid`.
+pub fn pid_path(dir: &Path) -> PathBuf {
+    dir.join("serve.pid")
+}
+
+/// The bound listen address, written after the socket is live (so
+/// `--addr 127.0.0.1:0` publishes the ephemeral port): `<dir>/serve.addr`.
+pub fn addr_path(dir: &Path) -> PathBuf {
+    dir.join("serve.addr")
+}
+
+/// The daemon's event log: `<dir>/serve.log`.
+pub fn log_path(dir: &Path) -> PathBuf {
+    dir.join("serve.log")
+}
+
+/// The daemon's live summary (`serve_schema` JSON, rendered by
+/// `mce top <dir>`): `<dir>/serve.json`.
+pub fn status_path(dir: &Path) -> PathBuf {
+    dir.join("serve.json")
+}
+
+/// A job's crash-safety checkpoint: `<dir>/job-N.ck.json`.
+pub fn job_checkpoint_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("job-{id}.ck.json"))
+}
+
+/// A completed job's run report: `<dir>/job-N.report.json`.
+pub fn job_report_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("job-{id}.report.json"))
+}
+
+/// A running job's live-status file: `<dir>/job-N.status.json`.
+pub fn job_status_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("job-{id}.status.json"))
+}
+
+/// Escapes `s` into a double-quoted JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

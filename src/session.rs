@@ -70,6 +70,7 @@ pub struct ExplorationSession {
     deadline: Option<Duration>,
     candidate_timeout: Option<Duration>,
     watch_interrupt: bool,
+    cancel_token: Option<CancelToken>,
     live_status_file: Option<PathBuf>,
     live_every: Duration,
     metrics_out: Option<PathBuf>,
@@ -130,6 +131,7 @@ impl ExplorationSession {
             deadline: None,
             candidate_timeout: None,
             watch_interrupt: false,
+            cancel_token: None,
             live_status_file: None,
             live_every: Duration::from_millis(500),
             metrics_out: None,
@@ -263,14 +265,29 @@ impl ExplorationSession {
         self
     }
 
-    /// Makes the run stop cooperatively on SIGINT (requires the process
-    /// to have installed the flag-raising handler —
-    /// [`mce_budget::install_sigint_handler`] — or to raise the flag
-    /// itself via [`mce_budget::raise_interrupt`]). Off by default:
+    /// Makes the run stop cooperatively on SIGINT/SIGTERM (requires the
+    /// process to have installed the flag-raising handlers —
+    /// [`mce_budget::install_termination_handlers`] — or to raise the
+    /// flag itself via [`mce_budget::raise_interrupt`]). Off by default:
     /// library users opt in, the CLI turns it on.
     #[must_use]
     pub fn watch_interrupt(mut self, watch: bool) -> Self {
         self.watch_interrupt = watch;
+        self
+    }
+
+    /// Runs under a caller-owned [`CancelToken`] instead of building one
+    /// from [`deadline`](ExplorationSession::deadline) /
+    /// [`watch_interrupt`](ExplorationSession::watch_interrupt) — the
+    /// embedding (e.g. the `mce serve` job executor) encodes its own
+    /// deadline and interrupt policy in the token and can trip it
+    /// externally (job cancellation, drain). When set, this token wins
+    /// over both of those knobs. Truncation behaves exactly as with the
+    /// built-in token: stop at a safe point, force-checkpoint, return a
+    /// valid resumable result.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel_token = Some(token);
         self
     }
 
@@ -424,10 +441,12 @@ impl ExplorationSession {
         // bit-identical to a never-interrupted budgeted run.
         let budget = self.max_evals.map(|n| Arc::new(EvalBudget::limited(n)));
         let bounds = Bounds {
-            token: if self.deadline.is_some() || self.watch_interrupt {
-                CancelToken::bounded(self.deadline, self.watch_interrupt)
-            } else {
-                CancelToken::never()
+            token: match &self.cancel_token {
+                Some(token) => token.clone(),
+                None if self.deadline.is_some() || self.watch_interrupt => {
+                    CancelToken::bounded(self.deadline, self.watch_interrupt)
+                }
+                None => CancelToken::never(),
             },
             budget: budget.clone(),
             max_archs: self.max_archs,

@@ -696,6 +696,28 @@ pub struct SwarmOutcome {
     pub inline_leases: usize,
 }
 
+/// What [`supervise`] returned control with: the full merged outcome,
+/// or a drained stop after a termination signal (SIGINT/SIGTERM).
+///
+/// An interrupted run is not a failure: every running worker has been
+/// stopped, every unfinished lease is back in `Pending` with its
+/// on-disk checkpoint intact, and the manifest is saved. Rerunning the
+/// same command rebuilds the identical partition (selection is
+/// deterministic) and resumes each lease through its checkpoint, so no
+/// committed architecture is recomputed.
+#[derive(Debug)]
+pub enum SwarmRun {
+    /// Every lease finished and the shards merged cleanly.
+    Completed(Box<SwarmOutcome>),
+    /// A termination signal arrived first; state is on disk.
+    Interrupted {
+        /// Leases fully done (verified shard) at the stop.
+        done: usize,
+        /// Total leases in the manifest.
+        total: usize,
+    },
+}
+
 enum SlotState {
     Idle,
     Running {
@@ -747,7 +769,9 @@ impl SwarmLog {
 }
 
 /// Runs the full supervised exploration: partition, spawn, watch,
-/// restart, steal, and finally merge — returning the merged report.
+/// restart, steal, and finally merge — returning the merged report, or
+/// [`SwarmRun::Interrupted`] when a termination signal (observed via
+/// [`mce_budget::interrupted`]) drains the run first.
 ///
 /// # Errors
 ///
@@ -755,7 +779,7 @@ impl SwarmLog {
 /// missing or corrupt at merge time, or when the merged state fails its
 /// coverage checks ([`merge_arch_slices`]) — the merge never papers
 /// over an incomplete partition.
-pub fn supervise(cfg: &SwarmConfig) -> Result<SwarmOutcome, MceError> {
+pub fn supervise(cfg: &SwarmConfig) -> Result<SwarmRun, MceError> {
     let start = Instant::now();
     std::fs::create_dir_all(&cfg.dir)
         .map_err(|e| MceError::io(format!("create swarm dir {}", cfg.dir.display()), e))?;
@@ -830,6 +854,45 @@ pub fn supervise(cfg: &SwarmConfig) -> Result<SwarmOutcome, MceError> {
     let poll = Duration::from_millis(100);
 
     while done < manifest.leases.len() {
+        // A termination signal drains the swarm instead of killing it:
+        // workers are stopped, their leases return to `Pending` (each
+        // lease checkpoint stays on disk), the manifest is saved, and
+        // the caller exits 0. A rerun resumes where this stop left off.
+        if mce_budget::interrupted() {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                if let SlotState::Running { child, lease, .. } = &mut slot.state {
+                    let lease_id = *lease;
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    manifest.leases[lease_id].state = LeaseState::Pending;
+                    log.line(&format!(
+                        "worker {k}: stopped by termination signal; \
+                         lease {lease_id} requeued (checkpoint kept)"
+                    ));
+                    slot.state = SlotState::Idle;
+                }
+            }
+            manifest.save(&manifest_path(&cfg.dir))?;
+            publish_status(
+                cfg,
+                &manifest,
+                "interrupted",
+                done,
+                restarts,
+                stolen,
+                backoff_ms,
+                &slots,
+            );
+            log.line(&format!(
+                "swarm interrupted: {done}/{} leases done; \
+                 rerun the same command to resume",
+                manifest.leases.len()
+            ));
+            return Ok(SwarmRun::Interrupted {
+                done,
+                total: manifest.leases.len(),
+            });
+        }
         let now = Instant::now();
         // Reap and health-check every running slot.
         for (k, slot) in slots.iter_mut().enumerate() {
@@ -1139,7 +1202,7 @@ pub fn supervise(cfg: &SwarmConfig) -> Result<SwarmOutcome, MceError> {
         restarts,
         stolen
     ));
-    Ok(SwarmOutcome {
+    Ok(SwarmRun::Completed(Box::new(SwarmOutcome {
         report,
         conex,
         restarts,
@@ -1150,7 +1213,7 @@ pub fn supervise(cfg: &SwarmConfig) -> Result<SwarmOutcome, MceError> {
             .filter(|s| matches!(s.state, SlotState::Retired))
             .count(),
         inline_leases,
-    })
+    })))
 }
 
 fn load_checked_shard(

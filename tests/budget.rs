@@ -1,9 +1,11 @@
 //! Bounded-exploration integration: logical budgets (`--max-evals`)
 //! truncate at the same point for any thread count and any cache state,
 //! an interrupt mid-run plus a resume reproduces the uninterrupted
-//! run's report byte-for-byte up to `wall_clock`, and a hung candidate
+//! run's report byte-for-byte up to `wall_clock`, a hung candidate
 //! evaluation is reclaimed by the per-candidate watchdog instead of
-//! wedging the run.
+//! wedging the run, and a process manager's SIGTERM is the same
+//! cooperative stop a Ctrl-C is — checkpoint written, valid report,
+//! exit 0.
 
 use mce_faultinject as fi;
 use memory_conex::appmodel::benchmarks;
@@ -216,4 +218,56 @@ fn hung_candidate_is_reclaimed_by_the_watchdog_and_degraded() {
             .is_some_and(|d| !d.is_empty()),
         "degraded annotations land in wall_clock"
     );
+}
+
+/// SIGTERM against the real binary is a first-class "stop at a safe
+/// point", exactly like SIGINT: the terminated `mce explore` writes a
+/// valid (possibly truncated) report, keeps its checkpoint for the
+/// resume, and exits 0 — what a process manager's stop action must see.
+#[test]
+fn sigterm_checkpoints_writes_a_valid_report_and_exits_zero() {
+    let Some(bin) = option_env!("CARGO_BIN_EXE_mce") else {
+        eprintln!("skipping: mce binary path not provided by the harness");
+        return;
+    };
+    let dir = tmp("sigterm");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("report.json");
+    let ck = dir.join("ck.json");
+    let mut child = std::process::Command::new(bin)
+        .args(["explore", "vocoder", "--preset", "fast", "--report-out"])
+        .arg(&report)
+        .arg("--checkpoint")
+        .arg(&ck)
+        .arg("--out-dir")
+        .arg(dir.join("experiments"))
+        .env_remove("MCE_FAULT")
+        .spawn()
+        .expect("spawning the mce binary");
+    std::thread::sleep(Duration::from_millis(120));
+    let out = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .output()
+        .expect("kill spawns");
+    assert!(out.status.success(), "sending SIGTERM failed");
+    let status = child.wait().expect("child waits");
+    assert_eq!(status.code(), Some(0), "SIGTERM must exit 0, not die");
+
+    let text = std::fs::read_to_string(&report).expect("a report is written either way");
+    let doc = obs::json::parse(&text).expect("the report is valid JSON");
+    match doc.get("status").and_then(obs::json::Value::as_str) {
+        Some("truncated") => {
+            assert_eq!(
+                doc.get("stop_reason").and_then(obs::json::Value::as_str),
+                Some("interrupt"),
+                "a SIGTERM stop is recorded as an interrupt"
+            );
+            assert!(ck.exists(), "an interrupted run keeps its checkpoint");
+        }
+        // The signal lost the race against a fast exploration; the clean
+        // exit and complete report are the whole story.
+        Some("complete") => {}
+        other => panic!("unexpected report status {other:?} in:\n{text}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

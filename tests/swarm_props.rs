@@ -191,6 +191,43 @@ proptest! {
         }
         std::fs::remove_file(&path).ok();
     }
+
+    /// For *arbitrary* restart counts — including the full `u32` range,
+    /// far past where `base << restarts` would overflow — the backoff is
+    /// monotone non-decreasing, never exceeds the cap once past it, and
+    /// never panics. This is the schedule both the swarm supervisor and
+    /// the serve executor lean on after a crash.
+    #[test]
+    fn backoff_is_monotone_capped_and_overflow_safe(
+        restarts in any::<u32>(),
+        base_ms in 0u64..10_000,
+        cap_ms in 0u64..60_000,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(cap_ms);
+        let here = backoff_after(restarts, base, cap);
+        prop_assert!(here <= cap, "backoff({restarts}) = {here:?} exceeds the cap");
+        if base_ms == 0 {
+            prop_assert_eq!(here, Duration::ZERO, "zero base must disable the delay");
+        }
+        if restarts == 0 {
+            prop_assert_eq!(here, Duration::ZERO, "no delay before the first restart");
+        }
+        // Monotone: one more restart never shrinks the delay. Saturate at
+        // u32::MAX so the property also pins the overflow boundary.
+        let next = backoff_after(restarts.saturating_add(1), base, cap);
+        prop_assert!(
+            next >= here,
+            "backoff({restarts}) = {here:?} > backoff({}) = {next:?}",
+            restarts.saturating_add(1)
+        );
+        // Deep into the schedule the cap is exact, not just an upper
+        // bound: 30 saturated doublings of even 1 ms exceed any cap the
+        // generator can draw.
+        if base_ms > 0 && restarts >= 32 {
+            prop_assert_eq!(here, cap, "the tail of the schedule must sit at the cap");
+        }
+    }
 }
 
 /// The restart backoff schedule is fully deterministic: zero before the
